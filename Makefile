@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments check soak explore clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# The full testing.B view of the paper's evaluation (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure/table with scaled-down defaults (minutes).
+experiments:
+	$(GO) run ./cmd/fifobench -experiment all
+
+# Regenerate with the paper's full parameters (very slow).
+experiments-paper:
+	$(GO) run ./cmd/fifobench -experiment all -paper
+
+# Correctness drivers.
+check:
+	$(GO) run ./cmd/fifocheck -algo all -rounds 50 -exhaustive
+
+explore:
+	$(GO) run ./cmd/fifoexplore -threads 2 -delays 3
+	$(GO) run ./cmd/fifoexplore -algo evq-cas -threads 2 -delays 2
+
+soak:
+	$(GO) run ./cmd/fifosoak -algo all -duration 5s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,76 @@
+package nbqueue
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// Blocking operations adapt the non-blocking queue to callers that want
+// to wait rather than handle ErrFull/empty themselves. The underlying
+// algorithms have no wait queues (that is the point of being
+// non-blocking), so waiting is implemented as bounded-backoff polling:
+// spin briefly with scheduler yields, then sleep with exponential backoff
+// capped at waitSleepMax. This keeps the worst-case added latency small
+// while idle waiting costs no CPU to speak of, and — unlike a
+// condition-variable wrapper — it cannot reintroduce the
+// preemption-sensitivity the paper's algorithms eliminate.
+
+const (
+	// waitSpins is how many yield-retries precede any sleeping.
+	waitSpins = 64
+	// waitSleepMin/Max bound the sleep backoff.
+	waitSleepMin = 10 * time.Microsecond
+	waitSleepMax = time.Millisecond
+)
+
+// EnqueueWait inserts v, waiting while the queue is full until the
+// context is done. Returns ctx.Err() on cancellation.
+func (s *Session[T]) EnqueueWait(ctx context.Context, v T) error {
+	for spin := 0; spin < waitSpins; spin++ {
+		if err := s.Enqueue(v); err == nil {
+			return nil
+		}
+		runtime.Gosched()
+	}
+	sleep := waitSleepMin
+	for {
+		if err := s.Enqueue(v); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(sleep):
+		}
+		if sleep < waitSleepMax {
+			sleep *= 2
+		}
+	}
+}
+
+// DequeueWait removes the head value, waiting while the queue is empty
+// until the context is done. Returns ctx.Err() on cancellation.
+func (s *Session[T]) DequeueWait(ctx context.Context) (T, error) {
+	for spin := 0; spin < waitSpins; spin++ {
+		if v, ok := s.Dequeue(); ok {
+			return v, nil
+		}
+		runtime.Gosched()
+	}
+	sleep := waitSleepMin
+	for {
+		if v, ok := s.Dequeue(); ok {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		case <-time.After(sleep):
+		}
+		if sleep < waitSleepMax {
+			sleep *= 2
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package nbqueue_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nbqueue"
+)
+
+func TestEnqueueWaitImmediate(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	if err := s.EnqueueWait(context.Background(), 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.DequeueWait(context.Background())
+	if err != nil || v != 7 {
+		t.Fatalf("DequeueWait = %d,%v", v, err)
+	}
+}
+
+func TestDequeueWaitBlocksUntilProduce(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := q.Attach()
+		defer s.Detach()
+		v, err := s.DequeueWait(context.Background())
+		if err != nil {
+			t.Errorf("DequeueWait: %v", err)
+			return
+		}
+		got <- v
+	}()
+	// Let the consumer reach its wait loop, then produce.
+	time.Sleep(5 * time.Millisecond)
+	s := q.Attach()
+	if err := s.Enqueue(42); err != nil {
+		t.Fatal(err)
+	}
+	s.Detach()
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer never woke")
+	}
+	wg.Wait()
+}
+
+func TestEnqueueWaitBlocksUntilDrain(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(2), nbqueue.WithMaxThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	// Fill to capacity (the arena slack means a few extra may fit; fill
+	// until ErrFull).
+	n := 0
+	for s.Enqueue(n) == nil {
+		n++
+	}
+	done := make(chan error, 1)
+	go func() {
+		s2 := q.Attach()
+		defer s2.Detach()
+		done <- s2.EnqueueWait(context.Background(), 999)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("EnqueueWait returned early: %v", err)
+	default:
+	}
+	// Drain one; the waiter must complete.
+	if _, ok := s.Dequeue(); !ok {
+		t.Fatal("drain failed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("EnqueueWait: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer never woke")
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.DequeueWait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DequeueWait on empty = %v, want deadline exceeded", err)
+	}
+	// EnqueueWait on a full queue with a cancelled context.
+	n := 0
+	for s.Enqueue(n) == nil {
+		n++
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := s.EnqueueWait(ctx2, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EnqueueWait on full = %v, want canceled", err)
+	}
+}
+
+func TestWaitPipelineThroughput(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 5000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s := q.Attach()
+		defer s.Detach()
+		for i := 0; i < items; i++ {
+			if err := s.EnqueueWait(context.Background(), i); err != nil {
+				t.Errorf("producer: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		s := q.Attach()
+		defer s.Detach()
+		for i := 0; i < items; i++ {
+			v, err := s.DequeueWait(context.Background())
+			if err != nil {
+				t.Errorf("consumer: %v", err)
+				return
+			}
+			if v != i {
+				t.Errorf("out of order: got %d want %d", v, i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,170 @@
+// Command fifocheck stress-tests any queue algorithm for linearizability
+// violations, in the spirit of Wing & Gong's history-based testing of
+// concurrent objects (the paper's reference [16]).
+//
+// It runs rounds of randomized concurrent workloads, recording a complete
+// history of every operation with invocation/response timestamps, and
+// validates each history with the fast FIFO-order checker; sufficiently
+// small histories are additionally checked exhaustively against the
+// sequential queue specification.
+//
+// Examples:
+//
+//	fifocheck -algo evq-cas -threads 8 -rounds 200
+//	fifocheck -algo all -ops 500 -exhaustive
+//
+// Exit status is nonzero if any violation is found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+
+	"nbqueue/internal/bench"
+	"nbqueue/internal/lincheck"
+	"nbqueue/internal/xsync"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fifocheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fifocheck", flag.ContinueOnError)
+	fs.SetOutput(out) // keep usage/errors off stderr in tests
+	var (
+		algo       = fs.String("algo", "all", "algorithm key to check, or 'all'")
+		threads    = fs.Int("threads", 4, "concurrent sessions per round")
+		ops        = fs.Int("ops", 400, "operations per thread per round")
+		rounds     = fs.Int("rounds", 50, "rounds per algorithm")
+		capacity   = fs.Int("capacity", 64, "queue capacity")
+		seed       = fs.Int64("seed", 1, "workload RNG seed")
+		exhaustive = fs.Bool("exhaustive", false, "additionally run tiny rounds through the exhaustive Wing-Gong checker")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	keys := []string{*algo}
+	if *algo == "all" {
+		keys = []string{
+			bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyMSHP, bench.KeyMSHPSorted,
+			bench.KeyMSDoherty, bench.KeyShann, bench.KeyTsigasZhang,
+			bench.KeyTwoLock, bench.KeyChan,
+		}
+	}
+	failures := 0
+	for _, key := range keys {
+		entry, err := bench.Lookup(key)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "checking %-18s", key)
+		violations := 0
+		for r := 0; r < *rounds; r++ {
+			if err := checkRound(entry, *threads, *ops, *capacity, *seed+int64(r)); err != nil {
+				violations++
+				fmt.Fprintf(out, "\n  round %d: %v", r, err)
+			}
+		}
+		if *exhaustive {
+			for r := 0; r < *rounds; r++ {
+				if err := checkExhaustiveRound(entry, *capacity, *seed+int64(r)); err != nil {
+					violations++
+					fmt.Fprintf(out, "\n  exhaustive round %d: %v", r, err)
+				}
+			}
+		}
+		if violations == 0 {
+			fmt.Fprintf(out, "  ok (%d rounds x %d threads x %d ops)\n", *rounds, *threads, *ops)
+		} else {
+			fmt.Fprintf(out, "  FAILED: %d violations\n", violations)
+			failures += violations
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d total violations", failures)
+	}
+	return nil
+}
+
+// checkRound runs one randomized concurrent round and validates its
+// history with the fast checker.
+func checkRound(entry bench.Algo, threads, ops, capacity int, seed int64) error {
+	q := entry.New(bench.Config{Capacity: capacity, MaxThreads: threads})
+	rec := lincheck.NewRecorder(threads, ops)
+	start := xsync.NewBarrier(threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + int64(th)))
+			s := q.Attach()
+			defer s.Detach()
+			log := rec.Log(th)
+			start.Wait()
+			for i := 0; i < ops; i++ {
+				if rng.Intn(2) == 0 {
+					v := uint64(th*ops+i+1) << 1
+					inv := log.Begin()
+					err := s.Enqueue(v)
+					log.Enq(inv, v, err == nil)
+				} else {
+					inv := log.Begin()
+					v, ok := s.Dequeue()
+					log.Deq(inv, v, ok)
+				}
+				if rng.Intn(8) == 0 {
+					runtime.Gosched() // shake up interleavings
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	return lincheck.CheckFast(rec.History())
+}
+
+// checkExhaustiveRound runs a tiny 3-thread round small enough for the
+// full Wing-Gong search.
+func checkExhaustiveRound(entry bench.Algo, capacity int, seed int64) error {
+	const threads = 3
+	const ops = 6 // 18 total: within the exhaustive checker's limit
+	q := entry.New(bench.Config{Capacity: capacity, MaxThreads: threads})
+	rec := lincheck.NewRecorder(threads, ops)
+	start := xsync.NewBarrier(threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*7919 + int64(th)))
+			s := q.Attach()
+			defer s.Detach()
+			log := rec.Log(th)
+			start.Wait()
+			for i := 0; i < ops; i++ {
+				if rng.Intn(2) == 0 {
+					v := uint64(th*ops+i+1) << 1
+					inv := log.Begin()
+					err := s.Enqueue(v)
+					log.Enq(inv, v, err == nil)
+				} else {
+					inv := log.Begin()
+					v, ok := s.Dequeue()
+					log.Deq(inv, v, ok)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	return lincheck.CheckExhaustive(rec.History())
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nbqueue/internal/bench"
+	"nbqueue/internal/queue"
+)
+
+func TestRunSingleAlgorithmClean(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "evq-cas", "-threads", "3", "-ops", "60", "-rounds", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok (3 rounds x 3 threads x 60 ops)") {
+		t.Errorf("output malformed:\n%s", sb.String())
+	}
+}
+
+func TestRunExhaustiveMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "evq-llsc", "-threads", "2", "-ops", "20", "-rounds", "2", "-exhaustive",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-algo", "nope"}, &sb); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestCheckRoundDetectsBrokenQueue wires the round machinery to a
+// deliberately unfair queue (a mutex-guarded LIFO) and confirms a
+// violation surfaces — the end-to-end negative control for the whole
+// binary.
+func TestCheckRoundDetectsBrokenQueue(t *testing.T) {
+	lifo := bench.Algo{
+		Key: "lifo", Label: "LIFO", Concurrent: true,
+		New: func(bench.Config) queue.Queue { return &lifoQueue{} },
+	}
+	// A handful of threads and enough ops: LIFO sub-histories violate
+	// FIFO real-time order almost immediately.
+	err := checkRound(lifo, 2, 100, 64, 1)
+	if err == nil {
+		t.Fatal("LIFO queue passed the round checker")
+	}
+	if !strings.Contains(err.Error(), "lincheck:") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// lifoQueue is a mutex-guarded stack masquerading as a queue.
+type lifoQueue struct {
+	mu    sync.Mutex
+	items []uint64
+}
+
+var _ queue.Queue = (*lifoQueue)(nil)
+var _ queue.Session = (*lifoQueue)(nil)
+
+func (l *lifoQueue) Attach() queue.Session { return l }
+func (l *lifoQueue) Capacity() int         { return 0 }
+func (l *lifoQueue) Name() string          { return "LIFO" }
+func (l *lifoQueue) Detach()               {}
+
+func (l *lifoQueue) Enqueue(v uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.items = append(l.items, v)
+	return nil
+}
+
+func (l *lifoQueue) Dequeue() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.items) == 0 {
+		return 0, false
+	}
+	v := l.items[len(l.items)-1]
+	l.items = l.items[:len(l.items)-1]
+	return v, true
+}

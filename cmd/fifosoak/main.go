@@ -1,0 +1,184 @@
+// Command fifosoak runs a long-duration soak against any algorithm:
+// rotating populations of producer/consumer goroutines (sessions attach
+// and detach continuously, exercising the registration recycling paths),
+// periodic invariant audits (value conservation, registry/hazard space
+// bounds), and a final report. Intended for overnight confidence runs;
+// the defaults finish in seconds for CI use.
+//
+// Examples:
+//
+//	fifosoak -algo evq-cas -duration 5s
+//	fifosoak -algo all -duration 2s -threads 8
+//	fifosoak -algo ms-hp -duration 10m -audit 30s    # the long haul
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fifosoak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fifosoak", flag.ContinueOnError)
+	fs.SetOutput(out) // keep usage/errors off stderr in tests
+	var (
+		algo     = fs.String("algo", "evq-cas", "algorithm key, or 'all'")
+		duration = fs.Duration("duration", 2*time.Second, "soak duration per algorithm")
+		threads  = fs.Int("threads", 6, "worker goroutines")
+		capacity = fs.Int("capacity", 256, "queue capacity")
+		audit    = fs.Duration("audit", 500*time.Millisecond, "interval between invariant audits")
+		rotate   = fs.Int("rotate", 200, "operations between session detach/reattach cycles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	keys := []string{*algo}
+	if *algo == "all" {
+		keys = []string{
+			bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyMSHP, bench.KeyMSHPSorted,
+			bench.KeyMSDoherty, bench.KeyShann, bench.KeyTsigasZhang, bench.KeyTreiber,
+		}
+	}
+	for _, key := range keys {
+		if err := soak(out, key, *duration, *threads, *capacity, *audit, *rotate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// soak drives one algorithm and audits it until the deadline.
+func soak(out io.Writer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration, rotate int) error {
+	entry, err := bench.Lookup(key)
+	if err != nil {
+		return err
+	}
+	q := entry.New(bench.Config{Capacity: capacity, MaxThreads: threads})
+	a := arena.New(capacity + threads*8 + 64)
+
+	var ops, rotations atomic.Int64
+	var produced, consumed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := q.Attach()
+			sinceRotate := 0
+			for {
+				select {
+				case <-stop:
+					s.Detach()
+					return
+				default:
+				}
+				// Alternate roles by worker parity, with balancing
+				// dequeues so the queue cannot fill permanently.
+				if w%2 == 0 {
+					h := a.Alloc()
+					if h == arena.Nil {
+						runtime.Gosched()
+						continue
+					}
+					if s.Enqueue(h) != nil {
+						a.Free(h)
+						runtime.Gosched()
+					} else {
+						produced.Add(1)
+					}
+				} else {
+					if h, ok := s.Dequeue(); ok {
+						a.Free(h)
+						consumed.Add(1)
+					} else {
+						runtime.Gosched()
+					}
+				}
+				ops.Add(1)
+				sinceRotate++
+				if sinceRotate >= rotate {
+					sinceRotate = 0
+					s.Detach()
+					s = q.Attach()
+					rotations.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.After(d)
+	ticker := time.NewTicker(auditEvery)
+	defer ticker.Stop()
+	audits := 0
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			if err := auditLive(q, a); err != nil {
+				close(stop)
+				wg.Wait()
+				return fmt.Errorf("%s: audit failed: %w", key, err)
+			}
+			audits++
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final audit at quiescence: drain and check conservation.
+	s := q.Attach()
+	drained := 0
+	for {
+		h, ok := s.Dequeue()
+		if !ok {
+			break
+		}
+		a.Free(h)
+		drained++
+	}
+	s.Detach()
+	if live := a.Live(); live != 0 {
+		return fmt.Errorf("%s: %d arena nodes leaked after drain", key, live)
+	}
+	if got := produced.Load() - consumed.Load() - int64(drained); got != 0 {
+		return fmt.Errorf("%s: conservation broken: produced-consumed-drained = %d", key, got)
+	}
+	fmt.Fprintf(out, "%-18s ok: ops=%d produced=%d consumed=%d drained=%d rotations=%d audits=%d\n",
+		key, ops.Load(), produced.Load(), consumed.Load(), drained, rotations.Load(), audits)
+	return nil
+}
+
+// auditLive checks invariants that must hold even mid-flight.
+func auditLive(q interface{ Capacity() int }, a *arena.Arena) error {
+	if live := a.Live(); live > a.Capacity() {
+		return fmt.Errorf("arena live %d exceeds capacity %d", live, a.Capacity())
+	}
+	type spaceRecords interface{ SpaceRecords() int }
+	if sr, ok := q.(spaceRecords); ok {
+		// Records must stay bounded by peak concurrency + rotation slack
+		// (a generous constant multiple; unbounded growth is the bug
+		// this catches).
+		if n := sr.SpaceRecords(); n > 10000 {
+			return fmt.Errorf("per-thread records grew unboundedly: %d", n)
+		}
+	}
+	return nil
+}

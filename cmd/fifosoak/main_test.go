@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSoakSingleAlgorithm(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "evq-cas", "-duration", "200ms", "-threads", "4",
+		"-audit", "50ms", "-rotate", "50",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "evq-cas") || !strings.Contains(out, "ok:") {
+		t.Errorf("report malformed:\n%s", out)
+	}
+	// Rotations must have happened (the attach/detach cycle is the point).
+	if strings.Contains(out, "rotations=0 ") {
+		t.Errorf("no session rotation occurred:\n%s", out)
+	}
+}
+
+func TestSoakUnknownAlgo(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-algo", "nope", "-duration", "10ms"}, &sb); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestSoakShortAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soaking all algorithms is slow")
+	}
+	var sb strings.Builder
+	start := time.Now()
+	err := run([]string{"-algo", "all", "-duration", "100ms", "-threads", "4"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Errorf("soak of all algorithms took too long")
+	}
+	if got := strings.Count(sb.String(), "ok:"); got < 8 {
+		t.Errorf("expected 8 algorithm reports, got %d:\n%s", got, sb.String())
+	}
+}

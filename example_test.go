@@ -1,0 +1,111 @@
+package nbqueue_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"nbqueue"
+)
+
+// The basic lifecycle: construct, attach a session, move values.
+func ExampleNew() {
+	q, err := nbqueue.New[string](
+		nbqueue.WithAlgorithm(nbqueue.AlgorithmCAS),
+		nbqueue.WithCapacity(64),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+
+	if err := s.Enqueue("hello"); err != nil {
+		log.Fatal(err)
+	}
+	if v, ok := s.Dequeue(); ok {
+		fmt.Println(v)
+	}
+	// Output: hello
+}
+
+// Selecting the paper's Algorithm 1 (LL/SC array queue) and observing
+// the capacity rounding to a power of two.
+func ExampleWithAlgorithm() {
+	q, err := nbqueue.New[int](
+		nbqueue.WithAlgorithm(nbqueue.AlgorithmLLSC),
+		nbqueue.WithCapacity(100),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.Algorithm(), q.Capacity())
+	// Output: FIFO Array LL/SC 128
+}
+
+// Fail-fast bounded buffering: ErrFull is an ordinary, expected result,
+// not an exception — the basis of load-shedding designs.
+func ExampleSession_Enqueue_full() {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(2), nbqueue.WithMaxThreads(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	accepted, shed := 0, 0
+	for i := 0; i < 100; i++ {
+		if s.Enqueue(i) == nil {
+			accepted++
+		} else {
+			shed++
+		}
+	}
+	fmt.Println(accepted+shed == 100, shed > 0)
+	// Output: true true
+}
+
+// Blocking semantics on top of the non-blocking queue, with context
+// cancellation.
+func ExampleSession_DequeueWait() {
+	q, err := nbqueue.New[string](nbqueue.WithCapacity(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+
+	go func() {
+		p := q.Attach()
+		defer p.Detach()
+		_ = p.Enqueue("work-item")
+	}()
+
+	v, err := s.DequeueWait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v)
+	// Output: work-item
+}
+
+// Observing the synchronization cost profile the paper's §6 reports:
+// Algorithm 2 spends three successful CAS per queue operation.
+func ExampleMetrics() {
+	m := nbqueue.NewMetrics()
+	q, err := nbqueue.New[int](
+		nbqueue.WithAlgorithm(nbqueue.AlgorithmCAS),
+		nbqueue.WithCapacity(64),
+		nbqueue.WithMetrics(m),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 1000; i++ {
+		_ = s.Enqueue(i)
+		s.Dequeue()
+	}
+	fmt.Printf("CAS per op: %.0f\n", m.Snapshot().CASPerOp())
+	// Output: CAS per op: 3
+}

@@ -1,0 +1,3 @@
+module nbqueue
+
+go 1.22

@@ -1,0 +1,186 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeBasic(t *testing.T) {
+	a := New(4)
+	hs := make([]Handle, 0, 4)
+	for i := 0; i < 4; i++ {
+		h := a.Alloc()
+		if h == Nil {
+			t.Fatalf("alloc %d returned Nil", i)
+		}
+		if h&1 != 0 {
+			t.Fatalf("handle %#x is odd", h)
+		}
+		hs = append(hs, h)
+	}
+	if h := a.Alloc(); h != Nil {
+		t.Fatalf("alloc beyond capacity returned %#x, want Nil", h)
+	}
+	for _, h := range hs {
+		a.Free(h)
+	}
+	// Everything reusable again.
+	for i := 0; i < 4; i++ {
+		if a.Alloc() == Nil {
+			t.Fatalf("re-alloc %d returned Nil", i)
+		}
+	}
+}
+
+func TestHandlesDistinct(t *testing.T) {
+	a := New(128)
+	seen := map[Handle]bool{}
+	for i := 0; i < 128; i++ {
+		h := a.Alloc()
+		if seen[h] {
+			t.Fatalf("handle %#x returned twice while live", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestFreeNilNoop(t *testing.T) {
+	a := New(2)
+	a.Free(Nil) // must not panic
+	if got := a.Stats().Frees; got != 0 {
+		t.Errorf("Free(Nil) counted as a free: %d", got)
+	}
+}
+
+func TestFreeInvalidPanics(t *testing.T) {
+	a := New(2)
+	for _, bad := range []Handle{1, 3, 64, 1 << 30} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Free(%#x) did not panic", bad)
+				}
+			}()
+			a.Free(bad)
+		}()
+	}
+}
+
+func TestDebugDoubleFreePanics(t *testing.T) {
+	a := NewDebug(2)
+	h := a.Alloc()
+	a.Free(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+	}()
+	a.Free(h)
+}
+
+func TestValueSurvivesUntilFree(t *testing.T) {
+	a := New(8)
+	h := a.Alloc()
+	a.Get(h).Value.Store(0xdeadbeef)
+	g := a.Alloc()
+	a.Get(g).Value.Store(0x12345678)
+	if got := a.Get(h).Value.Load(); got != 0xdeadbeef {
+		t.Errorf("value clobbered: %#x", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := New(4)
+	h1, h2 := a.Alloc(), a.Alloc()
+	a.Free(h1)
+	s := a.Stats()
+	if s.Allocs != 2 || s.Frees != 1 || s.Live != 1 || s.Capacity != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	a.Free(h2)
+	if a.Live() != 0 {
+		t.Errorf("live = %d, want 0", a.Live())
+	}
+}
+
+// TestConservationProperty: any alloc/free trace starting from empty
+// keeps live = allocs - frees and never hands out more than capacity
+// simultaneously.
+func TestConservationProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		a := NewDebug(16)
+		var live []Handle
+		for _, alloc := range ops {
+			if alloc {
+				h := a.Alloc()
+				if h == Nil {
+					if len(live) != 16 {
+						return false // exhausted before capacity
+					}
+					continue
+				}
+				live = append(live, h)
+			} else if len(live) > 0 {
+				a.Free(live[len(live)-1])
+				live = live[:len(live)-1]
+			}
+		}
+		return a.Live() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentAllocFree hammers the free list from many goroutines and
+// verifies no handle is ever held by two goroutines at once.
+func TestConcurrentAllocFree(t *testing.T) {
+	const goroutines = 8
+	const rounds = 20000
+	a := NewDebug(64) // debug mode panics on double-alloc/double-free
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var held []Handle
+			for i := 0; i < rounds; i++ {
+				if i%3 != 2 {
+					if h := a.Alloc(); h != Nil {
+						held = append(held, h)
+					}
+				} else if len(held) > 0 {
+					a.Free(held[len(held)-1])
+					held = held[:len(held)-1]
+				}
+				if len(held) > 4 {
+					for _, h := range held {
+						a.Free(h)
+					}
+					held = held[:0]
+				}
+			}
+			for _, h := range held {
+				a.Free(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Live() != 0 {
+		t.Errorf("live = %d after balanced run, want 0", a.Live())
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, MaxCapacity + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}

@@ -1,0 +1,33 @@
+package arena
+
+import "testing"
+
+// BenchmarkAllocFree measures the uncontended free-list round trip — the
+// per-enqueue allocator cost every workload in this module pays.
+func BenchmarkAllocFree(b *testing.B) {
+	a := New(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Free(a.Alloc())
+	}
+}
+
+// BenchmarkAllocFreeParallel measures the free-list under CAS contention.
+func BenchmarkAllocFreeParallel(b *testing.B) {
+	a := New(4096)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			a.Free(a.Alloc())
+		}
+	})
+}
+
+// BenchmarkGet measures handle dereference.
+func BenchmarkGet(b *testing.B) {
+	a := New(16)
+	h := a.Alloc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Get(h).Value.Store(uint64(i))
+	}
+}

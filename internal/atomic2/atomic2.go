@@ -1,0 +1,86 @@
+// Package atomic2 is an executable *specification* of the two-location
+// compare-and-swap (CAS2 / DCAS) primitive that Valois's circular-array
+// queue assumes — the primitive the paper's §2 dismisses with
+// "unfortunately this primitive is not available on modern processors".
+//
+// Because no portable hardware provides it, the implementation here
+// serializes all operations on a Memory behind one mutex. That makes any
+// algorithm built on it *blocking*, which is exactly the point: the
+// Valois reference queue in internal/queues/valois exists to show how
+// simple the algorithm becomes when a double-location primitive does all
+// the work, and what that convenience costs. It participates in the
+// correctness suite (the specification is trivially linearizable) but is
+// excluded from any lock-freedom claims and from the headline
+// benchmarks.
+package atomic2
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory is a word array supporting two-location CAS. All operations are
+// linearizable (fully serialized).
+type Memory struct {
+	mu    sync.Mutex
+	words []uint64
+}
+
+// New returns a Memory of n zeroed words.
+func New(n int) *Memory {
+	return &Memory{words: make([]uint64, n)}
+}
+
+// Len returns the number of words.
+func (m *Memory) Len() int { return len(m.words) }
+
+// Load returns word i.
+func (m *Memory) Load(i int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.words[i]
+}
+
+// Store sets word i to v.
+func (m *Memory) Store(i int, v uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.words[i] = v
+}
+
+// CAS is the single-location operation, provided for completeness.
+func (m *Memory) CAS(i int, old, new uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.words[i] != old {
+		return false
+	}
+	m.words[i] = new
+	return true
+}
+
+// CAS2 atomically compares words i and j against oldI/oldJ and, if both
+// match, installs newI/newJ. The two locations need not be adjacent —
+// the generality §2 notes real hardware never shipped. i and j must be
+// distinct.
+func (m *Memory) CAS2(i, j int, oldI, oldJ, newI, newJ uint64) bool {
+	if i == j {
+		panic(fmt.Sprintf("atomic2: CAS2 on identical locations %d", i))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.words[i] != oldI || m.words[j] != oldJ {
+		return false
+	}
+	m.words[i] = newI
+	m.words[j] = newJ
+	return true
+}
+
+// Snapshot2 returns words i and j read atomically together; convenient
+// for algorithms that must observe a consistent pair before a CAS2.
+func (m *Memory) Snapshot2(i, j int) (uint64, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.words[i], m.words[j]
+}

@@ -1,0 +1,112 @@
+package atomic2
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCAS2Basics(t *testing.T) {
+	m := New(4)
+	m.Store(0, 10)
+	m.Store(2, 20)
+	if !m.CAS2(0, 2, 10, 20, 11, 21) {
+		t.Fatal("matching CAS2 failed")
+	}
+	if m.Load(0) != 11 || m.Load(2) != 21 {
+		t.Fatal("CAS2 did not write both")
+	}
+	if m.CAS2(0, 2, 10, 21, 0, 0) {
+		t.Fatal("CAS2 succeeded with first mismatch")
+	}
+	if m.CAS2(0, 2, 11, 20, 0, 0) {
+		t.Fatal("CAS2 succeeded with second mismatch")
+	}
+	if m.Load(0) != 11 || m.Load(2) != 21 {
+		t.Fatal("failed CAS2 mutated memory")
+	}
+}
+
+func TestCAS2SameLocationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CAS2(i,i) did not panic")
+		}
+	}()
+	New(2).CAS2(1, 1, 0, 0, 1, 1)
+}
+
+func TestSingleCAS(t *testing.T) {
+	m := New(1)
+	if !m.CAS(0, 0, 5) || m.CAS(0, 0, 6) {
+		t.Fatal("single CAS semantics wrong")
+	}
+}
+
+func TestSnapshot2Consistent(t *testing.T) {
+	m := New(2)
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	// Writer keeps the pair equal via CAS2.
+	go func() {
+		defer close(writerDone)
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a, b := m.Snapshot2(0, 1)
+			m.CAS2(0, 1, a, b, i, i)
+		}
+	}()
+	// Readers must never observe a torn pair.
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 20000; i++ {
+				a, b := m.Snapshot2(0, 1)
+				if a != b {
+					t.Errorf("torn snapshot: %d != %d", a, b)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}
+
+// TestAtomicPairInvariant: concurrent CAS2 increments over a pair keep
+// the pair's invariant (equal values) and lose no updates.
+func TestAtomicPairInvariant(t *testing.T) {
+	m := New(2)
+	const goroutines = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					a, b := m.Snapshot2(0, 1)
+					if a != b {
+						t.Error("invariant broken mid-run")
+						return
+					}
+					if m.CAS2(0, 1, a, b, a+1, b+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	a, b := m.Snapshot2(0, 1)
+	if a != goroutines*per || b != a {
+		t.Fatalf("pair = (%d,%d), want (%d,%d)", a, b, goroutines*per, goroutines*per)
+	}
+}

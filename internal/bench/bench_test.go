@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/stats"
+)
+
+func tinyParams() Params {
+	return Params{
+		Threads:    []int{1, 2},
+		Iterations: 50,
+		Runs:       2,
+		Capacity:   64,
+		Burst:      DefaultBurst,
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{
+		KeyEvqLLSC, KeyEvqLLSCWeak, KeyEvqCAS, KeyMSHP, KeyMSHPSorted,
+		KeyMSDoherty, KeyShann, KeyTsigasZhang, KeyTwoLock, KeyChan, KeySeq,
+		KeyHerlihyWing, KeyHerlihyWingScan, KeyTreiber, KeyValois,
+	}
+	for _, k := range want {
+		a, err := Lookup(k)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", k, err)
+			continue
+		}
+		if a.Label == "" || a.New == nil {
+			t.Errorf("entry %q incomplete", k)
+		}
+	}
+	if len(Keys()) != len(want) {
+		t.Errorf("catalog has %d entries, want %d", len(Keys()), len(want))
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+// TestCatalogQueuesWork: every catalog entry must produce a functioning
+// queue under its default config.
+func TestCatalogQueuesWork(t *testing.T) {
+	for _, k := range Keys() {
+		a, _ := Lookup(k)
+		q := a.New(Config{Capacity: 16, MaxThreads: 4})
+		s := q.Attach()
+		if err := s.Enqueue(42 << 1); err != nil {
+			t.Errorf("%s: enqueue: %v", k, err)
+		}
+		if v, ok := s.Dequeue(); !ok || v != 42<<1 {
+			t.Errorf("%s: dequeue = %#x,%v", k, v, ok)
+		}
+		s.Detach()
+	}
+}
+
+func TestRunMeasuresWork(t *testing.T) {
+	a, _ := Lookup(KeyEvqCAS)
+	q := a.New(Config{Capacity: 64})
+	w := Workload{
+		Threads:    2,
+		Iterations: 100,
+		Burst:      DefaultBurst,
+		Arena:      NewWorkloadArena(2, DefaultBurst, 64),
+	}
+	mean, wall := Run(q, w)
+	if mean <= 0 || wall <= 0 {
+		t.Fatalf("mean=%v wall=%v", mean, wall)
+	}
+	// Conservation: everything allocated was freed.
+	if live := w.Arena.Live(); live != 0 {
+		t.Fatalf("arena live = %d after balanced run", live)
+	}
+}
+
+func TestRepeatSummarizes(t *testing.T) {
+	a, _ := Lookup(KeyShann)
+	w := Workload{Threads: 1, Iterations: 50, Burst: 5}
+	sum := Repeat(func() (queue.Queue, *arena.Arena) {
+		return a.New(Config{Capacity: 64}), NewWorkloadArena(1, 5, 64)
+	}, w, 3)
+	if sum.N != 3 || sum.Mean <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestRunSweepShapes(t *testing.T) {
+	series, err := RunSweep([]string{KeyEvqCAS, KeyShann}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series count = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s has %d points, want 2", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s nonpositive time at x=%d", s.Label, p.X)
+			}
+		}
+	}
+}
+
+func TestRunFigureNormalized(t *testing.T) {
+	p := tinyParams()
+	p.Threads = []int{1}
+	p.Iterations = 20
+	p.Runs = 1
+	series, err := RunFigure(Fig6d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The base series must be flat 1.
+	for _, s := range series {
+		if s.Label != NormalizeBase {
+			continue
+		}
+		for _, pt := range s.Points {
+			if pt.Y < 0.999 || pt.Y > 1.001 {
+				t.Fatalf("base series not normalized to 1: %v", pt.Y)
+			}
+		}
+	}
+}
+
+func TestRunFigureRejectsNonFigure(t *testing.T) {
+	if _, err := RunFigure(ExpOverhead, tinyParams()); err == nil {
+		t.Fatal("non-figure experiment accepted")
+	}
+}
+
+func TestRunOverhead(t *testing.T) {
+	p := tinyParams()
+	p.Iterations = 100
+	p.Runs = 1
+	rows, err := RunOverhead(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Label != "Unsynchronized Array" || rows[0].Overhead != 0 {
+		t.Fatalf("first row must be the baseline: %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.Seconds <= 0 {
+			t.Errorf("%s: nonpositive time", r.Label)
+		}
+	}
+}
+
+func TestRunSyncOps(t *testing.T) {
+	p := tinyParams()
+	p.Iterations = 100
+	rows, err := RunSyncOps(2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]SyncOpsRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	evq := byLabel["FIFO Array Simulated CAS"]
+	if evq.CASSuccess < 2.5 || evq.CASSuccess > 3.5 {
+		t.Errorf("Algorithm 2 CAS/op = %.2f, expected ~3", evq.CASSuccess)
+	}
+	ms := byLabel["MS-Hazard Pointers Not Sorted"]
+	if ms.CASSuccess < 1.3 || ms.CASSuccess > 1.8 {
+		t.Errorf("MS CAS/op = %.2f, expected ~1.5", ms.CASSuccess)
+	}
+}
+
+func TestWriteSeriesTable(t *testing.T) {
+	var sb strings.Builder
+	series := []stats.Series{
+		{Label: "A", Points: []stats.Point{{X: 1, Y: 0.5}, {X: 2, Y: 1}}},
+		{Label: "B", Points: []stats.Point{{X: 1, Y: 0.25}}},
+	}
+	if err := WriteSeriesTable(&sb, "test", series, "s"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== test [s] ==", "threads", "A", "B", "0.5", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	series := []stats.Series{{Label: "A", Points: []stats.Point{{X: 4, Y: 2.5}}}}
+	if err := WriteSeriesCSV(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `threads,"A"`) || !strings.Contains(out, "4,2.5") {
+		t.Errorf("csv malformed:\n%s", out)
+	}
+}
+
+func TestWriteOverheadAndSyncOpsTables(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteOverheadTable(&sb, []OverheadRow{{Label: "X", Seconds: 1, Overhead: 0.12}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "+12.0%") {
+		t.Errorf("overhead table malformed:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteSyncOpsTable(&sb, 4, []SyncOpsRow{{Label: "X", CASSuccess: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "threads=4") {
+		t.Errorf("syncops table malformed:\n%s", sb.String())
+	}
+}
+
+func TestDefaultAndPaperParams(t *testing.T) {
+	d, p := DefaultParams(), PaperParams()
+	if p.Iterations != 100000 || p.Runs != 50 {
+		t.Errorf("paper params wrong: %+v", p)
+	}
+	if d.Iterations >= p.Iterations {
+		t.Error("default params should be scaled down")
+	}
+	if len(Experiments()) < 9 {
+		t.Error("experiment list incomplete")
+	}
+}
+
+func TestRunSpace(t *testing.T) {
+	p := tinyParams()
+	p.Iterations = 50
+	rows, err := RunSpace([]int{1, 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]SpaceRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = append(byLabel[r.Label], r)
+	}
+	// Algorithm 1: population-oblivious, zero records at any thread count.
+	for _, r := range byLabel["FIFO Array LL/SC"] {
+		if r.Records != 0 || r.Parked != 0 {
+			t.Errorf("Algorithm 1 has per-thread space: %+v", r)
+		}
+	}
+	// Algorithm 2: records track peak concurrency.
+	for _, r := range byLabel["FIFO Array Simulated CAS"] {
+		if r.Records != r.Threads {
+			t.Errorf("Algorithm 2 records = %d at %d threads", r.Records, r.Threads)
+		}
+	}
+}
+
+func TestRunRelatedShapes(t *testing.T) {
+	p := tinyParams()
+	p.Iterations = 200
+	series, err := RunRelated([]int{8, 512}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(label string) stats.Series {
+		for _, s := range series {
+			if s.Label == label {
+				return s
+			}
+		}
+		t.Fatalf("series %q missing", label)
+		return stats.Series{}
+	}
+	// Treiber's per-op cost must grow markedly with backlog; Algorithm
+	// 2's must not.
+	tr := find("Treiber")
+	small, _ := tr.At(8)
+	big, _ := tr.At(512)
+	if big < 3*small {
+		t.Errorf("Treiber cost did not scale with backlog: %g -> %g", small, big)
+	}
+	evq := find("FIFO Array Simulated CAS")
+	s0, _ := evq.At(8)
+	s1, _ := evq.At(512)
+	if s1 > 5*s0 {
+		t.Errorf("Algorithm 2 cost unexpectedly scales with backlog: %g -> %g", s0, s1)
+	}
+}
+
+func TestWriteSpaceTable(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSpaceTable(&sb, []SpaceRow{{Label: "X", Threads: 4, Records: 4, Parked: 16}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "parked-nodes") || !strings.Contains(sb.String(), "16") {
+		t.Errorf("space table malformed:\n%s", sb.String())
+	}
+}

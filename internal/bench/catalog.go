@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"nbqueue/internal/llsc"
+	"nbqueue/internal/llsc/emul"
+	"nbqueue/internal/llsc/weak"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/chanq"
+	"nbqueue/internal/queues/evqcas"
+	"nbqueue/internal/queues/evqllsc"
+	"nbqueue/internal/queues/herlihywing"
+	"nbqueue/internal/queues/msdoherty"
+	"nbqueue/internal/queues/msqueue"
+	"nbqueue/internal/queues/seq"
+	"nbqueue/internal/queues/shann"
+	"nbqueue/internal/queues/treiber"
+	"nbqueue/internal/queues/tsigaszhang"
+	"nbqueue/internal/queues/twolock"
+	"nbqueue/internal/queues/valois"
+	"nbqueue/internal/xsync"
+)
+
+// Config carries the knobs shared by all queue constructors.
+type Config struct {
+	// Capacity is the queue bound (array queues round it up to a power
+	// of two).
+	Capacity int
+	// MaxThreads hints reclamation headroom for the hazard-pointer
+	// queues.
+	MaxThreads int
+	// Counters receives instrumentation when non-nil.
+	Counters *xsync.Counters
+	// PaddedSlots spreads array-queue slots across cache lines.
+	PaddedSlots bool
+	// Backoff enables exponential backoff in the Evequoz queues.
+	Backoff bool
+	// Weak configures the weak LL/SC memory for the evq-llsc-weak
+	// ablation entry; ignored elsewhere.
+	Weak weak.Config
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 128
+	}
+	return c
+}
+
+// Algo describes one catalog entry.
+type Algo struct {
+	// Key is the stable identifier used in flags and bench names.
+	Key string
+	// Label is the display name as printed in the paper's figures.
+	Label string
+	// Concurrent reports whether the algorithm is safe for more than one
+	// thread (false only for the unsynchronized baseline).
+	Concurrent bool
+	// New builds a fresh queue instance.
+	New func(Config) queue.Queue
+}
+
+// The catalog keys.
+const (
+	KeyEvqLLSC     = "evq-llsc"
+	KeyEvqLLSCWeak = "evq-llsc-weak"
+	KeyEvqCAS      = "evq-cas"
+	KeyMSHP        = "ms-hp"
+	KeyMSHPSorted  = "ms-hp-sorted"
+	KeyMSDoherty   = "ms-doherty"
+	KeyShann       = "shann"
+	KeyTsigasZhang = "tsigas-zhang"
+	KeyTwoLock     = "two-lock"
+	KeyChan        = "chan"
+	KeySeq         = "seq"
+	KeyHerlihyWing = "herlihy-wing"
+	// KeyHerlihyWingScan is the literal reference-[3]/[16] cost model:
+	// every dequeue scans from the first slot ever used.
+	KeyHerlihyWingScan = "herlihy-wing-fullscan"
+	KeyTreiber         = "treiber"
+	// KeyValois is the CAS2 reference model — correct but blocking (the
+	// primitive is simulated behind a mutex); excluded from lock-freedom
+	// claims.
+	KeyValois = "valois"
+)
+
+// catalog maps keys to algorithm entries.
+var catalog = map[string]Algo{
+	KeyEvqLLSC: {
+		Key: KeyEvqLLSC, Label: "FIFO Array LL/SC", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			mem := func(n int) llsc.Memory { return emul.New(n, c.PaddedSlots) }
+			return evqllsc.New(c.Capacity, mem,
+				evqllsc.WithCounters(c.Counters), evqllsc.WithBackoff(c.Backoff))
+		},
+	},
+	KeyEvqLLSCWeak: {
+		Key: KeyEvqLLSCWeak, Label: "FIFO Array LL/SC (weak)", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			wc := c.Weak
+			wc.Padded = c.PaddedSlots
+			mem := func(n int) llsc.Memory { return weak.New(n, wc) }
+			return evqllsc.New(c.Capacity, mem,
+				evqllsc.WithCounters(c.Counters), evqllsc.WithBackoff(c.Backoff),
+				evqllsc.WithName("FIFO Array LL/SC (weak)"))
+		},
+	},
+	KeyEvqCAS: {
+		Key: KeyEvqCAS, Label: "FIFO Array Simulated CAS", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return evqcas.New(c.Capacity,
+				evqcas.WithCounters(c.Counters), evqcas.WithBackoff(c.Backoff),
+				evqcas.WithPaddedSlots(c.PaddedSlots))
+		},
+	},
+	KeyMSHP: {
+		Key: KeyMSHP, Label: "MS-Hazard Pointers Not Sorted", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return msqueue.New(c.Capacity, false,
+				msqueue.WithCounters(c.Counters), msqueue.WithMaxThreads(c.MaxThreads))
+		},
+	},
+	KeyMSHPSorted: {
+		Key: KeyMSHPSorted, Label: "MS-Hazard Pointers Sorted", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return msqueue.New(c.Capacity, true,
+				msqueue.WithCounters(c.Counters), msqueue.WithMaxThreads(c.MaxThreads))
+		},
+	},
+	KeyMSDoherty: {
+		Key: KeyMSDoherty, Label: "MS-Doherty et al.", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return msdoherty.New(c.Capacity, true,
+				msdoherty.WithCounters(c.Counters), msdoherty.WithMaxThreads(c.MaxThreads))
+		},
+	},
+	KeyShann: {
+		Key: KeyShann, Label: "Shann et al. (CAS64)", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return shann.New(c.Capacity,
+				shann.WithCounters(c.Counters), shann.WithPaddedSlots(c.PaddedSlots))
+		},
+	},
+	KeyTsigasZhang: {
+		Key: KeyTsigasZhang, Label: "Tsigas-Zhang", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return tsigaszhang.New(c.Capacity, tsigaszhang.WithCounters(c.Counters))
+		},
+	},
+	KeyTwoLock: {
+		Key: KeyTwoLock, Label: "MS Two-Lock", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return twolock.New(c.Capacity, twolock.WithCounters(c.Counters))
+		},
+	},
+	KeyChan: {
+		Key: KeyChan, Label: "Go Channel", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return chanq.New(c.Capacity, chanq.WithCounters(c.Counters))
+		},
+	},
+	KeySeq: {
+		Key: KeySeq, Label: "Unsynchronized Array", Concurrent: false,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return seq.New(c.Capacity, seq.WithCounters(c.Counters))
+		},
+	},
+	KeyHerlihyWing: {
+		Key: KeyHerlihyWing, Label: "Herlihy-Wing", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return herlihywing.New(herlihywing.WithCounters(c.Counters))
+		},
+	},
+	KeyHerlihyWingScan: {
+		Key: KeyHerlihyWingScan, Label: "Herlihy-Wing (full scan)", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return herlihywing.New(
+				herlihywing.WithCounters(c.Counters), herlihywing.WithFullScan(true))
+		},
+	},
+	KeyTreiber: {
+		Key: KeyTreiber, Label: "Treiber", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return treiber.New(c.Capacity,
+				treiber.WithCounters(c.Counters), treiber.WithMaxThreads(c.MaxThreads))
+		},
+	},
+	KeyValois: {
+		Key: KeyValois, Label: "Valois (CAS2 model)", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return valois.New(c.Capacity, valois.WithCounters(c.Counters))
+		},
+	},
+}
+
+// Lookup returns the catalog entry for key.
+func Lookup(key string) (Algo, error) {
+	a, ok := catalog[key]
+	if !ok {
+		return Algo{}, fmt.Errorf("bench: unknown algorithm %q (known: %v)", key, Keys())
+	}
+	return a, nil
+}
+
+// Keys returns all catalog keys, sorted.
+func Keys() []string {
+	ks := make([]string, 0, len(catalog))
+	for k := range catalog {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"nbqueue/internal/stats"
+)
+
+// WriteSeriesTable prints a figure's series as an aligned table with one
+// row per thread count and one column per algorithm, matching the row
+// layout a plot of Figure 6 reads off. unit labels the Y values.
+func WriteSeriesTable(w io.Writer, title string, series []stats.Series, unit string) error {
+	if _, err := fmt.Fprintf(w, "== %s [%s] ==\n", title, unit); err != nil {
+		return err
+	}
+	xs := collectXs(series)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "threads")
+	for _, s := range series {
+		fmt.Fprintf(tw, "\t%s", s.Label)
+	}
+	fmt.Fprintln(tw)
+	for _, x := range xs {
+		fmt.Fprintf(tw, "%d", x)
+		for _, s := range series {
+			if y, ok := s.At(x); ok {
+				fmt.Fprintf(tw, "\t%.6g", y)
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteSeriesCSV prints the same data as CSV for plotting.
+func WriteSeriesCSV(w io.Writer, series []stats.Series) error {
+	if _, err := fmt.Fprint(w, "threads"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		fmt.Fprintf(w, ",%q", s.Label)
+	}
+	fmt.Fprintln(w)
+	for _, x := range collectXs(series) {
+		fmt.Fprintf(w, "%d", x)
+		for _, s := range series {
+			if y, ok := s.At(x); ok {
+				fmt.Fprintf(w, ",%.9g", y)
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// collectXs returns the sorted union of the X values of all series.
+func collectXs(series []stats.Series) []int {
+	seen := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			seen[p.X] = true
+		}
+	}
+	xs := make([]int, 0, len(seen))
+	for x := range seen {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+// WriteOverheadTable prints the single-thread overhead rows.
+func WriteOverheadTable(w io.Writer, rows []OverheadRow) error {
+	fmt.Fprintln(w, "== Single-thread overhead vs unsynchronized array ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tseconds\toverhead")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.6g\t%+.1f%%\n", r.Label, r.Seconds, r.Overhead*100)
+	}
+	return tw.Flush()
+}
+
+// WriteSyncOpsTable prints the synchronization-cost rows.
+func WriteSyncOpsTable(w io.Writer, threads int, rows []SyncOpsRow) error {
+	fmt.Fprintf(w, "== Synchronization operations per queue operation (threads=%d) ==\n", threads)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tCAS-ok/op\tCAS-try/op\tFAA/op\tLL/op\tSC-ok/op")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.Label, r.CASSuccess, r.CASAttempt, r.FAA, r.LL, r.SCSuccess)
+	}
+	return tw.Flush()
+}

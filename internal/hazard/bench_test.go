@@ -1,0 +1,65 @@
+package hazard_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/hazard"
+)
+
+// BenchmarkProtect measures the publish-and-validate handshake that
+// precedes every hazard-protected dereference in the MS baselines.
+func BenchmarkProtect(b *testing.B) {
+	a := arena.New(16)
+	d := hazard.NewDomain(a, true, 0)
+	r := d.Acquire()
+	defer r.Release()
+	var src atomic.Uint64
+	src.Store(a.Alloc())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Protect(0, &src)
+	}
+}
+
+// BenchmarkRetireScan measures the retire path including threshold scans
+// for sorted and unsorted variants at a given record population — the
+// cost that §6 says overtakes MS's low CAS count at high thread counts.
+func BenchmarkRetireScan(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		sorted bool
+		recs   int
+	}{
+		{"unsorted/records=4", false, 4},
+		{"sorted/records=4", true, 4},
+		{"unsorted/records=32", false, 32},
+		{"sorted/records=32", true, 32},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			a := arena.New(tc.recs*hazard.RetireFactor + 64)
+			d := hazard.NewDomain(a, tc.sorted, 0)
+			// Populate the record list to the target size.
+			var parked []*hazard.Record
+			for i := 0; i < tc.recs-1; i++ {
+				parked = append(parked, d.Acquire())
+			}
+			r := d.Acquire()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := a.Alloc()
+				for h == arena.Nil {
+					r.Scan()
+					h = a.Alloc()
+				}
+				r.Retire(h)
+			}
+			b.StopTimer()
+			for _, p := range parked {
+				p.Release()
+			}
+			r.Release()
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package indirect_test
+
+import (
+	"sync"
+	"testing"
+
+	"nbqueue/internal/llsc/indirect"
+	"nbqueue/internal/xsync"
+)
+
+func noCtr() xsync.Handle { return (*xsync.Counters)(nil).Handle() }
+
+func TestLLSCBasic(t *testing.T) {
+	s := indirect.NewSpace(64, true)
+	v := s.NewVar(10)
+	th := s.Attach(noCtr())
+	defer th.Detach()
+	val, res := th.LL(v, 0)
+	if val != 10 {
+		t.Fatalf("LL = %d, want 10", val)
+	}
+	if !th.SC(v, res, 20) {
+		t.Fatal("SC failed with no interference")
+	}
+	if got := th.Load(v); got != 20 {
+		t.Fatalf("Load = %d, want 20", got)
+	}
+}
+
+func TestSCFailsAfterInterveningSC(t *testing.T) {
+	s := indirect.NewSpace(64, true)
+	v := s.NewVar(1)
+	a := s.Attach(noCtr())
+	b := s.Attach(noCtr())
+	defer a.Detach()
+	defer b.Detach()
+	_, ra := a.LL(v, 0)
+	_, rb := b.LL(v, 0)
+	if !b.SC(v, rb, 2) {
+		t.Fatal("b's SC should succeed")
+	}
+	if a.SC(v, ra, 3) {
+		t.Fatal("a's stale SC succeeded")
+	}
+	if a.Load(v) != 2 {
+		t.Fatalf("value = %d, want 2", a.Load(v))
+	}
+}
+
+// TestSCImmuneToValueABA: restore the original value via two SCs; a stale
+// reservation must still fail, because reservations are on node
+// *handles*, which hazard pointers keep from recycling while published.
+func TestSCImmuneToValueABA(t *testing.T) {
+	s := indirect.NewSpace(64, true)
+	v := s.NewVar(7)
+	a := s.Attach(noCtr())
+	b := s.Attach(noCtr())
+	defer a.Detach()
+	defer b.Detach()
+	_, stale := a.LL(v, 0)
+	_, r := b.LL(v, 0)
+	if !b.SC(v, r, 99) {
+		t.Fatal("SC 7->99 failed")
+	}
+	_, r = b.LL(v, 0)
+	if !b.SC(v, r, 7) {
+		t.Fatal("SC 99->7 failed")
+	}
+	if b.Load(v) != 7 {
+		t.Fatal("value not restored")
+	}
+	if a.SC(v, stale, 123) {
+		t.Fatal("stale SC succeeded across a value-ABA cycle")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := indirect.NewSpace(64, true)
+	v := s.NewVar(5)
+	a := s.Attach(noCtr())
+	defer a.Detach()
+	_, r := a.LL(v, 0)
+	if !a.Validate(v, r) {
+		t.Fatal("fresh reservation should validate")
+	}
+	if !a.SC(v, r, 6) {
+		t.Fatal("SC failed")
+	}
+	_, r2 := a.LL(v, 0)
+	a.SC(v, r2, 7)
+	if a.Validate(v, r2) {
+		t.Fatal("spent reservation validated")
+	}
+	a.Unlink(r2)
+}
+
+// TestIncrementStress: LL/SC increment loops from many goroutines must
+// not lose updates, and node churn must be reclaimed (the space is much
+// smaller than the number of SCs performed).
+func TestIncrementStress(t *testing.T) {
+	s := indirect.NewSpace(256, true)
+	v := s.NewVar(0)
+	const goroutines = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := s.Attach(noCtr())
+			defer th.Detach()
+			for i := 0; i < per; i++ {
+				for {
+					val, r := th.LL(v, 0)
+					if th.SC(v, r, val+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	th := s.Attach(noCtr())
+	defer th.Detach()
+	if got := th.Load(v); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestUnlinkReleasesSlot(t *testing.T) {
+	s := indirect.NewSpace(64, true)
+	v := s.NewVar(1)
+	th := s.Attach(noCtr())
+	defer th.Detach()
+	_, r := th.LL(v, 0)
+	th.Unlink(r)
+	// After unlink a new LL/SC cycle works normally.
+	_, r2 := th.LL(v, 0)
+	if !th.SC(v, r2, 2) {
+		t.Fatal("SC after Unlink failed")
+	}
+}

@@ -1,0 +1,58 @@
+// Package llsc defines the load-linked/store-conditional abstraction the
+// paper's Algorithm 1 is written against, mirroring the theoretical
+// semantics of the paper's Figure 2: LL(X) returns the contents of X and
+// adds the caller to X's valid set; SC(X, Y) succeeds — writing Y and
+// clearing the valid set — only if the caller is still in it, i.e. no
+// successful SC intervened since the caller's LL.
+//
+// Two implementations live in subpackages:
+//
+//   - emul provides the strong semantics by packing a version tag next to
+//     the value in one CAS-able word (an SC can then only succeed against
+//     the exact word its LL observed);
+//   - weak wraps emul with the real-architecture limitations of the
+//     paper's §5 — spurious SC failures and reservation granules cleared
+//     by neighbouring writes — to let tests and ablation benchmarks probe
+//     the algorithm's robustness where hardware LL/SC is imperfect.
+//
+// A third subpackage, indirect, is not an implementation of Memory: it
+// provides Doherty-style LL/SC variables (CAS plus hazard pointers) used
+// by the MS-Doherty baseline.
+package llsc
+
+// Res is the reservation a load-linked returns and the matching
+// store-conditional consumes. It is meaningful only to the Memory that
+// issued it.
+type Res struct {
+	// Snap is the exact packed word observed by LL.
+	Snap uint64
+	// Epoch is the reservation-granule write epoch at LL time; used only
+	// by the weak implementation.
+	Epoch uint64
+}
+
+// Memory is an array of words supporting LL/SC in addition to plain
+// loads. Word values are limited to tagptr.VerMax because implementations
+// pack a version tag alongside.
+//
+// All methods are safe for concurrent use except Init, which callers must
+// complete before sharing the Memory.
+type Memory interface {
+	// Len returns the number of words.
+	Len() int
+	// Init sets word i to v before concurrent use begins.
+	Init(i int, v uint64)
+	// Load returns the current value of word i (an ordinary atomic read;
+	// it takes no reservation).
+	Load(i int) uint64
+	// LL returns the current value of word i together with a reservation
+	// for a subsequent SC on the same word.
+	LL(i int) (uint64, Res)
+	// SC installs v in word i iff the reservation is still valid; it
+	// reports whether the store happened. A reservation is spent by the
+	// attempt regardless of outcome.
+	SC(i int, r Res, v uint64) bool
+	// Validate reports whether the reservation is still valid without
+	// spending it (the paper's VL).
+	Validate(i int, r Res) bool
+}

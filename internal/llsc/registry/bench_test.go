@@ -1,0 +1,49 @@
+package registry_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nbqueue/internal/llsc/registry"
+	"nbqueue/internal/xsync"
+)
+
+// BenchmarkLL measures the simulated load-linked — the tagged-handle
+// substitution at the heart of Algorithm 2.
+func BenchmarkLL(b *testing.B) {
+	g := registry.New()
+	ctr := (*xsync.Counters)(nil).Handle()
+	h := g.Register(ctr)
+	var w atomic.Uint64
+	w.Store(42 << 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := g.LL(&w, h, ctr)
+		w.CompareAndSwap(v|1, v) // restore, like a failed-path release
+	}
+}
+
+// BenchmarkReRegister measures the between-operations protocol in its
+// common case (refcount 1: reuse).
+func BenchmarkReRegister(b *testing.B) {
+	g := registry.New()
+	ctr := (*xsync.Counters)(nil).Handle()
+	h := g.Register(ctr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h = g.ReRegister(h, ctr)
+	}
+}
+
+// BenchmarkRegisterRecycle measures a full register/deregister cycle
+// (recycling path, no allocation).
+func BenchmarkRegisterRecycle(b *testing.B) {
+	g := registry.New()
+	ctr := (*xsync.Counters)(nil).Handle()
+	g.Deregister(g.Register(ctr), ctr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := g.Register(ctr)
+		g.Deregister(h, ctr)
+	}
+}

@@ -1,0 +1,256 @@
+// Package registry implements the thread-registration substrate of the
+// paper's Algorithm 2 (Figure 5): the global list of LLSCvar records, the
+// Register / ReRegister / Deregister protocol (a simplification of
+// Herlihy–Luchangco–Moir's CATS'03 collect algorithm, as the paper
+// notes), and the simulated LL operation that swaps a tagged reference to
+// the caller's LLSCvar into a shared word.
+//
+// An LLSCvar holds a placeholder for a FIFO slot value (node), a
+// reference counter (r) saying how many threads are currently reading
+// through it, and a link to the next LLSCvar in the global First list.
+// Records are never freed — the paper keeps them "permanently in a list
+// but other threads may recycle them" — so the registry's space grows
+// with the historical maximum number of concurrent threads, which is
+// exactly the space bound the paper states for Algorithm 2.
+//
+// Records are addressed by even, nonzero handles so that a handle with
+// its least-significant bit set (tagptr.Tag) can serve as the reservation
+// marker stored in queue slots, mirroring the paper's var^1 trick on
+// even-aligned malloc addresses. Storage is a lock-free segmented array:
+// segments are installed on demand with CAS, so registration remains
+// lock-free and no existing handle is ever invalidated by growth.
+package registry
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nbqueue/internal/tagptr"
+	"nbqueue/internal/xsync"
+)
+
+// Handle names an LLSCvar record; always even and nonzero. 0 is "no
+// record".
+type Handle = uint64
+
+const (
+	segBits = 10
+	segSize = 1 << segBits // records per segment
+	segMask = segSize - 1
+	// MaxRecords bounds the registry (spine length x segment size). 64k
+	// concurrent-thread records is far beyond any realistic workload.
+	spineLen   = 64
+	MaxRecords = spineLen * segSize
+)
+
+// Var is one LLSCvar record (the paper's struct LLSCvar).
+type Var struct {
+	// node is the placeholder for the FIFO slot content observed by the
+	// owner's most recent simulated LL (the paper's var->node).
+	node atomic.Uint64
+	// r counts threads currently accessing the record: 1 for the owner
+	// plus one per concurrent reader inside LL (the paper's var->r).
+	r atomic.Int64
+	// next links the global First list (handle; 0 terminates).
+	next atomic.Uint64
+}
+
+type segment [segSize]Var
+
+// Registry is the global LLSCvar store and First list. One Registry
+// serves one queue instance (nothing prevents sharing one across queues,
+// but isolating them keeps experiment interference down).
+type Registry struct {
+	spine   [spineLen]atomic.Pointer[segment]
+	nextIdx atomic.Uint64
+	first   atomic.Uint64
+	// yield, when set, is invoked before every shared-memory access so
+	// a cooperative scheduler (internal/explore) can interleave threads
+	// deterministically. Nil in production.
+	yield func()
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithYield installs a pre-access hook for systematic interleaving
+// exploration. Must be set before concurrent use.
+func WithYield(f func()) Option { return func(g *Registry) { g.yield = f } }
+
+// New returns an empty registry.
+func New(opts ...Option) *Registry {
+	g := &Registry{}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// fire invokes the yield hook, if any.
+func (g *Registry) fire() {
+	if g.yield != nil {
+		g.yield()
+	}
+}
+
+// Var returns the record named by h.
+func (g *Registry) Var(h Handle) *Var {
+	if h&1 != 0 || h == 0 {
+		panic(fmt.Sprintf("registry: invalid handle %#x", h))
+	}
+	idx := h>>1 - 1
+	seg := g.spine[idx>>segBits].Load()
+	return &seg[idx&segMask]
+}
+
+// handleFor converts a record index to its handle.
+func handleFor(idx uint64) Handle { return (idx + 1) << 1 }
+
+// Register acquires an LLSCvar for the calling thread: it first walks the
+// First list looking for a record whose reference count can be raised
+// from 0 to 1 (recycling), and only when none is found appends a fresh
+// record LIFO — the paper's Figure 5 Register verbatim. Takes time
+// proportional to the historical maximum thread count.
+func (g *Registry) Register(ctr xsync.Handle) Handle {
+	g.fire()
+	for h := g.first.Load(); h != 0; {
+		v := g.Var(h)
+		g.fire()
+		if v.r.Load() == 0 {
+			ctr.Inc(xsync.OpCASAttempt)
+			g.fire()
+			if v.r.CompareAndSwap(0, 1) {
+				ctr.Inc(xsync.OpCASSuccess)
+				return h
+			}
+		}
+		h = v.next.Load()
+	}
+	// No recyclable record: allocate and push onto First.
+	idx := g.nextIdx.Add(1) - 1
+	if idx >= MaxRecords {
+		panic("registry: record limit exceeded")
+	}
+	g.ensureSegment(idx >> segBits)
+	h := handleFor(idx)
+	v := g.Var(h)
+	v.r.Store(1)
+	for {
+		g.fire()
+		head := g.first.Load()
+		v.next.Store(head)
+		ctr.Inc(xsync.OpCASAttempt)
+		g.fire()
+		if g.first.CompareAndSwap(head, h) {
+			ctr.Inc(xsync.OpCASSuccess)
+			return h
+		}
+	}
+}
+
+// ensureSegment installs the segment for spine slot s if absent.
+func (g *Registry) ensureSegment(s uint64) {
+	if g.spine[s].Load() != nil {
+		return
+	}
+	g.spine[s].CompareAndSwap(nil, new(segment))
+}
+
+// ReRegister must be called between two consecutive queue operations by
+// the same thread: if no reader still holds the record (r == 1) it is
+// reused, otherwise the owner's reference is dropped and a fresh record
+// acquired (Figure 5 ReRegister).
+func (g *Registry) ReRegister(h Handle, ctr xsync.Handle) Handle {
+	v := g.Var(h)
+	g.fire()
+	if v.r.Load() == 1 {
+		return h
+	}
+	ctr.Inc(xsync.OpFAA)
+	g.fire()
+	v.r.Add(-1)
+	return g.Register(ctr)
+}
+
+// Deregister drops the owner's reference so the record can be recycled by
+// future Register calls (Figure 5 Deregister). Constant time.
+func (g *Registry) Deregister(h Handle, ctr xsync.Handle) {
+	ctr.Inc(xsync.OpFAA)
+	g.fire()
+	g.Var(h).r.Add(-1)
+}
+
+// LL is the simulated load-linked of Figure 5: it reads the shared word
+// addr, copies the observed application value into the caller's record,
+// and atomically substitutes the word with the caller's tagged handle,
+// which acts as the reservation marker. If the word already carries
+// another thread's marker, the application value is read through that
+// thread's record under a FetchAndAdd-protected reference (the r field),
+// which prevents the owner from recycling the record mid-read.
+//
+// Returns the application value observed (a node handle or 0 for null).
+// The subsequent "SC" is a plain CAS from tagptr.Tag(varH) to the new
+// value, performed by the queue code.
+func (g *Registry) LL(addr *atomic.Uint64, varH Handle, ctr xsync.Handle) uint64 {
+	ctr.Inc(xsync.OpLL)
+	v := g.Var(varH)
+	for {
+		g.fire()
+		slot := addr.Load()
+		var owner *Var
+		if tagptr.IsTagged(slot) {
+			// Another thread's reservation: read the value through its
+			// record while holding a reference on it.
+			owner = g.Var(tagptr.Untag(slot))
+			ctr.Inc(xsync.OpFAA)
+			g.fire()
+			owner.r.Add(1)
+			g.fire()
+			v.node.Store(owner.node.Load())
+		} else {
+			v.node.Store(slot)
+		}
+		ctr.Inc(xsync.OpCASAttempt)
+		g.fire()
+		ok := addr.CompareAndSwap(slot, tagptr.Tag(varH))
+		if owner != nil {
+			ctr.Inc(xsync.OpFAA)
+			g.fire()
+			owner.r.Add(-1)
+		}
+		if ok {
+			ctr.Inc(xsync.OpCASSuccess)
+			return v.node.Load()
+		}
+	}
+}
+
+// Node returns the record's current placeholder value; used by queue code
+// after LL and by tests.
+func (v *Var) Node() uint64 { return v.node.Load() }
+
+// Refs returns the record's current reference count; exposed for tests
+// and invariant checks.
+func (v *Var) Refs() int64 { return v.r.Load() }
+
+// TestAddRef adjusts the reference count directly, simulating a
+// concurrent reader inside LL. Only for tests.
+func (v *Var) TestAddRef(d int64) { v.r.Add(d) }
+
+// Records returns how many LLSCvar records have ever been created — the
+// registry's space consumption in records, which the paper bounds by the
+// maximum number of threads that accessed the queue at any given time.
+func (g *Registry) Records() int { return int(g.nextIdx.Load()) }
+
+// WalkFirst calls fn for every record on the First list, in list order,
+// with its handle; used by tests to validate list integrity. fn returning
+// false stops the walk.
+func (g *Registry) WalkFirst(fn func(h Handle, v *Var) bool) {
+	for h := g.first.Load(); h != 0; {
+		v := g.Var(h)
+		if !fn(h, v) {
+			return
+		}
+		h = v.next.Load()
+	}
+}

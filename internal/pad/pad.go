@@ -1,0 +1,95 @@
+// Package pad provides cache-line padding primitives used to keep hot
+// shared words (queue indices, free-list heads, per-slot state) on their
+// own cache lines. False sharing between the Head and Tail indices of a
+// circular queue, or between adjacent array slots, serializes otherwise
+// independent CAS traffic and would distort every measurement the
+// benchmark harness makes, so all queue implementations in this module
+// route their contended words through these types.
+package pad
+
+import "sync/atomic"
+
+// CacheLineSize is the assumed size in bytes of one cache line. 64 bytes
+// is correct for every x86-64 and almost every ARM64 part; Apple M-series
+// use 128-byte lines, for which FalseSharingRange below is the safer
+// figure. We pad to FalseSharingRange so the same binary behaves on both.
+const CacheLineSize = 64
+
+// FalseSharingRange is the distance two atomically-updated words must be
+// apart to be certain they never share a line or an adjacent-line
+// prefetch pair. Intel's spatial prefetcher pulls lines in pairs, so 128
+// bytes is the conservative choice used throughout this module.
+const FalseSharingRange = 128
+
+// Line is an opaque pad occupying one false-sharing range. Embed it
+// between fields that must not share cache lines.
+type Line [FalseSharingRange]byte
+
+// Uint64 is an atomic uint64 alone on its own cache-line pair. It is the
+// building block for queue Head/Tail indices and arena free-list heads.
+type Uint64 struct {
+	_ [FalseSharingRange - 8]byte
+	v atomic.Uint64
+	_ [FalseSharingRange - 8]byte
+}
+
+// Load atomically loads the value.
+func (p *Uint64) Load() uint64 { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *Uint64) Store(v uint64) { p.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Uint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// CompareAndSwap executes the CAS operation on the padded word.
+func (p *Uint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwap(old, new) }
+
+// Swap atomically stores new and returns the previous value.
+func (p *Uint64) Swap(new uint64) uint64 { return p.v.Swap(new) }
+
+// Ptr exposes the underlying atomic word for callers that operate on
+// *atomic.Uint64 generically (instrumented CAS helpers).
+func (p *Uint64) Ptr() *atomic.Uint64 { return &p.v }
+
+// Uint32 is an atomic uint32 alone on its own cache-line pair.
+type Uint32 struct {
+	_ [FalseSharingRange - 4]byte
+	v atomic.Uint32
+	_ [FalseSharingRange - 4]byte
+}
+
+// Load atomically loads the value.
+func (p *Uint32) Load() uint32 { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *Uint32) Store(v uint32) { p.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Uint32) Add(delta uint32) uint32 { return p.v.Add(delta) }
+
+// CompareAndSwap executes the CAS operation on the padded word.
+func (p *Uint32) CompareAndSwap(old, new uint32) bool { return p.v.CompareAndSwap(old, new) }
+
+// Int64 is an atomic int64 alone on its own cache-line pair, used for
+// signed instrumentation counters.
+type Int64 struct {
+	_ [FalseSharingRange - 8]byte
+	v atomic.Int64
+	_ [FalseSharingRange - 8]byte
+}
+
+// Load atomically loads the value.
+func (p *Int64) Load() int64 { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *Int64) Store(v int64) { p.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Int64) Add(delta int64) int64 { return p.v.Add(delta) }
+
+// SlotStride is the number of uint64 words separating consecutive queue
+// slots when slot padding is enabled. Slot padding trades memory for the
+// elimination of false sharing between neighbouring slots; the ablation
+// benchmarks measure both configurations.
+const SlotStride = FalseSharingRange / 8

@@ -1,0 +1,92 @@
+package pad
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestPaddedSizes: each padded word must span at least two false-sharing
+// ranges so that neighbouring instances in a struct or slice can never
+// share a line pair.
+func TestPaddedSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s < 2*FalseSharingRange-8 {
+		t.Errorf("Uint64 size %d too small", s)
+	}
+	if s := unsafe.Sizeof(Uint32{}); s < 2*FalseSharingRange-8 {
+		t.Errorf("Uint32 size %d too small", s)
+	}
+	if s := unsafe.Sizeof(Int64{}); s < 2*FalseSharingRange-8 {
+		t.Errorf("Int64 size %d too small", s)
+	}
+	if s := unsafe.Sizeof(Line{}); s != FalseSharingRange {
+		t.Errorf("Line size %d, want %d", s, FalseSharingRange)
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	var p Uint64
+	p.Store(10)
+	if p.Load() != 10 {
+		t.Fatal("store/load")
+	}
+	if p.Add(5) != 15 {
+		t.Fatal("add")
+	}
+	if !p.CompareAndSwap(15, 20) || p.CompareAndSwap(15, 30) {
+		t.Fatal("cas")
+	}
+	if p.Swap(40) != 20 || p.Load() != 40 {
+		t.Fatal("swap")
+	}
+	if p.Ptr().Load() != 40 {
+		t.Fatal("ptr view disagrees")
+	}
+}
+
+func TestUint32Ops(t *testing.T) {
+	var p Uint32
+	p.Store(1)
+	p.Add(1)
+	if !p.CompareAndSwap(2, 3) {
+		t.Fatal("cas failed")
+	}
+	if p.Load() != 3 {
+		t.Fatal("load")
+	}
+}
+
+func TestInt64Ops(t *testing.T) {
+	var p Int64
+	p.Store(-5)
+	if p.Add(3) != -2 || p.Load() != -2 {
+		t.Fatal("int64 ops")
+	}
+}
+
+// TestAtomicityUnderContention: padded adds must not lose updates.
+func TestAtomicityUnderContention(t *testing.T) {
+	var p Uint64
+	const goroutines = 8
+	const per = 50000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Load() != goroutines*per {
+		t.Fatalf("count = %d, want %d", p.Load(), goroutines*per)
+	}
+}
+
+func TestSlotStride(t *testing.T) {
+	if SlotStride*8 != FalseSharingRange {
+		t.Errorf("SlotStride = %d words, want %d bytes worth", SlotStride, FalseSharingRange)
+	}
+}

@@ -1,0 +1,143 @@
+// Package plot renders benchmark series as ASCII charts, so that
+// cmd/fifobench can show the *shape* of each Figure 6 panel — who wins,
+// by what factor, where curves cross — directly in a terminal, without
+// external tooling. Rendering is deterministic (stable marker
+// assignment, stable tie-breaking) so goldens can assert on it.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nbqueue/internal/stats"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Config controls chart geometry.
+type Config struct {
+	// Width and Height of the plot area in characters (excluding axes
+	// and labels). Zero values select 64x16.
+	Width  int
+	Height int
+	// LogY plots log10(Y) — useful when curves span decades, as in the
+	// related-work scaling experiment.
+	LogY bool
+	// Title is printed above the chart.
+	Title string
+	// YLabel names the Y unit in the legend line.
+	YLabel string
+}
+
+// Render draws the series into a string. Series with no points are
+// skipped; an entirely empty input yields a note instead of a chart.
+func Render(series []stats.Series, cfg Config) string {
+	if cfg.Width <= 0 {
+		cfg.Width = 64
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 16
+	}
+	var drawable []stats.Series
+	for _, s := range series {
+		if len(s.Points) > 0 {
+			drawable = append(drawable, s)
+		}
+	}
+	if len(drawable) == 0 {
+		return "(no data to plot)\n"
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range drawable {
+		for _, p := range s.Points {
+			y := p.Y
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			minX = math.Min(minX, float64(p.X))
+			maxX = math.Max(maxX, float64(p.X))
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no plottable points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range drawable {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			y := p.Y
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int(math.Round((float64(p.X) - minX) / (maxX - minX) * float64(cfg.Width-1)))
+			row := cfg.Height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(cfg.Height-1)))
+			if grid[row][col] != ' ' && grid[row][col] != mark {
+				// Collision between series: keep the first, note overlap.
+				grid[row][col] = '?'
+			} else {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	topLabel, botLabel := yLabels(minY, maxY, cfg.LogY)
+	for r := 0; r < cfg.Height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%12s |%s\n", topLabel, grid[r])
+		case cfg.Height - 1:
+			fmt.Fprintf(&b, "%12s |%s\n", botLabel, grid[r])
+		default:
+			fmt.Fprintf(&b, "%12s |%s\n", "", grid[r])
+		}
+	}
+	fmt.Fprintf(&b, "%12s +%s\n", "", strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(&b, "%12s  %-*g%*g\n", "", cfg.Width/2, minX, cfg.Width-cfg.Width/2, maxX)
+	// Legend.
+	for si, s := range drawable {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, "  y: %s", cfg.YLabel)
+		if cfg.LogY {
+			fmt.Fprint(&b, " (log scale)")
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// yLabels formats the top and bottom axis labels in the displayed
+// domain.
+func yLabels(minY, maxY float64, logY bool) (top, bottom string) {
+	if logY {
+		return fmt.Sprintf("%.3g", math.Pow(10, maxY)), fmt.Sprintf("%.3g", math.Pow(10, minY))
+	}
+	return fmt.Sprintf("%.3g", maxY), fmt.Sprintf("%.3g", minY)
+}

@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"nbqueue/internal/stats"
+)
+
+func lineSeries(label string, ys ...float64) stats.Series {
+	s := stats.Series{Label: label}
+	for i, y := range ys {
+		s.Points = append(s.Points, stats.Point{X: i + 1, Y: y})
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render([]stats.Series{
+		lineSeries("alpha", 1, 2, 3),
+		lineSeries("beta", 3, 2, 1),
+	}, Config{Title: "demo", YLabel: "seconds"})
+	for _, want := range []string{"demo", "* alpha", "o beta", "y: seconds", "+-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Config{}); !strings.Contains(out, "no data") {
+		t.Errorf("empty render = %q", out)
+	}
+	if out := Render([]stats.Series{{Label: "x"}}, Config{}); !strings.Contains(out, "no data") {
+		t.Errorf("pointless render = %q", out)
+	}
+}
+
+func TestRenderMonotonePlacement(t *testing.T) {
+	// A strictly increasing series must place its max on the top row and
+	// its min on the bottom row.
+	out := Render([]stats.Series{lineSeries("up", 1, 5, 10)}, Config{Width: 30, Height: 5})
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("max not on top row:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "*") {
+		t.Errorf("min not on bottom row:\n%s", out)
+	}
+	// Axis labels carry the extremes.
+	if !strings.Contains(lines[0], "10") || !strings.Contains(lines[4], "1") {
+		t.Errorf("axis labels wrong:\n%s", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	out := Render([]stats.Series{lineSeries("span", 1e-8, 1e-6, 1e-4)},
+		Config{LogY: true, YLabel: "s/op"})
+	if !strings.Contains(out, "(log scale)") {
+		t.Errorf("log scale not indicated:\n%s", out)
+	}
+	// In log space the three points are equidistant: the middle point
+	// must not collapse onto an extreme row.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") && strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows != 3 {
+		t.Errorf("expected 3 distinct marker rows in log space, got %d:\n%s", rows, out)
+	}
+}
+
+func TestRenderLogYSkipsNonpositive(t *testing.T) {
+	s := stats.Series{Label: "mixed", Points: []stats.Point{{X: 1, Y: 0}, {X: 2, Y: 10}}}
+	out := Render([]stats.Series{s}, Config{LogY: true})
+	markers := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") { // plot rows only, not the legend
+			markers += strings.Count(line, "*")
+		}
+	}
+	if markers != 1 {
+		t.Errorf("nonpositive point not skipped (markers=%d):\n%s", markers, out)
+	}
+}
+
+func TestRenderCollisionMarker(t *testing.T) {
+	// Two series with identical points collide to '?'.
+	out := Render([]stats.Series{
+		lineSeries("a", 2, 2),
+		lineSeries("b", 2, 2),
+	}, Config{Width: 10, Height: 3})
+	if !strings.Contains(out, "?") {
+		t.Errorf("collision not marked:\n%s", out)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	series := []stats.Series{lineSeries("a", 1, 3, 2), lineSeries("b", 2, 1, 3)}
+	first := Render(series, Config{})
+	for i := 0; i < 5; i++ {
+		if Render(series, Config{}) != first {
+			t.Fatal("render not deterministic")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package queue defines the contract every FIFO implementation in this
+// module satisfies, so that the benchmark harness, the linearizability
+// checker and the public API can drive any algorithm interchangeably.
+//
+// Values are single machine words. Because the array-based algorithms use
+// 0 as the empty-slot marker and Algorithm 2 claims the least-significant
+// bit for reservation tags, a legal value is even, nonzero, and at most
+// tagptr.VerMax (so it also fits the versioned words of the LL/SC
+// emulation). Arena handles satisfy all three by construction, and the
+// public API maps arbitrary Go values onto handles.
+package queue
+
+import (
+	"errors"
+)
+
+// ErrFull is returned by Enqueue on a bounded queue at capacity — the
+// paper's FULL_QUEUE return.
+var ErrFull = errors.New("queue: full")
+
+// ErrValue is returned by Enqueue when the value violates the word
+// contract (zero, odd, or too wide).
+var ErrValue = errors.New("queue: value must be even, nonzero and below 2^40")
+
+// MaxValue is the largest enqueueable value.
+const MaxValue = (uint64(1) << 40) - 1
+
+// CheckValue validates v against the word contract.
+func CheckValue(v uint64) error {
+	if v == 0 || v&1 != 0 || v > MaxValue {
+		return ErrValue
+	}
+	return nil
+}
+
+// Queue is a concurrent multi-producer multi-consumer FIFO. Queue methods
+// themselves are safe for concurrent use; per-thread operations go
+// through a Session.
+type Queue interface {
+	// Attach registers the calling goroutine and returns its session.
+	// Algorithms without per-thread state return a lightweight stateless
+	// session; either way the session must be used by one goroutine only
+	// and Detach must be called when done.
+	Attach() Session
+	// Capacity returns the maximum number of queued items, or 0 when
+	// unbounded (link-based algorithms).
+	Capacity() int
+	// Name returns the algorithm's display name as used in the paper's
+	// figures.
+	Name() string
+}
+
+// Session is one goroutine's handle on a Queue.
+type Session interface {
+	// Enqueue inserts v at the tail. Returns ErrFull when the queue is
+	// bounded and full, or ErrValue for contract violations.
+	Enqueue(v uint64) error
+	// Dequeue removes the value at the head. ok is false when the queue
+	// was observed empty.
+	Dequeue() (v uint64, ok bool)
+	// Detach releases per-thread resources (LLSCvar records, hazard
+	// records). The session must not be used afterwards.
+	Detach()
+}
+
+// Drain dequeues until empty through s, returning the values in order.
+// Intended for tests and teardown, not hot paths.
+func Drain(s Session) []uint64 {
+	var out []uint64
+	for {
+		v, ok := s.Dequeue()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,88 @@
+// Package chanq adapts a buffered Go channel to the queue contract, as
+// the Go-native reference point in the extended benchmarks. Channels are
+// the idiomatic Go answer to MPMC FIFO buffering; measuring the paper's
+// algorithms against them shows what the lock-free array designs buy (or
+// cost) relative to the runtime's built-in, futex-backed implementation.
+package chanq
+
+import (
+	"fmt"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// Queue wraps a buffered channel. Create with New.
+type Queue struct {
+	ch   chan uint64
+	ctrs *xsync.Counters
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// New returns a queue holding up to capacity items.
+func New(capacity int, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("chanq: capacity %d must be positive", capacity))
+	}
+	q := &Queue{ch: make(chan uint64, capacity)}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Capacity returns the channel buffer size.
+func (q *Queue) Capacity() int { return cap(q.ch) }
+
+// Name returns the algorithm's display name.
+func (q *Queue) Name() string { return "Go Channel" }
+
+// Session is stateless.
+type Session struct {
+	q   *Queue
+	ctr xsync.Handle
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach returns a session for the calling goroutine.
+func (q *Queue) Attach() queue.Session {
+	return &Session{q: q, ctr: q.ctrs.Handle()}
+}
+
+// Detach releases the session (a no-op for this algorithm).
+func (s *Session) Detach() {}
+
+// Enqueue inserts v, failing fast with ErrFull when the buffer is full
+// (matching the non-blocking contract of the other algorithms).
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	select {
+	case s.q.ch <- v:
+		s.ctr.Inc(xsync.OpEnqueue)
+		return nil
+	default:
+		return queue.ErrFull
+	}
+}
+
+// Dequeue removes the oldest value, failing fast when empty.
+func (s *Session) Dequeue() (uint64, bool) {
+	select {
+	case v := <-s.q.ch:
+		s.ctr.Inc(xsync.OpDequeue)
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Len reports the number of buffered items.
+func (q *Queue) Len() int { return len(q.ch) }

@@ -1,0 +1,29 @@
+package chanq_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/chanq"
+	"nbqueue/internal/queuetest"
+)
+
+func maker(capacity int) queue.Queue { return chanq.New(capacity) }
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, maker)
+}
+
+func TestLen(t *testing.T) {
+	q := chanq.New(8)
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 5; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Len(); got != 5 {
+		t.Errorf("Len = %d, want 5", got)
+	}
+}

@@ -1,0 +1,249 @@
+// Package evqcas implements the paper's second algorithm (Figure 5): the
+// bounded circular-array FIFO queue for architectures that offer CAS (and
+// FetchAndAdd) but no LL/SC — the configuration measured as "FIFO Array
+// Simulated CAS" in Figure 6.
+//
+// Structure and index discipline are identical to Algorithm 1; what
+// changes is how a slot is reserved. LL is *simulated* (see
+// internal/llsc/registry): the reader atomically substitutes the slot's
+// content with its own LLSCvar handle tagged in the least-significant bit
+// (the paper's var^1), after copying the observed application value into
+// the record. The subsequent "SC" is then an ordinary CAS whose expected
+// value is the caller's tagged handle: it can only succeed while the
+// caller's reservation is still in place, which is exactly the
+// store-conditional guarantee. Un-reserving (restoring the original
+// value) is the same CAS with the old value as the new value.
+//
+// The residual ABA hazard — thread A's recycled LLSCvar reappearing in a
+// slot that thread B still holds a stale tagged reference to — is closed
+// by the reference counter in each LLSCvar record together with the
+// ReRegister call between consecutive queue operations, per §5.
+//
+// Per the paper, each successful enqueue or dequeue costs three CAS
+// operations (the LL substitution, the value install, the index advance)
+// plus two FetchAndAdds when the LL had to read through another thread's
+// record; the syncops experiment verifies this profile.
+package evqcas
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nbqueue/internal/llsc/registry"
+	"nbqueue/internal/pad"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/tagptr"
+	"nbqueue/internal/xsync"
+)
+
+// Queue is the Figure 5 CAS array queue. Create with New.
+type Queue struct {
+	head   pad.Uint64
+	tail   pad.Uint64
+	slots  []atomic.Uint64
+	stride int
+	mask   uint64
+	size   uint64
+	reg    *registry.Registry
+	ctrs   *xsync.Counters
+	useBO  bool
+	yield  func()
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithBackoff enables bounded exponential backoff on retry loops.
+func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
+
+// WithYield installs a pre-access hook invoked before every shared-memory
+// access (queue words and registry state), enabling systematic
+// interleaving exploration via internal/explore. Nil in production.
+func WithYield(f func()) Option { return func(q *Queue) { q.yield = f } }
+
+// WithPaddedSlots spreads slots across cache-line pairs.
+func WithPaddedSlots(on bool) Option {
+	return func(q *Queue) {
+		if on {
+			q.stride = pad.SlotStride
+		} else {
+			q.stride = 1
+		}
+	}
+}
+
+// New returns a queue with the given capacity, rounded up to a power of
+// two.
+func New(capacity int, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("evqcas: capacity %d must be positive", capacity))
+	}
+	size := uint64(1)
+	for size < uint64(capacity) {
+		size <<= 1
+	}
+	q := &Queue{
+		mask:   size - 1,
+		size:   size,
+		stride: 1,
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	q.reg = registry.New(registry.WithYield(q.yield))
+	q.slots = make([]atomic.Uint64, int(size)*q.stride)
+	return q
+}
+
+// fire invokes the yield hook, if any.
+func (q *Queue) fire() {
+	if q.yield != nil {
+		q.yield()
+	}
+}
+
+// Capacity returns the slot count.
+func (q *Queue) Capacity() int { return int(q.size) }
+
+// Name returns the figure label for this algorithm.
+func (q *Queue) Name() string { return "FIFO Array Simulated CAS" }
+
+// Registry exposes the LLSCvar registry for tests and space reporting.
+func (q *Queue) Registry() *registry.Registry { return q.reg }
+
+func (q *Queue) slot(i uint64) *atomic.Uint64 { return &q.slots[int(i)*q.stride] }
+
+// Session carries the goroutine's registered LLSCvar.
+type Session struct {
+	q    *Queue
+	varH registry.Handle
+	ctr  xsync.Handle
+	bo   xsync.Backoff
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach registers the calling goroutine with the queue's LLSCvar
+// registry.
+func (q *Queue) Attach() queue.Session {
+	s := &Session{q: q, ctr: q.ctrs.Handle()}
+	s.varH = q.reg.Register(s.ctr)
+	if q.useBO {
+		s.bo = xsync.NewBackoff(0, 0)
+	}
+	return s
+}
+
+// Detach deregisters the goroutine's LLSCvar so it can be recycled.
+func (s *Session) Detach() {
+	s.q.reg.Deregister(s.varH, s.ctr)
+	s.varH = 0
+}
+
+// prepare runs the between-operations protocol: ReRegister swaps the
+// LLSCvar for a fresh one if another thread still holds a reference,
+// closing the recycled-record ABA described in §5.
+func (s *Session) prepare() {
+	s.varH = s.q.reg.ReRegister(s.varH, s.ctr)
+}
+
+// cas wraps CompareAndSwap with instrumentation.
+func (s *Session) cas(w *atomic.Uint64, old, new uint64) bool {
+	s.ctr.Inc(xsync.OpCASAttempt)
+	s.q.fire()
+	if w.CompareAndSwap(old, new) {
+		s.ctr.Inc(xsync.OpCASSuccess)
+		return true
+	}
+	return false
+}
+
+// Enqueue inserts v at the tail; Figure 5 Enqueue.
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	s.prepare()
+	q := s.q
+	marker := tagptr.Tag(s.varH)
+	for {
+		q.fire()
+		t := q.tail.Load()
+		q.fire()
+		if t == q.head.Load()+q.size {
+			return queue.ErrFull
+		}
+		tail := t & q.mask
+		w := q.slot(tail)
+		slot := q.reg.LL(w, s.varH, s.ctr) // reserve: slot word now holds marker
+		q.fire()
+		if t == q.tail.Load() {
+			if slot != 0 {
+				// A delayed enqueuer's item is already here; release the
+				// reservation and help advance Tail.
+				s.cas(w, marker, slot)
+				s.cas(q.tail.Ptr(), t, t+1)
+			} else if s.cas(w, marker, v) {
+				s.cas(q.tail.Ptr(), t, t+1)
+				s.ctr.Inc(xsync.OpEnqueue)
+				s.bo.Reset()
+				return nil
+			}
+		} else {
+			// Tail moved under us: release the reservation and retry.
+			s.cas(w, marker, slot)
+		}
+		s.bo.Fail()
+	}
+}
+
+// Dequeue removes the head value; Figure 5 Dequeue.
+func (s *Session) Dequeue() (uint64, bool) {
+	s.prepare()
+	q := s.q
+	marker := tagptr.Tag(s.varH)
+	for {
+		q.fire()
+		h := q.head.Load()
+		q.fire()
+		if h == q.tail.Load() {
+			return 0, false
+		}
+		head := h & q.mask
+		w := q.slot(head)
+		slot := q.reg.LL(w, s.varH, s.ctr)
+		q.fire()
+		if h == q.head.Load() {
+			if slot == 0 {
+				// Head is lagging; release the reservation and help.
+				s.cas(w, marker, slot)
+				s.cas(q.head.Ptr(), h, h+1)
+			} else if s.cas(w, marker, 0) {
+				s.cas(q.head.Ptr(), h, h+1)
+				s.ctr.Inc(xsync.OpDequeue)
+				s.bo.Reset()
+				return slot, true
+			}
+		} else {
+			s.cas(w, marker, slot)
+		}
+		s.bo.Fail()
+	}
+}
+
+// Len reports the current number of queued items (approximate under
+// concurrency; exact when quiescent).
+func (q *Queue) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// SpaceRecords reports the per-thread registration records ever created
+// (the LLSCvar list) — the component of Algorithm 2's space bound that
+// grows with the historical maximum thread count.
+func (q *Queue) SpaceRecords() int { return q.reg.Records() }
+
+// SlotSnapshot returns the raw word of slot i (an application value, 0,
+// or a tagged reservation marker). Diagnostic/testing accessor; the
+// value may be stale by return.
+func (q *Queue) SlotSnapshot(i uint64) uint64 { return q.slot(i & q.mask).Load() }

@@ -1,0 +1,65 @@
+package evqcas_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/evqcas"
+)
+
+// FuzzSequentialModel drives Algorithm 2 with an arbitrary operation
+// tape and cross-checks every result against a slice model. Each input
+// byte encodes one operation: even = enqueue (of a fresh unique value),
+// odd = dequeue. Run with `go test -fuzz FuzzSequentialModel` for
+// continuous exploration; the seeds below execute in ordinary test runs.
+func FuzzSequentialModel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 1})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1})
+	f.Add(make([]byte, 64)) // fill to capacity
+	f.Add([]byte{1, 1, 1, 0, 0, 0, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		q := evqcas.New(16)
+		s := q.Attach()
+		defer s.Detach()
+		var model []uint64
+		next := uint64(1)
+		for i, op := range tape {
+			if op%2 == 0 {
+				v := next << 1
+				next++
+				err := s.Enqueue(v)
+				switch {
+				case err == nil:
+					model = append(model, v)
+				case err == queue.ErrFull:
+					if len(model) < q.Capacity() {
+						t.Fatalf("op %d: spurious ErrFull with %d/%d queued", i, len(model), q.Capacity())
+					}
+				default:
+					t.Fatalf("op %d: %v", i, err)
+				}
+			} else {
+				v, ok := s.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("op %d: dequeued %#x from empty queue", i, v)
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					t.Fatalf("op %d: dequeue = %#x,%v want %#x", i, v, ok, model[0])
+				}
+				model = model[1:]
+			}
+		}
+		for j, want := range model {
+			v, ok := s.Dequeue()
+			if !ok || v != want {
+				t.Fatalf("drain %d: dequeue = %#x,%v want %#x", j, v, ok, want)
+			}
+		}
+		if _, ok := s.Dequeue(); ok {
+			t.Fatal("queue not empty after drain")
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package evqllsc_test
+
+import (
+	"testing"
+	"time"
+
+	"nbqueue/internal/llsc"
+	"nbqueue/internal/llsc/emul"
+	"nbqueue/internal/llsc/script"
+	"nbqueue/internal/queues/evqllsc"
+)
+
+// scriptedQueue builds a capacity-4 queue whose slot and index memories
+// are individually scriptable.
+func scriptedQueue(t *testing.T) (q *evqllsc.Queue, slots, idx *script.Memory) {
+	t.Helper()
+	var mems []*script.Memory
+	q = evqllsc.New(4, func(n int) llsc.Memory {
+		m := script.Wrap(emul.New(n, false), nil)
+		mems = append(mems, m)
+		return m
+	})
+	if len(mems) != 2 {
+		t.Fatalf("expected 2 memories (slots, idx), got %d", len(mems))
+	}
+	return q, mems[0], mems[1]
+}
+
+// await receives with a timeout so a mis-scripted test fails instead of
+// hanging.
+func await[T any](t *testing.T, ch <-chan T, what string) T {
+	t.Helper()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		panic("unreachable")
+	}
+}
+
+const (
+	vA = uint64(10) << 1
+	vB = uint64(11) << 1
+	vC = uint64(12) << 1
+	vD = uint64(13) << 1
+	vE = uint64(14) << 1
+)
+
+// TestFigure1IndexABA reconstructs the paper's Figure 1 scenario
+// deterministically: thread T1 inserts item A into slot 0 and is
+// preempted *immediately before* advancing Tail; other threads then
+// complete enough identical operations to bring Tail back to a state
+// where T1's blind increment would corrupt it. Figure 3's LL/SC advance
+// (E12–E13: LL(&Tail)==t before SC(&Tail,t+1)) must make the stale
+// adjustment harmless.
+func TestFigure1IndexABA(t *testing.T) {
+	q, _, idx := scriptedQueue(t)
+
+	// Trap T1 at its first LL on the Tail word — the advance step, which
+	// executes only after its slot SC succeeded.
+	const tailWord = 1
+	gate := script.NewGate(func(e script.Event) bool {
+		return e.Op == script.OpLL && e.Word == tailWord
+	})
+	idx.SetHook(gate.Hook(nil))
+	defer gate.Disarm()
+
+	t1done := make(chan error, 1)
+	go func() {
+		s := q.Attach()
+		defer s.Detach()
+		t1done <- s.Enqueue(vA) // T1: inserts A, blocks before Tail bump
+	}()
+	await(t, gate.Trapped(), "T1 at Tail advance")
+
+	// T2: enqueue B, C, D. Its first operation finds slot 0 occupied by
+	// A with Tail lagging, so it helps advance Tail on T1's behalf —
+	// exactly the Figure 1 interleaving.
+	s2 := q.Attach()
+	for _, v := range []uint64{vB, vC, vD} {
+		if err := s2.Enqueue(v); err != nil {
+			t.Fatalf("T2 enqueue %#x: %v", v, err)
+		}
+	}
+	// T3: dequeue A, B, C, leaving only D. Tail is now 4 — the same slot
+	// parity T1 observed (0 mod 4), the heart of the ABA.
+	for _, want := range []uint64{vA, vB, vC} {
+		got, ok := s2.Dequeue()
+		if !ok || got != want {
+			t.Fatalf("T3 dequeue = %#x,%v want %#x", got, ok, want)
+		}
+	}
+
+	// Resume T1. Its advance must observe Tail != its expected value and
+	// decline to increment; with the paper's Figure 1 bug, Tail would
+	// jump to 5 and "the next insertion will wrongly take place in
+	// Q[1]".
+	gate.Release()
+	if err := await(t, t1done, "T1 completion"); err != nil {
+		t.Fatalf("T1 enqueue: %v", err)
+	}
+	if got := q.Len(); got != 1 {
+		t.Fatalf("queue length after resume = %d, want 1 (Tail corrupted)", got)
+	}
+
+	// The queue must still behave FIFO: E lands behind D.
+	if err := s2.Enqueue(vE); err != nil {
+		t.Fatalf("enqueue E: %v", err)
+	}
+	for _, want := range []uint64{vD, vE} {
+		got, ok := s2.Dequeue()
+		if !ok || got != want {
+			t.Fatalf("final dequeue = %#x,%v want %#x", got, ok, want)
+		}
+	}
+	s2.Detach()
+}
+
+// TestFigure4StaleHead reconstructs Figure 4: a dequeuer reads Head, is
+// preempted before reserving the slot, and meanwhile the array wraps so
+// the slot holds a *newer* item. The D10 re-check (h == Head) must reject
+// the reservation, so the dequeuer returns the actual oldest item.
+func TestFigure4StaleHead(t *testing.T) {
+	q, slots, _ := scriptedQueue(t)
+	s := q.Attach()
+	defer s.Detach()
+
+	// State: Head=1, Tail=3, Q = [_, A, B, _].
+	for _, v := range []uint64{vE, vA, vB} { // vE is the placeholder X
+		if err := s.Enqueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := s.Dequeue(); !ok || got != vE {
+		t.Fatalf("setup dequeue = %#x,%v", got, ok)
+	}
+
+	// Trap T1 at its LL on slot 1 (it has already read h=1).
+	gate := script.NewGate(func(e script.Event) bool {
+		return e.Op == script.OpLL && e.Word == 1
+	})
+	slots.SetHook(gate.Hook(nil))
+	defer gate.Disarm()
+
+	t1got := make(chan uint64, 1)
+	go func() {
+		s1 := q.Attach()
+		defer s1.Detach()
+		v, ok := s1.Dequeue()
+		if !ok {
+			v = 0
+		}
+		t1got <- v
+	}()
+	await(t, gate.Trapped(), "T1 at slot LL")
+	slots.SetHook(nil) // let the interference below run untrapped
+
+	// Interference: drain A and B, then refill C, D, E — Head=3, Tail=6,
+	// and slot 1 (T1's reserved index) now holds E, a newer item.
+	for _, want := range []uint64{vA, vB} {
+		got, ok := s.Dequeue()
+		if !ok || got != want {
+			t.Fatalf("interference dequeue = %#x,%v want %#x", got, ok, want)
+		}
+	}
+	for _, v := range []uint64{vC, vD, vE} {
+		if err := s.Enqueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Resume T1: with the Figure 4 bug it would remove E from slot 1;
+	// the D10 check forces a retry and it must obtain C, the oldest.
+	gate.Release()
+	if got := await(t, t1got, "T1 dequeue"); got != vC {
+		t.Fatalf("T1 dequeued %#x, want oldest %#x (stale-Head ABA)", got, vC)
+	}
+
+	// Remaining order must be D, E.
+	for _, want := range []uint64{vD, vE} {
+		got, ok := s.Dequeue()
+		if !ok || got != want {
+			t.Fatalf("tail-end dequeue = %#x,%v want %#x", got, ok, want)
+		}
+	}
+}
+
+// TestNullABAEnqueueReservation covers §3's null-ABA: an enqueuer
+// observes an empty slot, is preempted before installing, and the slot
+// cycles through occupied-then-empty again. The LL/SC reservation must
+// fail the stale install.
+func TestNullABAEnqueueReservation(t *testing.T) {
+	q, slots, _ := scriptedQueue(t)
+	s := q.Attach()
+	defer s.Detach()
+
+	// Trap T1 at its SC on slot 0 — after it read the slot as empty.
+	gate := script.NewGate(func(e script.Event) bool {
+		return e.Op == script.OpSC && e.Word == 0 && e.Value == vA
+	})
+	slots.SetHook(gate.Hook(nil))
+	defer gate.Disarm()
+
+	t1done := make(chan error, 1)
+	go func() {
+		s1 := q.Attach()
+		defer s1.Detach()
+		t1done <- s1.Enqueue(vA)
+	}()
+	await(t, gate.Trapped(), "T1 at slot SC")
+	slots.SetHook(nil)
+
+	// Interference: fill slot 0 with B and empty it again — the slot's
+	// *value* is back to null, but the SC reservation must be dead.
+	if err := s.Enqueue(vB); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Dequeue(); !ok || got != vB {
+		t.Fatalf("interference dequeue = %#x,%v", got, ok)
+	}
+
+	gate.Release()
+	if err := await(t, t1done, "T1 completion"); err != nil {
+		t.Fatalf("T1 enqueue: %v", err)
+	}
+	// T1's first SC failed (null-ABA defence); it retried and succeeded
+	// somewhere consistent. The queue must contain exactly A.
+	got, ok := s.Dequeue()
+	if !ok || got != vA {
+		t.Fatalf("dequeue = %#x,%v want %#x", got, ok, vA)
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+}

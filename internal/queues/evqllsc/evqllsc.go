@@ -1,0 +1,222 @@
+// Package evqllsc implements the paper's first algorithm (Figure 3): a
+// non-blocking bounded circular-array FIFO queue whose slot and index
+// updates go through load-linked/store-conditional with the theoretical
+// semantics of Figure 2.
+//
+// The queue is a circular list of Q_LENGTH slots plus two monotonically
+// increasing indices, Head and Tail, mapped to slots by modulo (the
+// index-ABA defence of §3: indices are only ever incremented, so a slot
+// index cannot silently return to a prior value within any realistic
+// horizon). A slot holds a node handle or 0 (null, slot free). Head names
+// the first slot that may hold an item; Tail names the next free slot.
+// Empty is Head == Tail; full is Head + Q_LENGTH == Tail.
+//
+// LL/SC makes the data-ABA and null-ABA problems of §3 unreachable:
+// reserving the slot with LL and publishing with SC means any intervening
+// successful write — even one that restores the same bits — kills the
+// reservation. The re-read of the index after the LL (line E10/D10)
+// additionally rejects reservations taken against a slot the indices have
+// already moved past (the Figure 4 scenario).
+//
+// The algorithm is population-oblivious: there is no per-thread state of
+// any kind, so Attach returns a stateless session. Space is exactly the
+// array plus two words, depending only on capacity — the paper's claimed
+// space bound for Algorithm 1.
+package evqllsc
+
+import (
+	"fmt"
+
+	"nbqueue/internal/llsc"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// Queue is the Figure 3 LL/SC array queue. Create with New.
+type Queue struct {
+	slots llsc.Memory
+	idx   llsc.Memory // word 0 = Head, word 1 = Tail
+	mask  uint64
+	size  uint64
+	ctrs  *xsync.Counters
+	useBO bool
+	name  string
+}
+
+const (
+	headWord = 0
+	tailWord = 1
+)
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithBackoff enables bounded exponential backoff on retry loops.
+func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
+
+// WithName overrides the display name (used by the weak-LL/SC ablation to
+// distinguish configurations).
+func WithName(n string) Option { return func(q *Queue) { q.name = n } }
+
+// New returns a queue with the given capacity (rounded up to a power of
+// two so the indices can wrap without skipping slots, as the paper
+// requires) over LL/SC memory built by mem. mem is called twice: once for
+// the slot array and once for the two index words.
+func New(capacity int, mem func(words int) llsc.Memory, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("evqllsc: capacity %d must be positive", capacity))
+	}
+	size := uint64(1)
+	for size < uint64(capacity) {
+		size <<= 1
+	}
+	q := &Queue{
+		slots: mem(int(size)),
+		idx:   mem(2),
+		mask:  size - 1,
+		size:  size,
+		name:  "FIFO Array LL/SC",
+	}
+	for i := 0; i < int(size); i++ {
+		q.slots.Init(i, 0)
+	}
+	q.idx.Init(headWord, 0)
+	q.idx.Init(tailWord, 0)
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Capacity returns the slot count.
+func (q *Queue) Capacity() int { return int(q.size) }
+
+// Name returns the figure label for this algorithm.
+func (q *Queue) Name() string { return q.name }
+
+// Session is a stateless per-goroutine handle (Algorithm 1 needs no
+// registration).
+type Session struct {
+	q   *Queue
+	ctr xsync.Handle
+	bo  xsync.Backoff
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach returns a session for the calling goroutine.
+func (q *Queue) Attach() queue.Session {
+	s := &Session{q: q, ctr: q.ctrs.Handle()}
+	if q.useBO {
+		s.bo = xsync.NewBackoff(0, 0)
+	}
+	return s
+}
+
+// Detach releases the session (a no-op for this algorithm).
+func (s *Session) Detach() {}
+
+// indexDelta returns (t - h) in the wrapped index domain. Index words
+// live in the 40-bit value field of the LL/SC memory and the queue size
+// divides 2^40, so wrapped subtraction stays exact.
+func indexDelta(t, h uint64) uint64 { return (t - h) & queue.MaxValue }
+
+// Enqueue inserts v at the tail; Figure 3 lines E1–E21.
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	q := s.q
+	for {
+		t := q.idx.Load(tailWord) // E5
+		// E6: exact equality, as in the paper. Head is read after Tail,
+		// so it can only be newer (larger); a wrapped delta above size
+		// would mean an inconsistent snapshot, which equality rejects.
+		if indexDelta(t, q.idx.Load(headWord)) == q.size {
+			return queue.ErrFull
+		}
+		tail := int(t & q.mask) // E8
+		s.ctr.Inc(xsync.OpLL)
+		slot, res := q.slots.LL(tail)  // E9
+		if t == q.idx.Load(tailWord) { // E10
+			if slot != 0 { // E11: a delayed enqueuer filled the slot; help advance Tail.
+				s.advance(tailWord, t)
+			} else {
+				s.ctr.Inc(xsync.OpSCAttempt)
+				if q.slots.SC(tail, res, v) { // E15
+					s.ctr.Inc(xsync.OpSCSuccess)
+					s.advance(tailWord, t) // E16–E17
+					s.ctr.Inc(xsync.OpEnqueue)
+					s.bo.Reset()
+					return nil
+				}
+			}
+		}
+		s.bo.Fail()
+	}
+}
+
+// Dequeue removes the head value; Figure 3 lines D1–D21.
+func (s *Session) Dequeue() (uint64, bool) {
+	q := s.q
+	for {
+		h := q.idx.Load(headWord)      // D5
+		if h == q.idx.Load(tailWord) { // D6
+			return 0, false
+		}
+		head := int(h & q.mask) // D8
+		s.ctr.Inc(xsync.OpLL)
+		slot, res := q.slots.LL(head)  // D9
+		if h == q.idx.Load(headWord) { // D10
+			if slot == 0 { // D11: Head is falling behind; help advance it.
+				s.advance(headWord, h)
+			} else {
+				s.ctr.Inc(xsync.OpSCAttempt)
+				if q.slots.SC(head, res, 0) { // D15
+					s.ctr.Inc(xsync.OpSCSuccess)
+					s.advance(headWord, h) // D16–D17
+					s.ctr.Inc(xsync.OpDequeue)
+					s.bo.Reset()
+					return slot, true
+				}
+			}
+		}
+		s.bo.Fail()
+	}
+}
+
+// advance performs the index-update idiom of lines E12–E13 / D12–D13: LL
+// the index word, confirm it still holds the expected value, and SC the
+// increment.
+//
+// The paper attempts the SC exactly once, which is sound under the
+// Figure 2 semantics: there an SC fails only because another SC
+// intervened, i.e. someone else already advanced the index. Under the §5
+// limitation 3 memories (spurious SC failure) a single attempt can leave
+// the index lagging with no helper in sight — a single-threaded dequeue
+// would then misreport empty. We therefore retry until either the SC
+// lands or the LL observes that the index moved; under strong LL/SC the
+// loop body runs exactly once, so the paper's cost model is unchanged.
+func (s *Session) advance(word int, expect uint64) {
+	for {
+		s.ctr.Inc(xsync.OpLL)
+		cur, res := s.q.idx.LL(word)
+		if cur != expect {
+			return // somebody advanced it for us
+		}
+		s.ctr.Inc(xsync.OpSCAttempt)
+		if s.q.idx.SC(word, res, (expect+1)&queue.MaxValue) {
+			s.ctr.Inc(xsync.OpSCSuccess)
+			return
+		}
+	}
+}
+
+// Len reports the current number of queued items (approximate under
+// concurrency; exact when quiescent).
+func (q *Queue) Len() int {
+	return int(indexDelta(q.idx.Load(tailWord), q.idx.Load(headWord)))
+}

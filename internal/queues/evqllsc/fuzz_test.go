@@ -1,0 +1,68 @@
+package evqllsc_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/llsc"
+	"nbqueue/internal/llsc/weak"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/evqllsc"
+)
+
+// FuzzSequentialModelWeak drives Algorithm 1 over *weak* LL/SC memory —
+// spurious SC failures and multi-word reservation granules derived from
+// the fuzz input — with an arbitrary operation tape, cross-checking every
+// result against a slice model. This explores the §5 robustness space:
+// whatever the injected weakness, results must stay exactly FIFO.
+func FuzzSequentialModelWeak(f *testing.F) {
+	f.Add(uint8(0), uint8(0), []byte{0, 1, 0, 1})
+	f.Add(uint8(10), uint8(3), []byte{0, 0, 0, 1, 1, 1})
+	f.Add(uint8(50), uint8(6), make([]byte, 40))
+	f.Fuzz(func(t *testing.T, spuriousPct, granuleLog uint8, tape []byte) {
+		cfg := weak.Config{
+			SpuriousFailureRate: float64(spuriousPct%90) / 100, // < 0.9 so retries terminate
+			GranuleWords:        1 << (granuleLog % 7),
+			Seed:                uint64(spuriousPct)*31 + uint64(granuleLog) + 1,
+		}
+		q := evqllsc.New(16, func(n int) llsc.Memory { return weak.New(n, cfg) })
+		s := q.Attach()
+		defer s.Detach()
+		var model []uint64
+		next := uint64(1)
+		for i, op := range tape {
+			if op%2 == 0 {
+				v := next << 1
+				next++
+				err := s.Enqueue(v)
+				switch {
+				case err == nil:
+					model = append(model, v)
+				case err == queue.ErrFull:
+					if len(model) < q.Capacity() {
+						t.Fatalf("op %d: spurious ErrFull with %d/%d queued", i, len(model), q.Capacity())
+					}
+				default:
+					t.Fatalf("op %d: %v", i, err)
+				}
+			} else {
+				v, ok := s.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("op %d: dequeued %#x from empty queue", i, v)
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					t.Fatalf("op %d: dequeue = %#x,%v want %#x", i, v, ok, model[0])
+				}
+				model = model[1:]
+			}
+		}
+		for j, want := range model {
+			v, ok := s.Dequeue()
+			if !ok || v != want {
+				t.Fatalf("drain %d: dequeue = %#x,%v want %#x", j, v, ok, want)
+			}
+		}
+	})
+}

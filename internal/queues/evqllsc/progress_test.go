@@ -1,0 +1,76 @@
+package evqllsc_test
+
+import (
+	"testing"
+	"time"
+
+	"nbqueue/internal/llsc/script"
+	"nbqueue/internal/queue"
+)
+
+// TestNonBlockingUnderSuspendedEnqueuer tests the paper's defining
+// property directly on Algorithm 1: a thread suspended between its slot
+// LL and SC (holding a live reservation) must not impede any other
+// thread, and its eventual SC must fail harmlessly if others moved on.
+func TestNonBlockingUnderSuspendedEnqueuer(t *testing.T) {
+	q, slots, _ := scriptedQueue(t)
+
+	gate := script.NewGate(func(e script.Event) bool {
+		return e.Op == script.OpSC && e.Word == 0
+	})
+	slots.SetHook(gate.Hook(nil))
+	defer gate.Disarm()
+
+	aDone := make(chan error, 1)
+	go func() {
+		s := q.Attach()
+		defer s.Detach()
+		aDone <- s.Enqueue(vA) // freezes just before its slot SC
+	}()
+	await(t, gate.Trapped(), "thread A at slot SC")
+	slots.SetHook(nil)
+
+	// Thread B: full traffic while A is frozen with a pending SC.
+	progress := make(chan int, 1)
+	go func() {
+		s := q.Attach()
+		defer s.Detach()
+		completed := 0
+		for i := uint64(1); i <= 50; i++ {
+			if err := s.Enqueue(i << 1); err != nil {
+				continue
+			}
+			if _, ok := s.Dequeue(); ok {
+				completed++
+			}
+		}
+		progress <- completed
+	}()
+	select {
+	case n := <-progress:
+		if n == 0 {
+			t.Fatal("thread B completed no operations")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("thread B made no progress while A held a reservation — not non-blocking")
+	}
+
+	// Release A: its SC fails (B's traffic killed the reservation), it
+	// retries, and the enqueue lands.
+	gate.Release()
+	if err := await(t, aDone, "thread A completion"); err != nil {
+		t.Fatalf("thread A enqueue: %v", err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	drained := queue.Drain(s)
+	found := false
+	for _, v := range drained {
+		if v == vA {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("thread A's value lost; drained %v", drained)
+	}
+}

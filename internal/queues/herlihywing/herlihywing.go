@@ -1,0 +1,155 @@
+// Package herlihywing implements the Herlihy & Wing FIFO queue (from
+// "Linearizability: A Correctness Condition for Concurrent Objects",
+// TOPLAS 1990 — the paper's reference [3]) in the practical finite-array
+// realization of Wing & Gong (reference [16]): the related-work starting
+// point of the paper's §2.
+//
+// The construction: an unbounded array and a shared back counter. Enqueue
+// reserves a fresh slot with FetchAndAdd and stores its item there — two
+// steps, no retry loop (wait-free). Dequeue scans the array from the
+// front, atomically swapping each slot with null until it extracts an
+// item. Its cost is therefore proportional to the number of *completed
+// enqueue operations since the creation of the queue*, exactly the
+// inefficiency §2 attributes to this design ("inefficient for large
+// queue lengths and many dequeue attempts") and the related-work scaling
+// experiment measures.
+//
+// Empty handling: the original dequeue retries forever on an empty
+// queue. To fit the module's non-blocking contract, Dequeue returns not-ok
+// after one full scan of the reserved range observes only nulls. (A
+// concurrent enqueue that reserved a slot before the scan but stored
+// after it can be missed; callers that need a guaranteed answer retry,
+// as every harness in this module does.)
+package herlihywing
+
+import (
+	"nbqueue/internal/pad"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/segarray"
+	"nbqueue/internal/xsync"
+)
+
+// Queue is a Herlihy–Wing queue. Create with New.
+type Queue struct {
+	items segarray.Array
+	back  pad.Uint64 // next free slot index (slot 0 unused)
+	// front is a reclamation hint: all slots below it are known
+	// consumed, so dequeue scans start there instead of at 1. Purely a
+	// performance fence; correctness never depends on it.
+	front pad.Uint64
+	ctrs  *xsync.Counters
+	// scanFromFront disables the front hint, giving the literal
+	// reference [3]/[16] cost model (scan from the beginning of the
+	// array every time).
+	scanFromFront bool
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithFullScan forces every dequeue to scan from the first slot ever
+// used, reproducing the literal cost model of the original construction
+// (dequeue time proportional to all completed enqueues). Default off:
+// the front hint skips known-consumed prefixes.
+func WithFullScan(on bool) Option { return func(q *Queue) { q.scanFromFront = on } }
+
+// New returns an empty queue. The queue is unbounded (Capacity 0);
+// memory grows with the total number of enqueues ever performed, which
+// is the design's documented flaw.
+func New(opts ...Option) *Queue {
+	q := &Queue{}
+	q.back.Store(1)
+	q.front.Store(1)
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Capacity returns 0: the queue is unbounded.
+func (q *Queue) Capacity() int { return 0 }
+
+// Name returns the algorithm's display name.
+func (q *Queue) Name() string { return "Herlihy-Wing" }
+
+// Bytes reports the storage materialized so far (grows monotonically).
+func (q *Queue) Bytes() int { return q.items.Bytes() }
+
+// Session is stateless.
+type Session struct {
+	q   *Queue
+	ctr xsync.Handle
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach returns a session for the calling goroutine.
+func (q *Queue) Attach() queue.Session {
+	return &Session{q: q, ctr: q.ctrs.Handle()}
+}
+
+// Detach releases the session (a no-op for this algorithm).
+func (s *Session) Detach() {}
+
+// Enqueue inserts v: FAA the back counter, store into the reserved slot.
+// Wait-free.
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	s.ctr.Inc(xsync.OpFAA)
+	i := s.q.back.Add(1) - 1
+	s.q.items.Word(i).Store(v)
+	s.ctr.Inc(xsync.OpEnqueue)
+	return nil
+}
+
+// Dequeue scans the reserved range front..back, swapping each slot with
+// null; the first non-null value extracted is the result.
+func (s *Session) Dequeue() (uint64, bool) {
+	q := s.q
+	start := q.front.Load()
+	if q.scanFromFront {
+		start = 1
+	}
+	limit := q.back.Load()
+	for i := start; i < limit; i++ {
+		w := q.items.Word(i)
+		if w.Load() == 0 {
+			continue
+		}
+		if v := w.Swap(0); v != 0 {
+			s.ctr.Inc(xsync.OpDequeue)
+			// Advance the front hint only when the slot consumed was the
+			// front itself. A null slot between front and i may belong to
+			// an enqueuer that reserved early but has not stored yet, so
+			// skipping the whole prefix could orphan its item; advancing
+			// one-at-a-time over slots this dequeuer itself consumed can
+			// never skip a pending reservation.
+			if !q.scanFromFront && i == start {
+				s.ctr.Inc(xsync.OpCASAttempt)
+				if q.front.CompareAndSwap(i, i+1) {
+					s.ctr.Inc(xsync.OpCASSuccess)
+				}
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Len estimates the number of queued items by scanning (O(range));
+// intended for tests and diagnostics only.
+func (q *Queue) Len() int {
+	n := 0
+	limit := q.back.Load()
+	for i := q.front.Load(); i < limit; i++ {
+		if q.items.Load(i) != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+// Package msdoherty implements the "MS-Doherty et al." baseline of
+// Figure 6: the Michael & Scott queue run on top of CAS-simulated LL/SC
+// variables in the style of Doherty, Herlihy, Luchangco & Moir (PODC
+// 2004, the paper's reference [2]).
+//
+// The queue's Head and Tail are indirect LL/SC variables
+// (internal/llsc/indirect): every swing allocates a fresh value node,
+// installs it with CAS, and retires the old one through hazard pointers.
+// Node links use plain CAS as in the original MS queue, and dequeued
+// queue nodes are reclaimed through a second hazard domain. The paper
+// measures this construction as "unquestionably the slowest ... because
+// it requires 7 successful CAS instructions per queueing operation"; the
+// syncops experiment reports our count, which lands in the same regime
+// (two SC swings at ~3 CAS each plus the link/free-list CAS).
+package msdoherty
+
+import (
+	"fmt"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/hazard"
+	"nbqueue/internal/llsc/indirect"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// Queue is the MS queue over Doherty-style LL/SC. Create with New.
+type Queue struct {
+	space      *indirect.Space
+	headVar    *indirect.Var
+	tailVar    *indirect.Var
+	nodes      *arena.Arena
+	dom        *hazard.Domain
+	ctrs       *xsync.Counters
+	cap        int
+	maxThreads int
+	sorted     bool
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithMaxThreads sizes the reclamation headroom, as in msqueue.
+func WithMaxThreads(n int) Option { return func(q *Queue) { q.maxThreads = n } }
+
+const defaultMaxThreads = 128
+
+// New returns a queue able to hold capacity items. sorted selects the
+// hazard-scan variant used by both reclamation domains.
+func New(capacity int, sorted bool, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("msdoherty: capacity %d must be positive", capacity))
+	}
+	q := &Queue{cap: capacity, maxThreads: defaultMaxThreads, sorted: sorted}
+	for _, o := range opts {
+		o(q)
+	}
+	headroom := hazard.RetireFactor * q.maxThreads * q.maxThreads
+	// Value-node space: 2 live vars + one in-flight node per thread +
+	// retired headroom.
+	q.space = indirect.NewSpace(2+q.maxThreads+headroom, sorted)
+	q.nodes = arena.New(capacity + 1 + headroom)
+	q.dom = hazard.NewDomain(q.nodes, sorted, 0)
+	dummy := q.nodes.Alloc()
+	q.nodes.Get(dummy).Next.Store(arena.Nil)
+	q.headVar = q.space.NewVar(dummy)
+	q.tailVar = q.space.NewVar(dummy)
+	return q
+}
+
+// Capacity returns the nominal capacity.
+func (q *Queue) Capacity() int { return q.cap }
+
+// Name returns the figure label for this algorithm.
+func (q *Queue) Name() string { return "MS-Doherty et al." }
+
+// Session carries the goroutine's LL/SC thread context and hazard record.
+type Session struct {
+	q   *Queue
+	it  *indirect.Thread
+	rec *hazard.Record
+	ctr xsync.Handle
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach registers the calling goroutine with both reclamation domains.
+func (q *Queue) Attach() queue.Session {
+	ctr := q.ctrs.Handle()
+	return &Session{
+		q:   q,
+		it:  q.space.Attach(ctr),
+		rec: q.dom.Acquire(),
+		ctr: ctr,
+	}
+}
+
+// Detach releases the goroutine's records.
+func (s *Session) Detach() {
+	s.it.Detach()
+	s.rec.Release()
+}
+
+// Hazard slots on the indirect space: 0 for Head/Tail reservations taken
+// by the operation in flight, 1 for the helper reservation on Tail.
+// Hazard slots on the queue-node domain: 0 protects the observed
+// head/tail node, 1 the successor.
+const (
+	varSlotMain   = 0
+	varSlotHelper = 1
+	qSlotNode     = 0
+	qSlotNext     = 1
+)
+
+// Enqueue inserts v at the tail.
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	q := s.q
+	n := q.nodes.Alloc()
+	if n == arena.Nil {
+		s.rec.Scan()
+		if n = q.nodes.Alloc(); n == arena.Nil {
+			return queue.ErrFull
+		}
+	}
+	node := q.nodes.Get(n)
+	node.Value.Store(v)
+	node.Next.Store(arena.Nil)
+	for {
+		t, tRes := s.it.LL(q.tailVar, varSlotMain)
+		// Protect the tail node before touching its link, re-validating
+		// the reservation so the node cannot have been retired first.
+		s.rec.Set(qSlotNode, t)
+		if !s.it.Validate(q.tailVar, tRes) {
+			s.it.Unlink(tRes)
+			continue
+		}
+		next := q.nodes.Get(t).Next.Load()
+		if next == arena.Nil {
+			s.ctr.Inc(xsync.OpCASAttempt)
+			if q.nodes.Get(t).Next.CompareAndSwap(arena.Nil, n) {
+				s.ctr.Inc(xsync.OpCASSuccess)
+				// Swing Tail; failure means a helper already did.
+				s.it.SC(q.tailVar, tRes, n)
+				s.rec.Clear(qSlotNode)
+				s.ctr.Inc(xsync.OpEnqueue)
+				return nil
+			}
+			s.it.Unlink(tRes)
+		} else {
+			// Tail lagging; help swing it.
+			s.it.SC(q.tailVar, tRes, next)
+		}
+	}
+}
+
+// Dequeue removes the head value.
+func (s *Session) Dequeue() (uint64, bool) {
+	q := s.q
+	for {
+		h, hRes := s.it.LL(q.headVar, varSlotMain)
+		s.rec.Set(qSlotNode, h)
+		if !s.it.Validate(q.headVar, hRes) {
+			s.it.Unlink(hRes)
+			continue
+		}
+		t := s.it.Load(q.tailVar)
+		next := q.nodes.Get(h).Next.Load()
+		s.rec.Set(qSlotNext, next)
+		if !s.it.Validate(q.headVar, hRes) {
+			s.it.Unlink(hRes)
+			continue
+		}
+		if h == t {
+			if next == arena.Nil {
+				s.it.Unlink(hRes)
+				s.clearQ()
+				return 0, false
+			}
+			// Help swing the lagging tail, then retry.
+			tv, tRes := s.it.LL(q.tailVar, varSlotHelper)
+			if tv == t {
+				s.it.SC(q.tailVar, tRes, next)
+			} else {
+				s.it.Unlink(tRes)
+			}
+			s.it.Unlink(hRes)
+			continue
+		}
+		if next == arena.Nil {
+			s.it.Unlink(hRes)
+			continue
+		}
+		v := q.nodes.Get(next).Value.Load()
+		if s.it.SC(q.headVar, hRes, next) {
+			s.clearQ()
+			s.rec.Retire(h)
+			s.ctr.Inc(xsync.OpDequeue)
+			return v, true
+		}
+	}
+}
+
+func (s *Session) clearQ() {
+	s.rec.Clear(qSlotNode)
+	s.rec.Clear(qSlotNext)
+}

@@ -1,0 +1,99 @@
+package msqueue_test
+
+import (
+	"sync"
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/msqueue"
+	"nbqueue/internal/queuetest"
+	"nbqueue/internal/xsync"
+)
+
+func unsorted(capacity int) queue.Queue {
+	return msqueue.New(capacity, false, msqueue.WithMaxThreads(16))
+}
+
+func sorted(capacity int) queue.Queue {
+	return msqueue.New(capacity, true, msqueue.WithMaxThreads(16))
+}
+
+func TestConformanceUnsorted(t *testing.T) {
+	queuetest.RunAllWith(t, unsorted, queuetest.Opts{SoftCapacity: true})
+}
+
+func TestConformanceSorted(t *testing.T) {
+	queuetest.RunAllWith(t, sorted, queuetest.Opts{SoftCapacity: true})
+}
+
+// TestSyncOpsProfile verifies the §6 cost claim for MS: "the algorithm
+// uses a single successful CAS to dequeue and 2 successful CASs to
+// enqueue" — so a balanced single-thread workload averages 1.5 per op.
+func TestSyncOpsProfile(t *testing.T) {
+	ctrs := xsync.NewCounters()
+	q := msqueue.New(64, false, msqueue.WithCounters(ctrs), msqueue.WithMaxThreads(4))
+	s := q.Attach()
+	defer s.Detach()
+	const ops = 1000
+	for i := 0; i < ops; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	cas := ctrs.PerOp(xsync.OpCASSuccess)
+	if cas < 1.4 || cas > 1.6 {
+		t.Errorf("successful CAS per op = %.2f, want ~1.5 (2 enq + 1 deq)", cas)
+	}
+}
+
+// TestReclamationBounded checks that hazard-pointer reclamation actually
+// recycles nodes: pushing far more values through the queue than the
+// arena holds must succeed because dequeued nodes return to the arena.
+func TestReclamationBounded(t *testing.T) {
+	q := msqueue.New(8, true, msqueue.WithMaxThreads(2))
+	s := q.Attach()
+	defer s.Detach()
+	// 8 + 1 + 4*2*2 = 25 nodes in the arena; run 10000 ops through it.
+	for i := 0; i < 10000; i++ {
+		v := uint64(i+1) << 1
+		if err := s.Enqueue(v); err != nil {
+			t.Fatalf("enqueue %d: %v (reclamation failed?)", i, err)
+		}
+		got, ok := s.Dequeue()
+		if !ok || got != v {
+			t.Fatalf("dequeue %d = %#x,%v want %#x", i, got, ok, v)
+		}
+	}
+}
+
+// TestConcurrentReclamation stresses retire/scan with concurrent readers:
+// dequeuers retire nodes while other threads still traverse them via
+// protected handles.
+func TestConcurrentReclamation(t *testing.T) {
+	for _, srt := range []bool{false, true} {
+		q := msqueue.New(64, srt, msqueue.WithMaxThreads(8))
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				s := q.Attach()
+				defer s.Detach()
+				for i := 0; i < 3000; i++ {
+					v := uint64(g*100000+i+1) << 1
+					for s.Enqueue(v) != nil {
+					}
+					for {
+						if _, ok := s.Dequeue(); ok {
+							break
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,105 @@
+// Package seq is an unsynchronized single-threaded circular-array queue.
+// It exists for one experiment: §6's overhead measurement, where "a
+// single thread accessing the FIFO array in absence of contention and
+// without any synchronization" is the baseline against which the paper
+// reports its LL/SC implementation 12% slower and its CAS implementation
+// 50% (PowerPC) / 90% (AMD) slower. It is NOT safe for concurrent use; a
+// debug build-independent guard panics on detected concurrent access in
+// tests (via the race detector) but the type itself carries no
+// synchronization by design.
+package seq
+
+import (
+	"fmt"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// Queue is an unsynchronized ring buffer. Create with New.
+type Queue struct {
+	slots []uint64
+	head  uint64
+	tail  uint64
+	mask  uint64
+	size  uint64
+	ctrs  *xsync.Counters
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// New returns a queue with the given capacity, rounded up to a power of
+// two.
+func New(capacity int, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("seq: capacity %d must be positive", capacity))
+	}
+	size := uint64(1)
+	for size < uint64(capacity) {
+		size <<= 1
+	}
+	q := &Queue{slots: make([]uint64, size), mask: size - 1, size: size}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Capacity returns the slot count.
+func (q *Queue) Capacity() int { return int(q.size) }
+
+// Name returns the algorithm's display name.
+func (q *Queue) Name() string { return "Unsynchronized Array" }
+
+// Session forwards to the queue; it exists only to satisfy the contract.
+type Session struct {
+	q   *Queue
+	ctr xsync.Handle
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach returns a session. The queue remains single-threaded; attaching
+// from several goroutines without external serialization is a caller
+// bug.
+func (q *Queue) Attach() queue.Session {
+	return &Session{q: q, ctr: q.ctrs.Handle()}
+}
+
+// Detach releases the session (a no-op for this algorithm).
+func (s *Session) Detach() {}
+
+// Enqueue inserts v at the tail.
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	q := s.q
+	if q.tail == q.head+q.size {
+		return queue.ErrFull
+	}
+	q.slots[q.tail&q.mask] = v
+	q.tail++
+	s.ctr.Inc(xsync.OpEnqueue)
+	return nil
+}
+
+// Dequeue removes the head value.
+func (s *Session) Dequeue() (uint64, bool) {
+	q := s.q
+	if q.head == q.tail {
+		return 0, false
+	}
+	v := q.slots[q.head&q.mask]
+	q.slots[q.head&q.mask] = 0
+	q.head++
+	s.ctr.Inc(xsync.OpDequeue)
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return int(q.tail - q.head) }

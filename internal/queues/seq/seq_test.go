@@ -1,0 +1,34 @@
+package seq_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/seq"
+	"nbqueue/internal/queuetest"
+)
+
+func maker(capacity int) queue.Queue { return seq.New(capacity) }
+
+// The unsynchronized baseline only runs the single-threaded parts of the
+// conformance suite.
+func TestSequentialFIFO(t *testing.T)  { queuetest.SequentialFIFO(t, maker) }
+func TestFullEmpty(t *testing.T)       { queuetest.FullEmpty(t, maker, false) }
+func TestValueValidation(t *testing.T) { queuetest.ValueValidation(t, maker) }
+
+func TestLen(t *testing.T) {
+	q := seq.New(8)
+	s := q.Attach()
+	for i := 0; i < 6; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 6 {
+		t.Errorf("Len = %d, want 6", q.Len())
+	}
+	s.Dequeue()
+	if q.Len() != 5 {
+		t.Errorf("Len = %d, want 5", q.Len())
+	}
+}

@@ -1,0 +1,84 @@
+package shann_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/shann"
+	"nbqueue/internal/queuetest"
+	"nbqueue/internal/tagptr"
+	"nbqueue/internal/xsync"
+)
+
+func maker(capacity int) queue.Queue { return shann.New(capacity) }
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, maker)
+}
+
+func TestConformancePadded(t *testing.T) {
+	queuetest.RunAll(t, func(c int) queue.Queue {
+		return shann.New(c, shann.WithPaddedSlots(true))
+	})
+}
+
+func TestTinyQueueContention(t *testing.T) {
+	queuetest.StressMPMC(t, func(int) queue.Queue { return maker(2) }, 2, 2, 5000)
+}
+
+// Test32BitValueLimit verifies the defining restriction of the CAS64
+// design: values beyond 32 bits cannot share a word with the counter, so
+// they are rejected — the portability gap the Evequoz algorithms close.
+func Test32BitValueLimit(t *testing.T) {
+	q := shann.New(8)
+	s := q.Attach()
+	defer s.Detach()
+	over := (tagptr.CountedMax + 2) &^ 1 // even, nonzero, > 32 bits
+	if err := s.Enqueue(over); err != queue.ErrValue {
+		t.Errorf("Enqueue(%#x) = %v, want ErrValue", over, err)
+	}
+	if err := s.Enqueue(tagptr.CountedMax - 1); err != nil {
+		t.Errorf("Enqueue(max 32-bit even) = %v, want nil", err)
+	}
+}
+
+// TestSyncOpsProfile verifies the §6 cost model: one slot CAS64 plus one
+// index CAS per operation when uncontended.
+func TestSyncOpsProfile(t *testing.T) {
+	ctrs := xsync.NewCounters()
+	q := shann.New(64, shann.WithCounters(ctrs))
+	s := q.Attach()
+	defer s.Detach()
+	const ops = 1000
+	for i := 0; i < ops; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	cas := ctrs.PerOp(xsync.OpCASSuccess)
+	if cas < 1.9 || cas > 2.1 {
+		t.Errorf("successful CAS per op = %.2f, want ~2 (slot + index)", cas)
+	}
+}
+
+// TestSlotCounterMonotone checks the ABA defence directly: after heavy
+// single-slot reuse, operations still deliver exact FIFO (the counter
+// keeps every install unique even though the value field repeats).
+func TestSlotCounterMonotone(t *testing.T) {
+	q := shann.New(1) // single slot: every op reuses it
+	s := q.Attach()
+	defer s.Detach()
+	const v = uint64(42) << 1
+	for i := 0; i < 100000; i++ {
+		if err := s.Enqueue(v); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		got, ok := s.Dequeue()
+		if !ok || got != v {
+			t.Fatalf("dequeue %d = %#x,%v", i, got, ok)
+		}
+	}
+}

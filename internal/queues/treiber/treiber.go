@@ -1,0 +1,194 @@
+// Package treiber implements the FIFO queue attributed to Treiber in the
+// paper's §2 (R. Treiber, "Systems Programming: Coping With Parallelism",
+// IBM Almaden RJ5118, 1986 — reference [13]): a linked structure where
+// "the enqueue operation requires only a single step, [but] the running
+// time needed for the dequeue operation is proportional to the number of
+// items in the queue".
+//
+// Realization: the queue is a Treiber *stack* of nodes, newest at the
+// top. Enqueue is the classic single-CAS push. Dequeue walks from the top
+// to the oldest node (the bottom) and unlinks it — either by CASing the
+// top pointer when the stack has one node, or by CASing the predecessor's
+// next link otherwise. The walk is the O(n) cost §2 criticizes, and the
+// related-work scaling experiment measures exactly that growth.
+//
+// Unlinking at the tail races with other dequeuers and with node reuse,
+// so the walk is protected by hazard pointers: the predecessor and victim
+// are published before the unlink CAS, and removed nodes are retired, not
+// freed — the same reclamation machinery as the MS baselines.
+package treiber
+
+import (
+	"fmt"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/hazard"
+	"nbqueue/internal/pad"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// Queue is a Treiber-style FIFO. Create with New.
+type Queue struct {
+	top        pad.Uint64 // newest node, or Nil
+	nodes      *arena.Arena
+	dom        *hazard.Domain
+	ctrs       *xsync.Counters
+	cap        int
+	maxThreads int
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithMaxThreads sizes reclamation headroom, as in msqueue.
+func WithMaxThreads(n int) Option { return func(q *Queue) { q.maxThreads = n } }
+
+const defaultMaxThreads = 128
+
+// New returns a queue able to hold capacity items.
+func New(capacity int, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("treiber: capacity %d must be positive", capacity))
+	}
+	q := &Queue{cap: capacity, maxThreads: defaultMaxThreads}
+	for _, o := range opts {
+		o(q)
+	}
+	q.nodes = arena.New(capacity + hazard.RetireFactor*q.maxThreads*q.maxThreads)
+	q.dom = hazard.NewDomain(q.nodes, true, 0)
+	q.top.Store(arena.Nil)
+	return q
+}
+
+// Capacity returns the nominal capacity.
+func (q *Queue) Capacity() int { return q.cap }
+
+// Name returns the algorithm's display name.
+func (q *Queue) Name() string { return "Treiber" }
+
+// SpaceRecords reports the hazard records ever created.
+func (q *Queue) SpaceRecords() int { return q.dom.Records() }
+
+// SpaceParked reports nodes withheld on retired lists; quiescent use
+// only.
+func (q *Queue) SpaceParked() int { return q.dom.Parked() }
+
+// Session carries the goroutine's hazard record.
+type Session struct {
+	q   *Queue
+	rec *hazard.Record
+	ctr xsync.Handle
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach acquires a hazard record for the calling goroutine.
+func (q *Queue) Attach() queue.Session {
+	return &Session{q: q, rec: q.dom.Acquire(), ctr: q.ctrs.Handle()}
+}
+
+// Detach releases the hazard record.
+func (s *Session) Detach() { s.rec.Release() }
+
+// Hazard slots: 0 = predecessor, 1 = current walk node.
+const (
+	hpPred = 0
+	hpCurr = 1
+)
+
+// Enqueue pushes v onto the top — the single-step operation of [13].
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	q := s.q
+	n := q.nodes.Alloc()
+	if n == arena.Nil {
+		s.rec.Scan()
+		if n = q.nodes.Alloc(); n == arena.Nil {
+			return queue.ErrFull
+		}
+	}
+	node := q.nodes.Get(n)
+	node.Value.Store(v)
+	for {
+		top := q.top.Load()
+		node.Next.Store(top)
+		s.ctr.Inc(xsync.OpCASAttempt)
+		if q.top.CompareAndSwap(top, n) {
+			s.ctr.Inc(xsync.OpCASSuccess)
+			s.ctr.Inc(xsync.OpEnqueue)
+			return nil
+		}
+	}
+}
+
+// Dequeue walks to the oldest node and unlinks it. O(queue length).
+func (s *Session) Dequeue() (uint64, bool) {
+	q := s.q
+	for {
+		top := s.rec.Protect(hpCurr, q.top.Ptr())
+		if top == arena.Nil {
+			s.rec.Clear(hpCurr)
+			return 0, false
+		}
+		// Walk pred/curr until curr is the last node. pred starts Nil
+		// (meaning "top pointer itself is the predecessor link").
+		pred := arena.Nil
+		curr := top
+		for {
+			next := q.nodes.Get(curr).Next.Load()
+			if next == arena.Nil {
+				break
+			}
+			// Advance: curr becomes pred (rotate the hazard slots so
+			// both stay protected).
+			s.rec.Set(hpPred, curr)
+			// Re-validate the walk: the node we came through must still
+			// be reachable. Cheapest sound check: pred's next (or top)
+			// still points at what we think follows it.
+			if pred == arena.Nil {
+				if q.top.Load() != curr {
+					break // restart from the top
+				}
+			}
+			pred = curr
+			curr = next
+			s.rec.Set(hpCurr, curr)
+			if q.nodes.Get(pred).Next.Load() != curr {
+				// Unlinked under us; restart.
+				pred = arena.Nil
+				break
+			}
+		}
+		if pred == arena.Nil && curr != arena.Nil && q.nodes.Get(curr).Next.Load() != arena.Nil {
+			continue // walk was invalidated; retry from the top
+		}
+		if curr == arena.Nil {
+			continue
+		}
+		v := q.nodes.Get(curr).Value.Load()
+		var unlinked bool
+		s.ctr.Inc(xsync.OpCASAttempt)
+		if pred == arena.Nil {
+			// curr is the only node: pop via the top pointer.
+			unlinked = q.top.CompareAndSwap(curr, arena.Nil)
+		} else {
+			unlinked = q.nodes.Get(pred).Next.CompareAndSwap(curr, arena.Nil)
+		}
+		if unlinked {
+			s.ctr.Inc(xsync.OpCASSuccess)
+			s.rec.Clear(hpPred)
+			s.rec.Clear(hpCurr)
+			s.rec.Retire(curr)
+			s.ctr.Inc(xsync.OpDequeue)
+			return v, true
+		}
+		// Lost the race (another dequeuer took the tail, or an enqueue
+		// changed the top in the single-node case); retry.
+	}
+}

@@ -1,0 +1,109 @@
+package treiber_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/treiber"
+	"nbqueue/internal/queuetest"
+	"nbqueue/internal/xsync"
+)
+
+func maker(capacity int) queue.Queue {
+	return treiber.New(capacity, treiber.WithMaxThreads(16))
+}
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAllWith(t, maker, queuetest.Opts{SoftCapacity: true})
+}
+
+// TestEnqueueSingleCAS verifies the §2 claim "the enqueue operation
+// requires only a single step": uncontended, exactly one successful CAS
+// per enqueue.
+func TestEnqueueSingleCAS(t *testing.T) {
+	ctrs := xsync.NewCounters()
+	q := treiber.New(512, treiber.WithCounters(ctrs), treiber.WithMaxThreads(2))
+	s := q.Attach()
+	defer s.Detach()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ctrs.Total(xsync.OpCASSuccess); got != n {
+		t.Fatalf("successful CAS = %d, want exactly %d (single-step enqueue)", got, n)
+	}
+}
+
+// TestDequeueWalksToOldest: FIFO despite LIFO linkage.
+func TestDequeueWalksToOldest(t *testing.T) {
+	q := treiber.New(64, treiber.WithMaxThreads(2))
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 20; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := s.Dequeue()
+		if !ok || v != uint64(i+1)<<1 {
+			t.Fatalf("dequeue %d = %#x,%v", i, v, ok)
+		}
+	}
+}
+
+// TestReclamationBounded: node reuse through the hazard domain keeps a
+// small arena serviceable across many operations.
+func TestReclamationBounded(t *testing.T) {
+	q := treiber.New(8, treiber.WithMaxThreads(2))
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 10000; i++ {
+		v := uint64(i+1) << 1
+		if err := s.Enqueue(v); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		got, ok := s.Dequeue()
+		if !ok || got != v {
+			t.Fatalf("dequeue %d = %#x,%v", i, got, ok)
+		}
+	}
+}
+
+// TestInterleavedDepth: dequeue-from-depth correctness when the stack
+// holds several items and operations interleave.
+func TestInterleavedDepth(t *testing.T) {
+	q := treiber.New(1024, treiber.WithMaxThreads(2))
+	s := q.Attach()
+	defer s.Detach()
+	var model []uint64
+	n := uint64(1)
+	for round := 0; round < 200; round++ {
+		for k := 0; k <= round%7; k++ {
+			v := n << 1
+			n++
+			if err := s.Enqueue(v); err != nil {
+				t.Fatal(err)
+			}
+			model = append(model, v)
+		}
+		for k := 0; k < round%5; k++ {
+			if len(model) == 0 {
+				break
+			}
+			v, ok := s.Dequeue()
+			if !ok || v != model[0] {
+				t.Fatalf("round %d: dequeue = %#x,%v want %#x", round, v, ok, model[0])
+			}
+			model = model[1:]
+		}
+	}
+	for _, want := range model {
+		v, ok := s.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("drain: dequeue = %#x,%v want %#x", v, ok, want)
+		}
+	}
+}

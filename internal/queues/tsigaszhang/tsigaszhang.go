@@ -1,0 +1,230 @@
+// Package tsigaszhang implements the Tsigas & Zhang array-based
+// non-blocking FIFO queue (SPAA 2001, the paper's reference [14]) as a
+// related-work extension. It is the first practical circular-array queue
+// on single-word primitives and the design whose two weaknesses motivate
+// the Evequoz algorithms:
+//
+//   - its indices are *actual array positions* updated by CAS, so its
+//     linearizability argument "assumes that an enqueue or a dequeue
+//     operation cannot be preempted by more than s similar operations"
+//     (not population-oblivious — a thread preempted for a full index
+//     rewind can corrupt the queue);
+//   - data-ABA is only probabilistically avoided when values repeat.
+//
+// The null-ABA problem it *does* solve with the celebrated two-null
+// scheme: empty slots are marked null0 or null1 depending on which "lap"
+// consumed them, the dequeuer re-marks freed slots with the null of the
+// consumed region, and the interpretation switches when Head rewinds past
+// slot 0 (§3 of the Evequoz paper describes the trick). An enqueuer's
+// install CAS expects the exact null it read, so an enqueue into a
+// stale-lap slot fails.
+//
+// Deviations from SPAA'01, documented per DESIGN.md: Tail is updated on
+// every successful enqueue rather than every second one (the lagged-tail
+// optimization is orthogonal to the correctness structure and its absence
+// only costs one extra CAS), and the helper that advances a lagging Head
+// over nulls follows the simplified form in the Evequoz paper's
+// description. Head points at the slot *before* the first item (a moving
+// dummy), as in the original.
+package tsigaszhang
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nbqueue/internal/pad"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// The two empty markers. Null0 marks slots never written in the current
+// interpretation ("3rd interval"); Null1 marks slots whose item was
+// consumed ("1st interval"). Both are outside the legal value domain
+// (values are nonzero, even, < 2^40).
+const (
+	null0 = uint64(0)
+	null1 = uint64(1) << 41
+)
+
+func isNull(v uint64) bool { return v == null0 || v == null1 }
+
+func otherNull(v uint64) uint64 {
+	if v == null0 {
+		return null1
+	}
+	return null0
+}
+
+// Queue is a Tsigas–Zhang array queue. Create with New.
+type Queue struct {
+	head  pad.Uint64 // array index of the slot before the first item
+	tail  pad.Uint64 // array index of the first free slot
+	slots []atomic.Uint64
+	size  uint64
+	ctrs  *xsync.Counters
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// New returns a queue holding up to capacity items. The array has
+// capacity+2 slots: one for the moving dummy and one kept free to
+// disambiguate full from empty.
+func New(capacity int, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("tsigaszhang: capacity %d must be positive", capacity))
+	}
+	q := &Queue{
+		slots: make([]atomic.Uint64, capacity+2),
+		size:  uint64(capacity + 2),
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	// All slots start as null0; the dummy position is slot 0.
+	q.head.Store(0)
+	q.tail.Store(1)
+	return q
+}
+
+// Capacity returns the maximum number of queued items.
+func (q *Queue) Capacity() int { return int(q.size) - 2 }
+
+// Name returns the algorithm's display name.
+func (q *Queue) Name() string { return "Tsigas-Zhang" }
+
+// Session is stateless.
+type Session struct {
+	q   *Queue
+	ctr xsync.Handle
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach returns a session for the calling goroutine.
+func (q *Queue) Attach() queue.Session {
+	return &Session{q: q, ctr: q.ctrs.Handle()}
+}
+
+// Detach releases the session (a no-op for this algorithm).
+func (s *Session) Detach() {}
+
+func (s *Session) cas(w *atomic.Uint64, old, new uint64) bool {
+	s.ctr.Inc(xsync.OpCASAttempt)
+	if w.CompareAndSwap(old, new) {
+		s.ctr.Inc(xsync.OpCASSuccess)
+		return true
+	}
+	return false
+}
+
+// Enqueue inserts v at the tail.
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	q := s.q
+	for {
+		te := q.tail.Load()
+		ate := te
+		tt := q.slots[ate].Load()
+		tmp := (ate + 1) % q.size
+		// Scan forward over occupied slots to find the actual tail (Tail
+		// may lag behind delayed enqueuers).
+		for !isNull(tt) {
+			if te != q.tail.Load() {
+				break
+			}
+			if tmp == q.head.Load() {
+				break
+			}
+			tt = q.slots[tmp].Load()
+			ate = tmp
+			tmp = (ate + 1) % q.size
+		}
+		if te != q.tail.Load() {
+			continue
+		}
+		if tmp == q.head.Load() {
+			// The scan hit the dummy: the array is full unless Head is
+			// lagging behind completed dequeues.
+			ate = (tmp + 1) % q.size
+			tt = q.slots[ate].Load()
+			if !isNull(tt) {
+				return queue.ErrFull
+			}
+			// Help the lagging dequeuer by advancing Head over the
+			// already-freed slot, then retry.
+			s.cas(q.head.Ptr(), tmp, ate)
+			continue
+		}
+		if !isNull(tt) || te != q.tail.Load() {
+			continue
+		}
+		// Install expecting the exact null we read: an enqueue into a
+		// slot whose lap interpretation changed fails here (null-ABA
+		// defence).
+		if s.cas(&q.slots[ate], tt, v) {
+			s.cas(q.tail.Ptr(), te, tmp)
+			s.ctr.Inc(xsync.OpEnqueue)
+			return nil
+		}
+	}
+}
+
+// Dequeue removes the head value.
+func (s *Session) Dequeue() (uint64, bool) {
+	q := s.q
+	for {
+		th := q.head.Load()
+		tmp := (th + 1) % q.size
+		tt := q.slots[tmp].Load()
+		// Scan forward over nulls to find the first item (Head may lag).
+		for isNull(tt) {
+			if th != q.head.Load() {
+				break
+			}
+			if tmp == q.tail.Load() {
+				return 0, false
+			}
+			tmp = (tmp + 1) % q.size
+			tt = q.slots[tmp].Load()
+		}
+		if th != q.head.Load() {
+			continue
+		}
+		if tmp == q.tail.Load() {
+			// Tail lagging behind items; help and retry.
+			s.cas(q.tail.Ptr(), tmp, (tmp+1)%q.size)
+			continue
+		}
+		if isNull(tt) {
+			continue
+		}
+		// The null to write comes from the region Head is consuming; the
+		// interpretation switches when the new head position rewinds
+		// past slot 0.
+		tnull := q.slots[th].Load()
+		if !isNull(tnull) {
+			continue
+		}
+		if tmp < th {
+			tnull = otherNull(tnull)
+		}
+		if s.cas(&q.slots[tmp], tt, tnull) {
+			s.cas(q.head.Ptr(), th, tmp)
+			s.ctr.Inc(xsync.OpDequeue)
+			return tt, true
+		}
+	}
+}
+
+// Len reports the current number of queued items (approximate under
+// concurrency).
+func (q *Queue) Len() int {
+	h, t := q.head.Load(), q.tail.Load()
+	return int((t + q.size - h - 1) % q.size)
+}

@@ -1,0 +1,154 @@
+package tsigaszhang_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/tsigaszhang"
+	"nbqueue/internal/queuetest"
+)
+
+func maker(capacity int) queue.Queue { return tsigaszhang.New(capacity) }
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, maker)
+}
+
+// TestNullLapSwitch drives the head index through many rewinds of slot 0
+// on a small array, exercising the null0/null1 interpretation switch that
+// solves the null-ABA problem (§3 of the Evequoz paper describes the
+// scheme).
+func TestNullLapSwitch(t *testing.T) {
+	q := tsigaszhang.New(3)
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 50000; i++ {
+		v := uint64(i+1) << 1
+		if err := s.Enqueue(v); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		got, ok := s.Dequeue()
+		if !ok || got != v {
+			t.Fatalf("dequeue %d = %#x,%v want %#x", i, got, ok, v)
+		}
+	}
+}
+
+// TestCapacityExact verifies the queue holds exactly the advertised
+// number of items before reporting full.
+func TestCapacityExact(t *testing.T) {
+	for _, c := range []int{1, 2, 5, 8} {
+		q := tsigaszhang.New(c)
+		s := q.Attach()
+		n := 0
+		for ; ; n++ {
+			if err := s.Enqueue(uint64(n+1) << 1); err != nil {
+				if err != queue.ErrFull {
+					t.Fatalf("cap=%d enqueue: %v", c, err)
+				}
+				break
+			}
+			if n > c {
+				t.Fatalf("cap=%d accepted %d items", c, n+1)
+			}
+		}
+		if n != c {
+			t.Errorf("cap=%d accepted %d items before full", c, n)
+		}
+		s.Detach()
+	}
+}
+
+// TestTinyQueueContention drives heavy contention on tiny arrays so the
+// helping paths fire: the enqueue scan over occupied slots (lagging
+// Tail), the dequeue scan over nulls (lagging Head), and the full-check
+// help that advances a stale Head.
+func TestTinyQueueContention(t *testing.T) {
+	for _, c := range []int{1, 2, 3} {
+		queuetest.StressMPMC(t, func(int) queue.Queue { return tsigaszhang.New(c) }, 2, 2, 3000)
+	}
+}
+
+// TestFullWithLaggingHead exercises the enqueue branch that helps a
+// lagging dequeuer by advancing Head over an already-freed slot instead
+// of declaring the queue full.
+func TestFullWithLaggingHead(t *testing.T) {
+	q := tsigaszhang.New(4)
+	s := q.Attach()
+	defer s.Detach()
+	// Fill, drain one, fill again, repeatedly: the head/tail dance
+	// crosses the full boundary from every array offset.
+	n := uint64(1)
+	for round := 0; round < 64; round++ {
+		for {
+			if err := s.Enqueue(n << 1); err != nil {
+				break
+			}
+			n++
+		}
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("full queue reported empty")
+		}
+		if err := s.Enqueue(n << 1); err != nil {
+			t.Fatalf("round %d: enqueue after drain-one: %v", round, err)
+		}
+		n++
+		// Drain fully to rotate the window.
+		for {
+			if _, ok := s.Dequeue(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// TestLen reports the resident count through wrap-arounds.
+func TestLen(t *testing.T) {
+	q := tsigaszhang.New(3)
+	s := q.Attach()
+	defer s.Detach()
+	if q.Len() != 0 {
+		t.Fatalf("fresh Len = %d", q.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+		if q.Len() != i+1 {
+			t.Fatalf("Len after %d enqueues = %d", i+1, q.Len())
+		}
+	}
+	s.Dequeue()
+	if q.Len() != 2 {
+		t.Fatalf("Len after dequeue = %d", q.Len())
+	}
+}
+
+// TestMixedHeavy interleaves bursts so scans start from many offsets.
+func TestMixedHeavy(t *testing.T) {
+	q := tsigaszhang.New(8)
+	s := q.Attach()
+	defer s.Detach()
+	var model []uint64
+	n := uint64(1)
+	for round := 0; round < 500; round++ {
+		for k := 0; k <= round%4; k++ {
+			v := n << 1
+			if err := s.Enqueue(v); err != nil {
+				break
+			}
+			model = append(model, v)
+			n++
+		}
+		for k := 0; k < round%3; k++ {
+			if len(model) == 0 {
+				break
+			}
+			v, ok := s.Dequeue()
+			if !ok || v != model[0] {
+				t.Fatalf("round %d: dequeue = %#x,%v want %#x", round, v, ok, model[0])
+			}
+			model = model[1:]
+		}
+	}
+}

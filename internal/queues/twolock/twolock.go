@@ -1,0 +1,119 @@
+// Package twolock implements Michael & Scott's two-lock blocking queue
+// (from the same JPDC 1998 paper as the lock-free variant) as the
+// blocking reference point. It is not measured in the paper's Figure 6,
+// but it is the natural "what mutual exclusion costs" yardstick the
+// paper's introduction argues against — lock-based queues block under
+// preemption, which is exactly the pathology the non-blocking designs
+// avoid — so the extended benchmarks include it.
+//
+// One mutex guards the head, another the tail; a dummy node decouples
+// them so an enqueue and a dequeue never contend with each other, only
+// with operations of their own kind.
+package twolock
+
+import (
+	"fmt"
+	"sync"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// Queue is a two-lock Michael–Scott queue. Create with New.
+type Queue struct {
+	headMu sync.Mutex
+	head   arena.Handle
+	_      [64]byte
+	tailMu sync.Mutex
+	tail   arena.Handle
+	nodes  *arena.Arena
+	ctrs   *xsync.Counters
+	cap    int
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// New returns a queue able to hold capacity items.
+func New(capacity int, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("twolock: capacity %d must be positive", capacity))
+	}
+	nodes := arena.New(capacity + 1)
+	q := &Queue{nodes: nodes, cap: capacity}
+	dummy := nodes.Alloc()
+	nodes.Get(dummy).Next.Store(arena.Nil)
+	q.head = dummy
+	q.tail = dummy
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Capacity returns the maximum number of queued items.
+func (q *Queue) Capacity() int { return q.cap }
+
+// Name returns the algorithm's display name.
+func (q *Queue) Name() string { return "MS Two-Lock" }
+
+// Session is stateless.
+type Session struct {
+	q   *Queue
+	ctr xsync.Handle
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach returns a session for the calling goroutine.
+func (q *Queue) Attach() queue.Session {
+	return &Session{q: q, ctr: q.ctrs.Handle()}
+}
+
+// Detach releases the session (a no-op for this algorithm).
+func (s *Session) Detach() {}
+
+// Enqueue inserts v at the tail, blocking on the tail lock.
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	q := s.q
+	n := q.nodes.Alloc()
+	if n == arena.Nil {
+		return queue.ErrFull
+	}
+	node := q.nodes.Get(n)
+	node.Value.Store(v)
+	node.Next.Store(arena.Nil)
+	q.tailMu.Lock()
+	q.nodes.Get(q.tail).Next.Store(n)
+	q.tail = n
+	q.tailMu.Unlock()
+	s.ctr.Inc(xsync.OpEnqueue)
+	return nil
+}
+
+// Dequeue removes the head value, blocking on the head lock.
+func (s *Session) Dequeue() (uint64, bool) {
+	q := s.q
+	q.headMu.Lock()
+	h := q.head
+	next := q.nodes.Get(h).Next.Load()
+	if next == arena.Nil {
+		q.headMu.Unlock()
+		return 0, false
+	}
+	v := q.nodes.Get(next).Value.Load()
+	q.head = next
+	q.headMu.Unlock()
+	// The old dummy is ours alone once head has moved: the head lock
+	// serializes dequeuers, and enqueuers never touch nodes before tail.
+	q.nodes.Free(h)
+	s.ctr.Inc(xsync.OpDequeue)
+	return v, true
+}

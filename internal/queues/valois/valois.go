@@ -1,0 +1,147 @@
+// Package valois implements the circular-array FIFO queue attributed to
+// Valois in the paper's §2 (reference [15]): "an algorithm based on a
+// bounded circular array [where] both enqueue and dequeue operations
+// require that two array locations which may not be adjacent be
+// simultaneously updated with a CAS primitive."
+//
+// Layout: one atomic2.Memory holds the Head counter (word 0), the Tail
+// counter (word 1) and the slot array (words 2..). An enqueue CAS2-es the
+// pair (slot[tail mod n], Tail): if the slot is still null and Tail still
+// holds the observed count, the value lands and Tail advances in one
+// indivisible step. Dequeue is symmetric on (slot[head mod n], Head).
+// Updating index and slot together removes every ABA class of §3 by
+// construction — and removes all the algorithmic content with it, which
+// is the didactic point. Since the CAS2 specification is serialized
+// behind a mutex (see internal/atomic2), this queue is a *reference
+// model*: correct, linearizable, and blocking.
+package valois
+
+import (
+	"fmt"
+
+	"nbqueue/internal/atomic2"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+const (
+	headWord = 0
+	tailWord = 1
+	slotBase = 2
+)
+
+// Queue is the Valois CAS2 reference queue. Create with New.
+type Queue struct {
+	mem  *atomic2.Memory
+	mask uint64
+	size uint64
+	ctrs *xsync.Counters
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// New returns a queue with the given capacity, rounded up to a power of
+// two.
+func New(capacity int, opts ...Option) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("valois: capacity %d must be positive", capacity))
+	}
+	size := uint64(1)
+	for size < uint64(capacity) {
+		size <<= 1
+	}
+	q := &Queue{
+		mem:  atomic2.New(slotBase + int(size)),
+		mask: size - 1,
+		size: size,
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Capacity returns the slot count.
+func (q *Queue) Capacity() int { return int(q.size) }
+
+// Name returns the algorithm's display name.
+func (q *Queue) Name() string { return "Valois (CAS2 model)" }
+
+// Session is stateless.
+type Session struct {
+	q   *Queue
+	ctr xsync.Handle
+}
+
+var _ queue.Session = (*Session)(nil)
+
+// Attach returns a session for the calling goroutine.
+func (q *Queue) Attach() queue.Session {
+	return &Session{q: q, ctr: q.ctrs.Handle()}
+}
+
+// Detach releases the session (a no-op for this algorithm).
+func (s *Session) Detach() {}
+
+// Enqueue inserts v with a single CAS2 over (slot, Tail).
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	q := s.q
+	for {
+		slotIdx := func(t uint64) int { return slotBase + int(t&q.mask) }
+		t, h := q.mem.Load(tailWord), q.mem.Load(headWord)
+		if t == h+q.size {
+			return queue.ErrFull
+		}
+		cur, tNow := q.mem.Snapshot2(slotIdx(t), tailWord)
+		if tNow != t {
+			continue
+		}
+		if cur != 0 {
+			// A laggard's item without an advanced Tail cannot exist
+			// here — CAS2 moves both together — so a non-null slot at
+			// Tail means our Tail read is stale; retry.
+			continue
+		}
+		s.ctr.Inc(xsync.OpCASAttempt)
+		if q.mem.CAS2(slotIdx(t), tailWord, 0, t, v, t+1) {
+			s.ctr.Inc(xsync.OpCASSuccess)
+			s.ctr.Inc(xsync.OpEnqueue)
+			return nil
+		}
+	}
+}
+
+// Dequeue removes the head value with a single CAS2 over (slot, Head).
+func (s *Session) Dequeue() (uint64, bool) {
+	q := s.q
+	for {
+		slotIdx := func(h uint64) int { return slotBase + int(h&q.mask) }
+		h, t := q.mem.Load(headWord), q.mem.Load(tailWord)
+		if h == t {
+			return 0, false
+		}
+		v, hNow := q.mem.Snapshot2(slotIdx(h), headWord)
+		if hNow != h || v == 0 {
+			continue
+		}
+		s.ctr.Inc(xsync.OpCASAttempt)
+		if q.mem.CAS2(slotIdx(h), headWord, v, h, 0, h+1) {
+			s.ctr.Inc(xsync.OpCASSuccess)
+			s.ctr.Inc(xsync.OpDequeue)
+			return v, true
+		}
+	}
+}
+
+// Len reports the current number of queued items.
+func (q *Queue) Len() int {
+	h, t := q.mem.Snapshot2(headWord, tailWord)
+	return int(t - h)
+}

@@ -1,0 +1,62 @@
+package valois_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/valois"
+	"nbqueue/internal/queuetest"
+	"nbqueue/internal/xsync"
+)
+
+func maker(capacity int) queue.Queue { return valois.New(capacity) }
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, maker)
+}
+
+// TestSingleCAS2PerOp: the defining property — one successful
+// two-location CAS per operation, nothing else.
+func TestSingleCAS2PerOp(t *testing.T) {
+	ctrs := xsync.NewCounters()
+	q := valois.New(64, valois.WithCounters(ctrs))
+	s := q.Attach()
+	defer s.Detach()
+	const ops = 1000
+	for i := 0; i < ops; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("empty")
+		}
+	}
+	if got := ctrs.PerOp(xsync.OpCASSuccess); got != 1 {
+		t.Errorf("successful CAS2 per op = %.2f, want exactly 1", got)
+	}
+}
+
+// TestIndexSlotAtomicity: because index and slot move together, Len and
+// slot occupancy can never disagree at quiescence, even after heavy
+// wrapping.
+func TestIndexSlotAtomicity(t *testing.T) {
+	q := valois.New(4)
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 10000; i++ {
+		v := uint64(i+1) << 1
+		if err := s.Enqueue(v); err != nil {
+			t.Fatal(err)
+		}
+		if q.Len() != 1 {
+			t.Fatalf("len after enqueue = %d", q.Len())
+		}
+		got, ok := s.Dequeue()
+		if !ok || got != v {
+			t.Fatalf("dequeue = %#x,%v", got, ok)
+		}
+		if q.Len() != 0 {
+			t.Fatalf("len after dequeue = %d", q.Len())
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package queuetest is the shared conformance suite run against every
+// queue algorithm in the module. Each algorithm package's tests invoke
+// these helpers with its own constructor, so all implementations face the
+// same sequential-semantics, boundary, concurrency and linearizability
+// checks, and algorithm-specific tests stay focused on what is unique to
+// that algorithm.
+package queuetest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"nbqueue/internal/lincheck"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// Maker builds a fresh queue with at least the given capacity.
+type Maker func(capacity int) queue.Queue
+
+// val maps a small integer to a legal queue value (even, nonzero).
+func val(i int) uint64 { return uint64(i+1) << 1 }
+
+// SequentialFIFO drives a single session through interleaved patterns and
+// checks exact FIFO semantics against a model slice.
+func SequentialFIFO(t *testing.T, mk Maker) {
+	t.Helper()
+	q := mk(256)
+	s := q.Attach()
+	defer s.Detach()
+	var model []uint64
+	push := func(i int) {
+		t.Helper()
+		v := val(i)
+		if err := s.Enqueue(v); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		model = append(model, v)
+	}
+	pop := func() {
+		t.Helper()
+		v, ok := s.Dequeue()
+		if len(model) == 0 {
+			if ok {
+				t.Fatalf("dequeue returned %#x from empty queue", v)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("dequeue reported empty, want %#x", model[0])
+		}
+		if v != model[0] {
+			t.Fatalf("dequeue = %#x, want %#x (FIFO violation)", v, model[0])
+		}
+		model = model[1:]
+	}
+	// Simple in-order.
+	for i := 0; i < 10; i++ {
+		push(i)
+	}
+	for i := 0; i < 10; i++ {
+		pop()
+	}
+	pop() // empty
+	// Interleaved with wrap-around well beyond capacity.
+	n := 0
+	for round := 0; round < 40; round++ {
+		for k := 0; k <= round%5; k++ {
+			push(n)
+			n++
+		}
+		for k := 0; k < round%3; k++ {
+			pop()
+		}
+	}
+	for len(model) > 0 {
+		pop()
+	}
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("queue should be empty, got %#x", v)
+	}
+}
+
+// FullEmpty verifies boundary behaviour of a bounded queue: fill to
+// capacity, observe ErrFull, drain, observe empty, refill. When soft is
+// true the queue's Capacity is treated as a lower bound only (link-based
+// queues bound by their node arena, which includes reclamation headroom).
+func FullEmpty(t *testing.T, mk Maker, soft bool) {
+	t.Helper()
+	const capReq = 8
+	q := mk(capReq)
+	capacity := q.Capacity()
+	if capacity <= 0 {
+		t.Skip("unbounded queue")
+	}
+	guard := capacity
+	if soft {
+		guard = 1 << 22
+	}
+	s := q.Attach()
+	defer s.Detach()
+	for cycle := 0; cycle < 3; cycle++ {
+		i := 0
+		for ; ; i++ {
+			if err := s.Enqueue(val(cycle*1000000 + i)); err != nil {
+				if err != queue.ErrFull {
+					t.Fatalf("enqueue: %v", err)
+				}
+				break
+			}
+			if i > guard {
+				t.Fatalf("enqueued %d items into capacity-%d queue without ErrFull", i+1, capacity)
+			}
+		}
+		if i < capReq {
+			t.Fatalf("queue full after %d items, requested capacity %d", i, capReq)
+		}
+		for k := 0; k < i; k++ {
+			v, ok := s.Dequeue()
+			if !ok {
+				t.Fatalf("dequeue %d/%d reported empty", k, i)
+			}
+			if want := val(cycle*1000000 + k); v != want {
+				t.Fatalf("dequeue %d = %#x, want %#x", k, v, want)
+			}
+		}
+		if _, ok := s.Dequeue(); ok {
+			t.Fatal("queue should be empty after drain")
+		}
+	}
+}
+
+// ValueValidation checks the word-contract errors.
+func ValueValidation(t *testing.T, mk Maker) {
+	t.Helper()
+	q := mk(8)
+	s := q.Attach()
+	defer s.Detach()
+	for _, bad := range []uint64{0, 1, 3, 7, queue.MaxValue + 2} {
+		if err := s.Enqueue(bad); err != queue.ErrValue {
+			t.Errorf("Enqueue(%#x) = %v, want ErrValue", bad, err)
+		}
+	}
+	if err := s.Enqueue(2); err != nil {
+		t.Errorf("Enqueue(2) = %v, want nil", err)
+	}
+}
+
+// StressMPMC hammers the queue with producers and consumers exchanging
+// unique values, then verifies conservation: every value produced is
+// consumed exactly once and nothing else appears.
+func StressMPMC(t *testing.T, mk Maker, producers, consumers, perProducer int) {
+	t.Helper()
+	q := mk(256)
+	total := producers * perProducer
+	seen := make([]atomic.Int32, total)
+	var wg sync.WaitGroup
+	start := xsync.NewBarrier(producers + consumers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			start.Wait()
+			for i := 0; i < perProducer; i++ {
+				v := val(p*perProducer + i)
+				for s.Enqueue(v) != nil {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	var errs []string
+	got := make(chan struct{}, total)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			start.Wait()
+			for {
+				select {
+				case got <- struct{}{}:
+				default:
+					return // all values claimed
+				}
+				v, ok := s.Dequeue()
+				for !ok {
+					runtime.Gosched()
+					v, ok = s.Dequeue()
+				}
+				idx := int(v>>1) - 1
+				if idx < 0 || idx >= total {
+					mu.Lock()
+					errs = append(errs, fmt.Sprintf("alien value %#x", v))
+					mu.Unlock()
+					continue
+				}
+				seen[idx].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		t.Error(e)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("value %d consumed %d times, want exactly once", i, n)
+		}
+	}
+	// Queue must be empty now.
+	s := q.Attach()
+	defer s.Detach()
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("leftover value %#x after balanced stress", v)
+	}
+}
+
+// Linearizable records a concurrent history with mixed operations per
+// thread and validates it with the fast checker; small sub-histories are
+// additionally checked exhaustively by the lincheck package's own tests.
+func Linearizable(t *testing.T, mk Maker, threads, opsPerThread int) {
+	t.Helper()
+	q := mk(threads * opsPerThread)
+	rec := lincheck.NewRecorder(threads, opsPerThread)
+	var wg sync.WaitGroup
+	start := xsync.NewBarrier(threads)
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			log := rec.Log(th)
+			start.Wait()
+			for i := 0; i < opsPerThread; i++ {
+				if (th+i)%2 == 0 {
+					v := val(th*opsPerThread + i)
+					inv := log.Begin()
+					err := s.Enqueue(v)
+					log.Enq(inv, v, err == nil)
+				} else {
+					inv := log.Begin()
+					v, ok := s.Dequeue()
+					log.Deq(inv, v, ok)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if err := lincheck.CheckFast(rec.History()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DetachReattach cycles sessions to exercise registration recycling
+// (LLSCvar records, hazard records) across many attach/detach rounds,
+// interleaved with queue traffic.
+func DetachReattach(t *testing.T, mk Maker) {
+	t.Helper()
+	q := mk(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				s := q.Attach()
+				v := val(g*1000 + round)
+				for s.Enqueue(v) != nil {
+					runtime.Gosched()
+				}
+				if _, ok := s.Dequeue(); !ok {
+					// Another goroutine may have taken it; that's fine —
+					// balance is restored because we enqueued first, so
+					// retry until something arrives or give the value up
+					// for a peer.
+					for i := 0; i < 100; i++ {
+						runtime.Gosched()
+						if _, ok = s.Dequeue(); ok {
+							break
+						}
+					}
+				}
+				s.Detach()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// ModelSequential is a property test: random single-threaded operation
+// sequences must behave identically to a slice model — every dequeue
+// yields exactly the model's front element, emptiness agrees, and a
+// drain at the end returns the full remaining model.
+func ModelSequential(t *testing.T, mk Maker) {
+	t.Helper()
+	f := func(ops []byte) bool {
+		q := mk(64)
+		s := q.Attach()
+		defer s.Detach()
+		var model []uint64
+		next := 1
+		for _, op := range ops {
+			if op%2 == 0 {
+				v := val(next)
+				next++
+				err := s.Enqueue(v)
+				if err == nil {
+					model = append(model, v)
+				} else if err != queue.ErrFull {
+					return false
+				}
+				// ErrFull against a non-full model is legal only for
+				// soft-capacity queues; accept it but keep the model in
+				// sync by not recording the value.
+			} else {
+				v, ok := s.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		for _, want := range model {
+			v, ok := s.Dequeue()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := s.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Opts tunes the conformance suite per algorithm.
+type Opts struct {
+	// SoftCapacity marks queues whose Capacity is a lower bound rather
+	// than exact (link-based queues bounded by their node arena).
+	SoftCapacity bool
+}
+
+// RunAll executes the full conformance suite as subtests.
+func RunAll(t *testing.T, mk Maker) { RunAllWith(t, mk, Opts{}) }
+
+// RunAllWith executes the suite with per-algorithm options.
+func RunAllWith(t *testing.T, mk Maker, o Opts) {
+	t.Run("SequentialFIFO", func(t *testing.T) { SequentialFIFO(t, mk) })
+	t.Run("FullEmpty", func(t *testing.T) { FullEmpty(t, mk, o.SoftCapacity) })
+	t.Run("ValueValidation", func(t *testing.T) { ValueValidation(t, mk) })
+	t.Run("StressMPMC", func(t *testing.T) {
+		if testing.Short() {
+			StressMPMC(t, mk, 2, 2, 500)
+			return
+		}
+		StressMPMC(t, mk, 4, 4, 2000)
+	})
+	t.Run("StressUnbalanced", func(t *testing.T) { StressMPMC(t, mk, 3, 5, 1000) })
+	t.Run("Linearizable", func(t *testing.T) { Linearizable(t, mk, 4, 300) })
+	t.Run("ModelSequential", func(t *testing.T) { ModelSequential(t, mk) })
+	t.Run("DetachReattach", func(t *testing.T) { DetachReattach(t, mk) })
+}

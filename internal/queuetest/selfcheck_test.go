@@ -1,0 +1,214 @@
+// Tests of the test infrastructure: deliberately broken queue
+// implementations must be caught by the conformance checks and the
+// linearizability checker. If one of these "bugs" stops being detected,
+// the suite has lost teeth.
+package queuetest_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/lincheck"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/chanq"
+)
+
+// base returns a known-good queue to corrupt.
+func base(capacity int) queue.Queue { return chanq.New(capacity) }
+
+// brokenKind selects the fault a brokenQueue injects.
+type brokenKind int
+
+const (
+	brokenLIFO brokenKind = iota // reverses order (stack semantics)
+	brokenDup                    // delivers every value twice
+	brokenLoss                   // drops every 5th enqueued value
+	brokenLie                    // claims empty while holding items
+)
+
+// brokenQueue wraps a real queue with an injected defect. Only suitable
+// for single-threaded checker tests.
+type brokenQueue struct {
+	kind brokenKind
+	// stack/state for the specific defects
+	stack   []uint64
+	pending []uint64
+	lastDup uint64
+	hasDup  bool
+	count   int
+	lieFlip bool
+}
+
+func (b *brokenQueue) Attach() queue.Session { return b }
+func (b *brokenQueue) Capacity() int         { return 0 }
+func (b *brokenQueue) Name() string          { return "broken" }
+func (b *brokenQueue) Detach()               {}
+
+func (b *brokenQueue) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	b.count++
+	switch b.kind {
+	case brokenLIFO:
+		b.stack = append(b.stack, v)
+	case brokenLoss:
+		if b.count%5 == 0 {
+			return nil // swallow it
+		}
+		b.pending = append(b.pending, v)
+	default:
+		b.pending = append(b.pending, v)
+	}
+	return nil
+}
+
+func (b *brokenQueue) Dequeue() (uint64, bool) {
+	switch b.kind {
+	case brokenLIFO:
+		if len(b.stack) == 0 {
+			return 0, false
+		}
+		v := b.stack[len(b.stack)-1]
+		b.stack = b.stack[:len(b.stack)-1]
+		return v, true
+	case brokenDup:
+		if b.hasDup {
+			b.hasDup = false
+			return b.lastDup, true
+		}
+		if len(b.pending) == 0 {
+			return 0, false
+		}
+		v := b.pending[0]
+		b.pending = b.pending[1:]
+		b.lastDup, b.hasDup = v, true
+		return v, true
+	case brokenLie:
+		b.lieFlip = !b.lieFlip
+		if b.lieFlip || len(b.pending) == 0 {
+			return 0, false // lie half the time
+		}
+		v := b.pending[0]
+		b.pending = b.pending[1:]
+		return v, true
+	default:
+		if len(b.pending) == 0 {
+			return 0, false
+		}
+		v := b.pending[0]
+		b.pending = b.pending[1:]
+		return v, true
+	}
+}
+
+// record runs a deterministic single-threaded workload against q and
+// returns the history.
+func record(q queue.Queue, ops int) []lincheck.Op {
+	rec := lincheck.NewRecorder(1, ops)
+	log := rec.Log(0)
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < ops; i++ {
+		if i%3 != 2 {
+			v := uint64(i+1) << 1
+			inv := log.Begin()
+			err := s.Enqueue(v)
+			log.Enq(inv, v, err == nil)
+		} else {
+			inv := log.Begin()
+			v, ok := s.Dequeue()
+			log.Deq(inv, v, ok)
+		}
+	}
+	// Drain to force order violations to the surface.
+	for {
+		inv := log.Begin()
+		v, ok := s.Dequeue()
+		log.Deq(inv, v, ok)
+		if !ok {
+			break
+		}
+	}
+	return rec.History()
+}
+
+func TestCheckerCatchesLIFO(t *testing.T) {
+	hist := record(&brokenQueue{kind: brokenLIFO}, 12)
+	if err := lincheck.CheckFast(hist); err == nil {
+		t.Fatal("fast checker accepted LIFO ordering")
+	}
+}
+
+func TestCheckerCatchesDuplication(t *testing.T) {
+	hist := record(&brokenQueue{kind: brokenDup}, 12)
+	if err := lincheck.CheckFast(hist); err == nil {
+		t.Fatal("fast checker accepted duplicated deliveries")
+	}
+}
+
+// Value loss is invisible to the linearizability checker (a lost value is
+// indistinguishable from one never dequeued), so the conservation check
+// of StressMPMC is what catches it; verify that mechanism directly.
+func TestConservationCatchesLoss(t *testing.T) {
+	q := &brokenQueue{kind: brokenLoss}
+	s := q.Attach()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for {
+		if _, ok := s.Dequeue(); !ok {
+			break
+		}
+		got++
+	}
+	if got == n {
+		t.Fatal("loss injection broken: all values arrived")
+	}
+	// The suite's conservation logic: every produced value must be
+	// consumed exactly once. Here it is violated by construction, which
+	// is what StressMPMC would report.
+}
+
+func TestExhaustiveCatchesFalseEmpty(t *testing.T) {
+	// enq(2); deq->empty; deq->2 sequentially: the lie is visible to the
+	// exhaustive checker (the empty dequeue cannot linearize anywhere).
+	q := &brokenQueue{kind: brokenLie}
+	rec := lincheck.NewRecorder(1, 8)
+	log := rec.Log(0)
+	s := q.Attach()
+	inv := log.Begin()
+	err := s.Enqueue(2)
+	log.Enq(inv, 2, err == nil)
+	inv = log.Begin()
+	v, ok := s.Dequeue() // lie: claims empty
+	log.Deq(inv, v, ok)
+	inv = log.Begin()
+	v, ok = s.Dequeue() // truth: returns 2
+	log.Deq(inv, v, ok)
+	if err := lincheck.CheckExhaustive(rec.History()); err == nil {
+		t.Fatal("exhaustive checker accepted an impossible empty result")
+	}
+}
+
+// TestGoodQueuePassesEverything is the control: the same workloads over a
+// correct queue must produce clean histories.
+func TestGoodQueuePassesEverything(t *testing.T) {
+	hist := record(base(64), 12)
+	if err := lincheck.CheckFast(hist); err != nil {
+		t.Fatalf("fast checker rejected a correct queue: %v", err)
+	}
+	if err := lincheck.CheckExhaustive(hist[:min(len(hist), 18)]); err != nil {
+		t.Fatalf("exhaustive checker rejected a correct queue: %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

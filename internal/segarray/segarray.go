@@ -1,0 +1,81 @@
+// Package segarray provides a lock-free, append-only, practically
+// unbounded array of atomic words — the "infinite array" substrate that
+// the Herlihy & Wing queue construction (the paper's reference [3])
+// assumes, realized the way Wing & Gong's practical variant ([16])
+// realizes it: storage materializes on demand and already-materialized
+// words never move, so a word's address is stable for the array's
+// lifetime.
+//
+// Structure: a fixed spine of segment pointers; segments of 2^segBits
+// words are installed by CAS on first touch. Readers pay one dependent
+// load (spine -> segment); there is no locking anywhere.
+package segarray
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+const (
+	segBits  = 12
+	segSize  = 1 << segBits // words per segment (32 KiB)
+	segMask  = segSize - 1
+	spineLen = 1 << 16 // max segments
+	// MaxWords is the largest addressable index + 1 (2^28 words = 2 GiB
+	// of payload — far beyond any benchmark here, and reached only if
+	// actually touched).
+	MaxWords = spineLen * segSize
+)
+
+type segment [segSize]atomic.Uint64
+
+// Array is a lock-free unbounded array of uint64 words, all initially
+// zero. The zero value is ready to use.
+type Array struct {
+	spine [spineLen]atomic.Pointer[segment]
+	// hint tracks the highest segment ever installed, letting Grown
+	// report memory consumption.
+	hint atomic.Uint64
+}
+
+// Word returns the address of word i, materializing its segment if
+// needed. The returned pointer is valid forever.
+func (a *Array) Word(i uint64) *atomic.Uint64 {
+	if i >= MaxWords {
+		panic(fmt.Sprintf("segarray: index %d exceeds MaxWords", i))
+	}
+	s := i >> segBits
+	seg := a.spine[s].Load()
+	if seg == nil {
+		// Racing installers are fine: the loser's allocation is
+		// dropped and everyone converges on the published segment.
+		a.spine[s].CompareAndSwap(nil, new(segment))
+		seg = a.spine[s].Load()
+		for h := a.hint.Load(); s+1 > h; h = a.hint.Load() {
+			if a.hint.CompareAndSwap(h, s+1) {
+				break
+			}
+		}
+	}
+	return &seg[i&segMask]
+}
+
+// Load returns word i (0 if its segment was never materialized, without
+// materializing it).
+func (a *Array) Load(i uint64) uint64 {
+	if i >= MaxWords {
+		panic(fmt.Sprintf("segarray: index %d exceeds MaxWords", i))
+	}
+	seg := a.spine[i>>segBits].Load()
+	if seg == nil {
+		return 0
+	}
+	return seg[i&segMask].Load()
+}
+
+// Segments returns the number of segments materialized so far.
+func (a *Array) Segments() int { return int(a.hint.Load()) }
+
+// Bytes returns the approximate memory consumed by materialized
+// segments.
+func (a *Array) Bytes() int { return a.Segments() * segSize * 8 }

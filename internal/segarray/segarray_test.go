@@ -1,0 +1,91 @@
+package segarray
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWordStableAndZero(t *testing.T) {
+	var a Array
+	w := a.Word(5)
+	if w.Load() != 0 {
+		t.Fatal("fresh word not zero")
+	}
+	w.Store(42)
+	if a.Word(5) != w {
+		t.Fatal("word address not stable")
+	}
+	if a.Load(5) != 42 {
+		t.Fatal("load disagrees")
+	}
+}
+
+func TestLoadWithoutMaterializing(t *testing.T) {
+	var a Array
+	if a.Load(1<<20) != 0 {
+		t.Fatal("unmaterialized load not zero")
+	}
+	if a.Segments() != 0 {
+		t.Fatal("Load materialized a segment")
+	}
+	a.Word(1 << 20).Store(1)
+	if a.Segments() == 0 {
+		t.Fatal("Word did not record materialization")
+	}
+}
+
+func TestCrossSegmentIndependence(t *testing.T) {
+	var a Array
+	a.Word(0).Store(1)
+	a.Word(segSize - 1).Store(2)
+	a.Word(segSize).Store(3) // next segment
+	if a.Load(0) != 1 || a.Load(segSize-1) != 2 || a.Load(segSize) != 3 {
+		t.Fatal("cross-segment writes interfere")
+	}
+	if a.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", a.Segments())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	var a Array
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range index")
+		}
+	}()
+	a.Word(MaxWords)
+}
+
+// TestConcurrentMaterialization: racing first-touchers of one segment
+// must converge on a single segment, so writes are never lost.
+func TestConcurrentMaterialization(t *testing.T) {
+	var a Array
+	const goroutines = 8
+	const words = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < words; i++ {
+				// All goroutines hammer the same fresh segment region.
+				a.Word(uint64(i)).Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < words; i++ {
+		if got := a.Load(uint64(i)); got != goroutines {
+			t.Fatalf("word %d = %d, want %d (lost update through racing segments)", i, got, goroutines)
+		}
+	}
+}
+
+func TestBytesReporting(t *testing.T) {
+	var a Array
+	a.Word(0)
+	if a.Bytes() != segSize*8 {
+		t.Fatalf("Bytes = %d, want %d", a.Bytes(), segSize*8)
+	}
+}

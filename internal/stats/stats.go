@@ -1,0 +1,148 @@
+// Package stats provides the summary statistics and series manipulation
+// the experiment harness needs: per-configuration run summaries (the
+// paper reports "the average of 50 runs where each run is the mean time
+// needed to complete the thread's iterations") and series normalization
+// for Figure 6(c)/(d), which divide every curve by the CAS-based
+// implementation's curve.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary condenses repeated measurements of one configuration.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. Panics on empty input: a summary of
+// nothing is a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under a normal approximation.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// SummarizeDurations converts durations to seconds and summarizes.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// Point is one (x, y) sample of a series, e.g. (thread count, seconds).
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// At returns the Y value at x and whether the series has it.
+func (s Series) At(x int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Normalize divides every series by the base series point-wise,
+// reproducing the construction of Figure 6(c)/(d) ("the basis of
+// normalization was chosen to be our CAS-based implementation"). Points
+// of base with Y == 0 or missing X are dropped from the output. The base
+// series itself normalizes to a flat line at 1.
+func Normalize(series []Series, baseLabel string) ([]Series, error) {
+	var base *Series
+	for i := range series {
+		if series[i].Label == baseLabel {
+			base = &series[i]
+			break
+		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("stats: base series %q not found", baseLabel)
+	}
+	out := make([]Series, 0, len(series))
+	for _, s := range series {
+		ns := Series{Label: s.Label}
+		for _, p := range s.Points {
+			b, ok := base.At(p.X)
+			if !ok || b == 0 {
+				continue
+			}
+			ns.Points = append(ns.Points, Point{X: p.X, Y: p.Y / b})
+		}
+		out = append(out, ns)
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of the Y values of a series,
+// summarizing a normalized curve in one figure-of-merit.
+func GeoMean(s Series) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, p := range s.Points {
+		if p.Y <= 0 {
+			return 0
+		}
+		logSum += math.Log(p.Y)
+	}
+	return math.Exp(logSum / float64(len(s.Points)))
+}

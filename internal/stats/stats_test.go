@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if !almost(s.Mean, 2.5) || !almost(s.Min, 1) || !almost(s.Max, 4) || !almost(s.Median, 2.5) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.N != 4 {
+		t.Fatalf("N = %d", s.N)
+	}
+	// Sample stddev of 1..4 is sqrt(5/3).
+	if !almost(s.StdDev, math.Sqrt(5.0/3.0)) {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.Median != 7 || s.CI95() != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{5, 1, 9})
+	if s.Median != 5 {
+		t.Fatalf("median = %v, want 5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+// TestSummaryBoundsProperty: min <= median <= max and min <= mean <= max
+// for any sample.
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			// The harness summarizes run times in seconds; restrict the
+			// property to magnitudes where float summation cannot
+			// overflow (the full float range trips +Inf in the sum).
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if !almost(s.Mean, 2.0) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	series := []Series{
+		{Label: "base", Points: []Point{{1, 2}, {2, 4}, {4, 8}}},
+		{Label: "other", Points: []Point{{1, 4}, {2, 4}, {4, 4}}},
+	}
+	out, err := Normalize(series, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out[0].Points {
+		if !almost(p.Y, 1) {
+			t.Fatalf("base normalized to %v at x=%d", p.Y, p.X)
+		}
+	}
+	want := map[int]float64{1: 2, 2: 1, 4: 0.5}
+	for _, p := range out[1].Points {
+		if !almost(p.Y, want[p.X]) {
+			t.Fatalf("other at x=%d normalized to %v, want %v", p.X, p.Y, want[p.X])
+		}
+	}
+}
+
+func TestNormalizeMissingBase(t *testing.T) {
+	if _, err := Normalize([]Series{{Label: "a"}}, "nope"); err == nil {
+		t.Fatal("missing base accepted")
+	}
+}
+
+func TestNormalizeSkipsMissingPoints(t *testing.T) {
+	series := []Series{
+		{Label: "base", Points: []Point{{1, 2}}},
+		{Label: "other", Points: []Point{{1, 4}, {2, 6}}},
+	}
+	out, err := Normalize(series, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[1].Points) != 1 || out[1].Points[0].X != 1 {
+		t.Fatalf("points not filtered to base domain: %+v", out[1].Points)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	s := Series{Points: []Point{{1, 2}, {2, 8}}}
+	if g := GeoMean(s); !almost(g, 4) {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+	if GeoMean(Series{}) != 0 {
+		t.Fatal("geomean of empty series should be 0")
+	}
+	if GeoMean(Series{Points: []Point{{1, 0}}}) != 0 {
+		t.Fatal("geomean with zero point should be 0")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{Points: []Point{{3, 1.5}}}
+	if y, ok := s.At(3); !ok || !almost(y, 1.5) {
+		t.Fatalf("At(3) = %v,%v", y, ok)
+	}
+	if _, ok := s.At(4); ok {
+		t.Fatal("At(4) found a phantom point")
+	}
+}

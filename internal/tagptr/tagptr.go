@@ -1,0 +1,117 @@
+// Package tagptr implements the single-word bit-packing encodings every
+// algorithm in this module relies on.
+//
+// The paper's central constraint is that all synchronization must happen
+// through *pointer-wide* (single-word) atomic primitives. Each scheme
+// here folds the auxiliary state needed to defeat one of the ABA problem
+// classes of §3 into one 64-bit word:
+//
+//   - Versioned words (VerBits value + VerTagBits version) give the LL/SC
+//     emulation its store-conditional semantics: a successful SC bumps the
+//     version, so an intervening writer always changes the word even when
+//     it restores the same value (data-ABA and null-ABA defence).
+//   - Counted words (32-bit value + 32-bit count) reproduce the Shann et
+//     al. per-slot (value, reference counter) pairs on machines whose CAS
+//     covers value and counter together — precisely the configuration the
+//     paper describes for 32-bit architectures with 64-bit CAS.
+//   - LSB tags distinguish Algorithm 2's thread-owned LLSCvar reservation
+//     markers from node handles. The paper exploits that allocators return
+//     even addresses; our arena guarantees the same for handles, so "odd
+//     value" still means "reserved by the thread owning value^1".
+package tagptr
+
+// Versioned-word layout. The value field is wide enough for any arena
+// handle this module can produce (arena capacity is far below 2^VerBits
+// slots), while VerTagBits of version make the ABA window 1 in 2^24 full
+// wraps — the same "extremely unlikely" standard the paper's index-ABA
+// argument accepts.
+const (
+	// VerBits is the width of the value field in a versioned word.
+	VerBits = 40
+	// VerTagBits is the width of the version field in a versioned word.
+	VerTagBits = 64 - VerBits
+	// VerValueMask masks the value field.
+	VerValueMask = (uint64(1) << VerBits) - 1
+	// VerMax is the largest value storable in a versioned word.
+	VerMax = VerValueMask
+)
+
+// PackVer packs value and version into one word. value must fit in
+// VerBits; the caller is expected to enforce this (the arena does), and
+// PackVer panics otherwise because silently truncating a handle would
+// corrupt a queue.
+func PackVer(value uint64, ver uint32) uint64 {
+	if value > VerValueMask {
+		panic("tagptr: value overflows versioned word")
+	}
+	return value | uint64(ver)<<VerBits
+}
+
+// UnpackVer splits a versioned word into its value and version fields.
+func UnpackVer(w uint64) (value uint64, ver uint32) {
+	return w & VerValueMask, uint32(w >> VerBits)
+}
+
+// VerValue extracts only the value field.
+func VerValue(w uint64) uint64 { return w & VerValueMask }
+
+// VerTag extracts only the version field. Versions wrap modulo
+// 2^VerTagBits; only equality ever matters.
+func VerTag(w uint64) uint32 { return uint32(w >> VerBits) }
+
+// BumpVer returns the word holding newValue with the version incremented
+// relative to old. This is the word a successful store-conditional
+// installs.
+func BumpVer(old uint64, newValue uint64) uint64 {
+	return PackVer(newValue, VerTag(old)+1)
+}
+
+// Counted-word layout (Shann et al. slots): low 32 bits value, high 32
+// bits modification count.
+const (
+	// CountedValueMask masks the 32-bit value field of a counted word.
+	CountedValueMask = (uint64(1) << 32) - 1
+	// CountedMax is the largest value storable in a counted word.
+	CountedMax = CountedValueMask
+)
+
+// PackCounted packs a 32-bit value and count into one word. Panics when
+// value exceeds 32 bits, for the same reason as PackVer.
+func PackCounted(value uint64, count uint32) uint64 {
+	if value > CountedValueMask {
+		panic("tagptr: value overflows counted word")
+	}
+	return value | uint64(count)<<32
+}
+
+// UnpackCounted splits a counted word into its value and count fields.
+func UnpackCounted(w uint64) (value uint64, count uint32) {
+	return w & CountedValueMask, uint32(w >> 32)
+}
+
+// CountedValue extracts only the value field of a counted word.
+func CountedValue(w uint64) uint64 { return w & CountedValueMask }
+
+// CountedCount extracts only the count field of a counted word.
+func CountedCount(w uint64) uint32 { return uint32(w >> 32) }
+
+// RePackCounted returns the word holding newValue with the count bumped
+// relative to old — the word a Shann-style slot update installs.
+func RePackCounted(old uint64, newValue uint64) uint64 {
+	return PackCounted(newValue, CountedCount(old)+1)
+}
+
+// LSB reservation tags (Algorithm 2). A tagged word is an LLSCvar handle
+// with bit 0 set; handles themselves are always even and nonzero.
+
+// Tag returns the reservation marker for an LLSCvar handle (the paper's
+// var^1 with var even).
+func Tag(handle uint64) uint64 { return handle | 1 }
+
+// Untag recovers the LLSCvar handle from a reservation marker (the
+// paper's slot^1 with slot odd).
+func Untag(marker uint64) uint64 { return marker &^ 1 }
+
+// IsTagged reports whether w is a reservation marker rather than a node
+// handle or null.
+func IsTagged(w uint64) bool { return w&1 == 1 }

@@ -1,0 +1,122 @@
+package tagptr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackVerRoundTrip(t *testing.T) {
+	f := func(value uint64, ver uint32) bool {
+		value &= VerValueMask
+		ver &= (1 << VerTagBits) - 1
+		w := PackVer(value, ver)
+		v2, t2 := UnpackVer(w)
+		return v2 == value && t2 == ver
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackVerOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackVer accepted an overflowing value")
+		}
+	}()
+	PackVer(VerValueMask+1, 0)
+}
+
+func TestBumpVer(t *testing.T) {
+	w := PackVer(100, 7)
+	b := BumpVer(w, 200)
+	if VerValue(b) != 200 {
+		t.Errorf("value = %d, want 200", VerValue(b))
+	}
+	if VerTag(b) != 8 {
+		t.Errorf("tag = %d, want 8", VerTag(b))
+	}
+}
+
+func TestBumpVerWraps(t *testing.T) {
+	maxTag := uint32(1<<VerTagBits) - 1
+	w := PackVer(5, maxTag)
+	b := BumpVer(w, 5)
+	if VerTag(b) != 0 {
+		t.Errorf("tag after wrap = %d, want 0", VerTag(b))
+	}
+	if VerValue(b) != 5 {
+		t.Errorf("value after wrap = %d, want 5", VerValue(b))
+	}
+}
+
+// TestBumpVerAlwaysChangesWord is the property the LL/SC emulation's
+// correctness rests on: installing any value via BumpVer must produce a
+// word different from the old one, even when the value is unchanged.
+func TestBumpVerAlwaysChangesWord(t *testing.T) {
+	f := func(value, newValue uint64, ver uint32) bool {
+		value &= VerValueMask
+		newValue &= VerValueMask
+		w := PackVer(value, ver&((1<<VerTagBits)-1))
+		return BumpVer(w, newValue) != w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackCountedRoundTrip(t *testing.T) {
+	f := func(value uint32, count uint32) bool {
+		w := PackCounted(uint64(value), count)
+		v2, c2 := UnpackCounted(w)
+		return v2 == uint64(value) && c2 == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackCountedOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackCounted accepted an overflowing value")
+		}
+	}()
+	PackCounted(CountedValueMask+1, 0)
+}
+
+func TestRePackCounted(t *testing.T) {
+	w := PackCounted(9, 41)
+	r := RePackCounted(w, 11)
+	if CountedValue(r) != 11 || CountedCount(r) != 42 {
+		t.Errorf("got (%d,%d), want (11,42)", CountedValue(r), CountedCount(r))
+	}
+}
+
+// TestRePackCountedAlwaysChangesWord is the Shann slot ABA defence.
+func TestRePackCountedAlwaysChangesWord(t *testing.T) {
+	f := func(value, newValue uint32, count uint32) bool {
+		w := PackCounted(uint64(value), count)
+		return RePackCounted(w, uint64(newValue)) != w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagUntag(t *testing.T) {
+	f := func(h uint64) bool {
+		h &^= 1 // handles are even
+		m := Tag(h)
+		return IsTagged(m) && Untag(m) == h && !IsTagged(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsTaggedZero(t *testing.T) {
+	if IsTagged(0) {
+		t.Error("null must not read as tagged")
+	}
+}

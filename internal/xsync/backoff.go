@@ -1,0 +1,64 @@
+package xsync
+
+import "runtime"
+
+// Backoff implements bounded exponential backoff for CAS retry loops.
+// After a failed CAS the caller invokes Backoff.Fail, which spins for a
+// geometrically growing (but capped) number of iterations before
+// returning, yielding to the Go scheduler once the cap is reached. Reset
+// restores the initial interval after a successful operation.
+//
+// Lock-free queues exhibit a throughput cliff under heavy CAS contention;
+// backoff flattens the cliff at the cost of latency. Whether it pays off
+// is workload dependent, which is why the queues accept it as an option
+// and the ablation benchmarks measure both configurations.
+type Backoff struct {
+	limit uint32
+	min   uint32
+	max   uint32
+}
+
+// DefaultBackoffMin and DefaultBackoffMax bound the spin interval of a
+// Backoff created by NewBackoff.
+const (
+	DefaultBackoffMin = 4
+	DefaultBackoffMax = 1024
+)
+
+// NewBackoff returns a Backoff spinning between min and max iterations.
+// Zero values select the defaults.
+func NewBackoff(min, max uint32) Backoff {
+	if min == 0 {
+		min = DefaultBackoffMin
+	}
+	if max < min {
+		max = min
+	}
+	return Backoff{limit: min, min: min, max: max}
+}
+
+// Fail records a failed attempt and blocks the caller for the current
+// backoff interval.
+func (b *Backoff) Fail() {
+	if b.limit == 0 {
+		// Zero value: backoff disabled, degrade to a scheduler hint
+		// every call so livelock remains impossible under GOMAXPROCS=1.
+		runtime.Gosched()
+		return
+	}
+	for i := uint32(0); i < b.limit; i++ {
+		procYield()
+	}
+	if b.limit >= b.max {
+		runtime.Gosched()
+		return
+	}
+	b.limit <<= 1
+}
+
+// Reset restores the initial interval; call after a successful operation.
+func (b *Backoff) Reset() {
+	if b.limit != 0 {
+		b.limit = b.min
+	}
+}

@@ -1,0 +1,157 @@
+package xsync
+
+import (
+	"sync/atomic"
+)
+
+// OpKind enumerates the synchronization primitives the instrumented
+// queues count. The paper's §6 argues about algorithm cost in terms of
+// the number of successful CAS and FetchAndAdd operations per queue
+// operation (Algorithm 2: three CAS plus two FetchAndAdd; Michael–Scott:
+// two CAS to enqueue, one to dequeue; Doherty: about seven); the T-syncops
+// experiment reproduces those figures from these counters.
+type OpKind int
+
+const (
+	// OpCASAttempt counts every CAS issued, successful or not.
+	OpCASAttempt OpKind = iota
+	// OpCASSuccess counts CAS operations that succeeded.
+	OpCASSuccess
+	// OpFAA counts FetchAndAdd operations.
+	OpFAA
+	// OpLL counts load-linked operations (real or simulated).
+	OpLL
+	// OpSCAttempt counts store-conditional attempts.
+	OpSCAttempt
+	// OpSCSuccess counts store-conditional successes.
+	OpSCSuccess
+	// OpEnqueue counts completed enqueue operations.
+	OpEnqueue
+	// OpDequeue counts completed (non-empty) dequeue operations.
+	OpDequeue
+
+	numOpKinds
+)
+
+// String returns the short label used in syncops tables.
+func (k OpKind) String() string {
+	switch k {
+	case OpCASAttempt:
+		return "cas-attempt"
+	case OpCASSuccess:
+		return "cas-success"
+	case OpFAA:
+		return "faa"
+	case OpLL:
+		return "ll"
+	case OpSCAttempt:
+		return "sc-attempt"
+	case OpSCSuccess:
+		return "sc-success"
+	case OpEnqueue:
+		return "enqueue"
+	case OpDequeue:
+		return "dequeue"
+	default:
+		return "unknown"
+	}
+}
+
+// counterStripes is the number of independent counter banks. Striping
+// keeps instrumentation from becoming its own contention hot spot: each
+// goroutine hashes to a stripe, so the common case is an uncontended
+// atomic add on a private cache line.
+const counterStripes = 32
+
+type stripe struct {
+	vals [numOpKinds]atomic.Uint64
+	_    [7]uint64
+}
+
+// Counters is a striped bank of per-OpKind counters. The zero value is
+// nil-safe in the sense that queue code always goes through the Counter
+// helper below, which tolerates a nil receiver; a nil *Counters costs a
+// single predictable branch per recording site, so instrumentation can be
+// compiled in permanently and enabled per queue instance.
+type Counters struct {
+	stripes [counterStripes]stripe
+	nextID  atomic.Uint32
+}
+
+// NewCounters returns an empty counter bank.
+func NewCounters() *Counters { return &Counters{} }
+
+// Handle is a per-goroutine accessor bound to one stripe of a Counters
+// bank. Handles are cheap value types; each worker goroutine obtains its
+// own via Counters.Handle.
+type Handle struct {
+	s *stripe
+}
+
+// Handle returns an accessor bound to a fresh stripe (round-robin). A nil
+// receiver yields a no-op Handle.
+func (c *Counters) Handle() Handle {
+	if c == nil {
+		return Handle{}
+	}
+	id := c.nextID.Add(1) - 1
+	return Handle{s: &c.stripes[id%counterStripes]}
+}
+
+// Inc adds one to kind. No-op on a zero Handle.
+func (h Handle) Inc(kind OpKind) {
+	if h.s != nil {
+		h.s.vals[kind].Add(1)
+	}
+}
+
+// Add adds n to kind. No-op on a zero Handle.
+func (h Handle) Add(kind OpKind, n uint64) {
+	if h.s != nil {
+		h.s.vals[kind].Add(n)
+	}
+}
+
+// Total sums kind across all stripes.
+func (c *Counters) Total(kind OpKind) uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.stripes {
+		sum += c.stripes[i].vals[kind].Load()
+	}
+	return sum
+}
+
+// Snapshot returns all totals keyed by OpKind.
+func (c *Counters) Snapshot() map[OpKind]uint64 {
+	m := make(map[OpKind]uint64, int(numOpKinds))
+	for k := OpKind(0); k < numOpKinds; k++ {
+		m[k] = c.Total(k)
+	}
+	return m
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.stripes {
+		for k := range c.stripes[i].vals {
+			c.stripes[i].vals[k].Store(0)
+		}
+	}
+}
+
+// PerOp returns the mean number of kind events per completed queue
+// operation (enqueues plus dequeues). Returns 0 when no operations have
+// completed.
+func (c *Counters) PerOp(kind OpKind) float64 {
+	ops := c.Total(OpEnqueue) + c.Total(OpDequeue)
+	if ops == 0 {
+		return 0
+	}
+	return float64(c.Total(kind)) / float64(ops)
+}

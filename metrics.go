@@ -1,0 +1,75 @@
+package nbqueue
+
+import "nbqueue/internal/xsync"
+
+// Metrics collects synchronization-operation counts from a queue created
+// with WithMetrics. It answers the questions the paper's §6 argues about:
+// how many CAS, FetchAndAdd and LL/SC operations each algorithm spends
+// per enqueue/dequeue. Counting is striped and nearly free, but still
+// adds a few atomic adds per operation — leave metrics off for production
+// hot paths.
+//
+// A single Metrics must not be shared between queues (the per-operation
+// ratios would blend).
+type Metrics struct {
+	c *xsync.Counters
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics { return &Metrics{c: xsync.NewCounters()} }
+
+// counters hands the internal bank to the queue constructor.
+func (m *Metrics) counters() *xsync.Counters {
+	if m == nil {
+		return nil
+	}
+	return m.c
+}
+
+// Snapshot is a point-in-time view of the counters.
+type Snapshot struct {
+	// Enqueues and Dequeues are completed operations (dequeues that
+	// found the queue empty are not counted).
+	Enqueues uint64
+	Dequeues uint64
+	// CASAttempts and CASSuccesses count compare-and-swap traffic.
+	CASAttempts  uint64
+	CASSuccesses uint64
+	// FetchAndAdds counts atomic add traffic (Algorithm 2's reference
+	// counting).
+	FetchAndAdds uint64
+	// LLs, SCAttempts and SCSuccesses count load-linked /
+	// store-conditional traffic (real, emulated, or simulated).
+	LLs         uint64
+	SCAttempts  uint64
+	SCSuccesses uint64
+}
+
+// Snapshot returns the current totals.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Enqueues:     m.c.Total(xsync.OpEnqueue),
+		Dequeues:     m.c.Total(xsync.OpDequeue),
+		CASAttempts:  m.c.Total(xsync.OpCASAttempt),
+		CASSuccesses: m.c.Total(xsync.OpCASSuccess),
+		FetchAndAdds: m.c.Total(xsync.OpFAA),
+		LLs:          m.c.Total(xsync.OpLL),
+		SCAttempts:   m.c.Total(xsync.OpSCAttempt),
+		SCSuccesses:  m.c.Total(xsync.OpSCSuccess),
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() { m.c.Reset() }
+
+// Ops returns the number of completed queue operations.
+func (s Snapshot) Ops() uint64 { return s.Enqueues + s.Dequeues }
+
+// CASPerOp returns successful CAS per completed operation, the figure of
+// merit §6 uses to compare algorithm cost.
+func (s Snapshot) CASPerOp() float64 {
+	if s.Ops() == 0 {
+		return 0
+	}
+	return float64(s.CASSuccesses) / float64(s.Ops())
+}

@@ -1,0 +1,261 @@
+// Package nbqueue provides non-blocking concurrent FIFO queues built on
+// single-word atomic primitives, reproducing Claude Evequoz,
+// "Non-Blocking Concurrent FIFO Queues With Single Word Synchronization
+// Primitives" (ICPP 2008), together with every baseline the paper
+// measures.
+//
+// The two core algorithms are bounded circular-array queues:
+//
+//   - AlgorithmLLSC — the paper's Algorithm 1, written against
+//     load-linked/store-conditional (emulated here from CAS with version
+//     tags). Population-oblivious: no per-thread state at all.
+//   - AlgorithmCAS — the paper's Algorithm 2, pure single-word CAS plus
+//     FetchAndAdd. Threads reserve array slots by swapping in a tagged
+//     reference to a registered, reference-counted LLSCvar record.
+//
+// Baselines: Michael–Scott link-based queues with hazard-pointer
+// reclamation (sorted and unsorted scans), the Doherty-style CAS-simulated
+// LL/SC variant, the Shann et al. counted-slot array queue, the
+// Tsigas–Zhang two-null array queue, a two-lock queue, and a buffered Go
+// channel.
+//
+// # Usage
+//
+// The generic Queue[T] maps arbitrary payloads onto the word-sized values
+// the algorithms move. Each goroutine attaches a Session before operating
+// and detaches when done (some algorithms keep per-thread registration
+// state; for the others Attach is nearly free):
+//
+//	q, err := nbqueue.New[string](nbqueue.WithCapacity(1024))
+//	...
+//	s := q.Attach()
+//	defer s.Detach()
+//	if err := s.Enqueue("job-17"); err != nil { ... }
+//	if v, ok := s.Dequeue(); ok { ... }
+//
+// All queues are multi-producer multi-consumer and lock-free (except the
+// explicitly blocking two-lock and channel baselines). Enqueue on a full
+// bounded queue fails fast with ErrFull; Dequeue on an empty queue
+// returns ok=false. Neither ever blocks.
+package nbqueue
+
+import (
+	"fmt"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/bench"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
+)
+
+// Algorithm selects a queue implementation.
+type Algorithm string
+
+// The available algorithms. AlgorithmLLSC and AlgorithmCAS are the
+// paper's contributions; the rest are the measured baselines and
+// extensions.
+const (
+	// AlgorithmLLSC is the paper's Algorithm 1 (Figure 3): circular
+	// array over LL/SC. Population-oblivious, space O(capacity).
+	AlgorithmLLSC Algorithm = bench.KeyEvqLLSC
+	// AlgorithmCAS is the paper's Algorithm 2 (Figure 5): circular array
+	// over CAS with simulated LL via registered LLSCvar records. This is
+	// the most portable choice and the package default.
+	AlgorithmCAS Algorithm = bench.KeyEvqCAS
+	// AlgorithmMSHazard is the Michael–Scott lock-free linked queue with
+	// hazard-pointer reclamation, unsorted scans.
+	AlgorithmMSHazard Algorithm = bench.KeyMSHP
+	// AlgorithmMSHazardSorted is the same with sorted scans (faster at
+	// high thread counts).
+	AlgorithmMSHazardSorted Algorithm = bench.KeyMSHPSorted
+	// AlgorithmMSDoherty is the Michael–Scott queue over Doherty-style
+	// CAS-simulated LL/SC variables (the paper's slowest baseline).
+	AlgorithmMSDoherty Algorithm = bench.KeyMSDoherty
+	// AlgorithmShann is the Shann–Huang–Chen counted-slot array queue,
+	// requiring a double-width (value+counter) CAS; payload values are
+	// limited to 32 bits of handle space.
+	AlgorithmShann Algorithm = bench.KeyShann
+	// AlgorithmTsigasZhang is the Tsigas–Zhang two-null array queue.
+	AlgorithmTsigasZhang Algorithm = bench.KeyTsigasZhang
+	// AlgorithmTwoLock is the blocking Michael–Scott two-lock queue.
+	AlgorithmTwoLock Algorithm = bench.KeyTwoLock
+	// AlgorithmChannel adapts a buffered Go channel.
+	AlgorithmChannel Algorithm = bench.KeyChan
+)
+
+// Errors returned by queue operations.
+var (
+	// ErrFull reports a bounded queue at capacity.
+	ErrFull = queue.ErrFull
+)
+
+// config collects option state.
+type config struct {
+	algorithm  Algorithm
+	capacity   int
+	maxThreads int
+	padded     bool
+	backoff    bool
+	metrics    *Metrics
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithAlgorithm selects the queue implementation; default AlgorithmCAS.
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
+
+// WithCapacity bounds the queue; array algorithms round up to a power of
+// two. Default 1024.
+func WithCapacity(n int) Option { return func(c *config) { c.capacity = n } }
+
+// WithMaxThreads hints the peak number of concurrently attached sessions,
+// sizing reclamation headroom for the hazard-pointer algorithms and the
+// payload arena for all of them. Exceeding the hint is safe for the array
+// algorithms (they are population-oblivious) but may surface as early
+// ErrFull on the link-based ones. Default 128.
+func WithMaxThreads(n int) Option { return func(c *config) { c.maxThreads = n } }
+
+// WithPaddedSlots spreads array-queue slots across cache lines, trading
+// memory for the elimination of inter-slot false sharing.
+func WithPaddedSlots(on bool) Option { return func(c *config) { c.padded = on } }
+
+// WithBackoff enables bounded exponential backoff in the retry loops of
+// the two Evequoz algorithms.
+func WithBackoff(on bool) Option { return func(c *config) { c.backoff = on } }
+
+// WithMetrics attaches an operation-counter sink; see Metrics.
+func WithMetrics(m *Metrics) Option { return func(c *config) { c.metrics = m } }
+
+// Queue is a bounded MPMC FIFO of T values. Create with New; operate
+// through per-goroutine Sessions.
+type Queue[T any] struct {
+	inner  queue.Queue
+	arena  *arena.Arena
+	values []T
+}
+
+// newInner resolves options and builds the word-level queue shared by
+// New and NewRaw.
+func newInner(opts []Option) (queue.Queue, config, error) {
+	c := config{
+		algorithm:  AlgorithmCAS,
+		capacity:   1024,
+		maxThreads: 128,
+	}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.capacity <= 0 {
+		return nil, c, fmt.Errorf("nbqueue: capacity %d must be positive", c.capacity)
+	}
+	algo, err := bench.Lookup(string(c.algorithm))
+	if err != nil {
+		return nil, c, fmt.Errorf("nbqueue: unknown algorithm %q", c.algorithm)
+	}
+	if !algo.Concurrent {
+		return nil, c, fmt.Errorf("nbqueue: algorithm %q is not safe for concurrent use", c.algorithm)
+	}
+	var ctrs *xsync.Counters
+	if c.metrics != nil {
+		ctrs = c.metrics.counters()
+	}
+	return algo.New(bench.Config{
+		Capacity:    c.capacity,
+		MaxThreads:  c.maxThreads,
+		Counters:    ctrs,
+		PaddedSlots: c.padded,
+		Backoff:     c.backoff,
+	}), c, nil
+}
+
+// New builds a queue of T.
+func New[T any](opts ...Option) (*Queue[T], error) {
+	inner, c, err := newInner(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The payload arena needs one node per queued value plus one
+	// in-flight node per attached session.
+	nodes := inner.Capacity() + c.maxThreads + 16
+	a := arena.New(nodes)
+	return &Queue[T]{
+		inner:  inner,
+		arena:  a,
+		values: make([]T, nodes+1),
+	}, nil
+}
+
+// Capacity returns the queue bound (array algorithms may round the
+// requested capacity up).
+func (q *Queue[T]) Capacity() int { return q.inner.Capacity() }
+
+// Algorithm returns the display name of the underlying implementation.
+func (q *Queue[T]) Algorithm() string { return q.inner.Name() }
+
+// Session is one goroutine's handle on the queue. Obtain with Attach; use
+// from a single goroutine; Detach when done.
+type Session[T any] struct {
+	q     *Queue[T]
+	inner queue.Session
+}
+
+// Attach registers the calling goroutine and returns its session.
+func (q *Queue[T]) Attach() *Session[T] {
+	return &Session[T]{q: q, inner: q.inner.Attach()}
+}
+
+// Detach releases per-thread resources; the session must not be used
+// afterwards.
+func (s *Session[T]) Detach() {
+	s.inner.Detach()
+	s.inner = nil
+}
+
+// Enqueue inserts v at the tail, returning ErrFull when the queue is at
+// capacity.
+func (s *Session[T]) Enqueue(v T) error {
+	h := s.q.arena.Alloc()
+	if h == arena.Nil {
+		// Arena pressure means capacity + in-flight slack is exhausted —
+		// the queue is full for all practical purposes.
+		return ErrFull
+	}
+	s.q.values[h>>1] = v
+	if err := s.inner.Enqueue(h); err != nil {
+		var zero T
+		s.q.values[h>>1] = zero
+		s.q.arena.Free(h)
+		return err
+	}
+	return nil
+}
+
+// Dequeue removes and returns the value at the head; ok is false when the
+// queue was observed empty.
+func (s *Session[T]) Dequeue() (v T, ok bool) {
+	h, ok := s.inner.Dequeue()
+	if !ok {
+		return v, false
+	}
+	idx := h >> 1
+	v = s.q.values[idx]
+	var zero T
+	s.q.values[idx] = zero
+	s.q.arena.Free(h)
+	return v, true
+}
+
+// TryDrain dequeues up to max values (all available when max <= 0),
+// returning them in FIFO order. Convenience for shutdown paths.
+func (s *Session[T]) TryDrain(max int) []T {
+	var out []T
+	for max <= 0 || len(out) < max {
+		v, ok := s.Dequeue()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package nbqueue_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"nbqueue"
+)
+
+// allAlgorithms lists every concurrent algorithm exposed by the public
+// API.
+var allAlgorithms = []nbqueue.Algorithm{
+	nbqueue.AlgorithmLLSC,
+	nbqueue.AlgorithmCAS,
+	nbqueue.AlgorithmMSHazard,
+	nbqueue.AlgorithmMSHazardSorted,
+	nbqueue.AlgorithmMSDoherty,
+	nbqueue.AlgorithmShann,
+	nbqueue.AlgorithmTsigasZhang,
+	nbqueue.AlgorithmTwoLock,
+	nbqueue.AlgorithmChannel,
+}
+
+func TestBasicRoundTripAllAlgorithms(t *testing.T) {
+	for _, a := range allAlgorithms {
+		t.Run(string(a), func(t *testing.T) {
+			q, err := nbqueue.New[string](
+				nbqueue.WithAlgorithm(a),
+				nbqueue.WithCapacity(16),
+				nbqueue.WithMaxThreads(4),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := q.Attach()
+			defer s.Detach()
+			for i := 0; i < 100; i++ {
+				in := fmt.Sprintf("msg-%d", i)
+				if err := s.Enqueue(in); err != nil {
+					t.Fatalf("enqueue %d: %v", i, err)
+				}
+				out, ok := s.Dequeue()
+				if !ok || out != in {
+					t.Fatalf("dequeue %d = %q,%v want %q", i, out, ok, in)
+				}
+			}
+		})
+	}
+}
+
+func TestStructPayload(t *testing.T) {
+	type job struct {
+		ID   int
+		Name string
+		Data []byte
+	}
+	q, err := nbqueue.New[job](nbqueue.WithCapacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	in := job{ID: 7, Name: "build", Data: []byte{1, 2, 3}}
+	if err := s.Enqueue(in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := s.Dequeue()
+	if !ok || out.ID != 7 || out.Name != "build" || len(out.Data) != 3 {
+		t.Fatalf("round trip mangled payload: %+v", out)
+	}
+}
+
+func TestFullAndEmpty(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(4), nbqueue.WithMaxThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	n := 0
+	for ; ; n++ {
+		if err := s.Enqueue(n); err != nil {
+			if !errors.Is(err, nbqueue.ErrFull) {
+				t.Fatalf("enqueue: %v", err)
+			}
+			break
+		}
+		if n > q.Capacity()+32 {
+			t.Fatal("never became full")
+		}
+	}
+	if n < 4 {
+		t.Fatalf("full after %d items, want >= 4", n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := s.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := nbqueue.New[int](nbqueue.WithCapacity(-1)); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := nbqueue.New[int](nbqueue.WithAlgorithm("nope")); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := nbqueue.New[int](nbqueue.WithAlgorithm("seq")); err == nil {
+		t.Error("non-concurrent algorithm accepted through the public API")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := nbqueue.NewMetrics()
+	q, err := nbqueue.New[int](
+		nbqueue.WithAlgorithm(nbqueue.AlgorithmCAS),
+		nbqueue.WithCapacity(16),
+		nbqueue.WithMetrics(m),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	for i := 0; i < 100; i++ {
+		if err := s.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("empty")
+		}
+	}
+	s.Detach()
+	snap := m.Snapshot()
+	if snap.Enqueues != 100 || snap.Dequeues != 100 || snap.Ops() != 200 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if c := snap.CASPerOp(); c < 2.9 || c > 3.1 {
+		t.Errorf("CASPerOp = %.2f, want ~3 for Algorithm 2", c)
+	}
+	m.Reset()
+	if m.Snapshot().Ops() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	for _, a := range allAlgorithms {
+		t.Run(string(a), func(t *testing.T) {
+			q, err := nbqueue.New[int](
+				nbqueue.WithAlgorithm(a),
+				nbqueue.WithCapacity(128),
+				nbqueue.WithMaxThreads(8),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const producers = 4
+			const perProducer = 2000
+			var wg sync.WaitGroup
+			seen := make([]bool, producers*perProducer)
+			var mu sync.Mutex
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					s := q.Attach()
+					defer s.Detach()
+					for i := 0; i < perProducer; i++ {
+						for s.Enqueue(p*perProducer+i) != nil {
+							runtime.Gosched()
+						}
+					}
+				}(p)
+			}
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					s := q.Attach()
+					defer s.Detach()
+					count := 0
+					for count < perProducer {
+						v, ok := s.Dequeue()
+						if !ok {
+							runtime.Gosched()
+							continue
+						}
+						mu.Lock()
+						if seen[v] {
+							mu.Unlock()
+							t.Errorf("value %d delivered twice", v)
+							return
+						}
+						seen[v] = true
+						mu.Unlock()
+						count++
+					}
+				}()
+			}
+			wg.Wait()
+			mu.Lock()
+			defer mu.Unlock()
+			for v, ok := range seen {
+				if !ok {
+					t.Fatalf("value %d lost", v)
+				}
+			}
+		})
+	}
+}
+
+func TestTryDrain(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 10; i++ {
+		if err := s.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := s.TryDrain(3)
+	if len(first) != 3 || first[0] != 0 || first[2] != 2 {
+		t.Fatalf("TryDrain(3) = %v", first)
+	}
+	rest := s.TryDrain(0)
+	if len(rest) != 7 || rest[0] != 3 || rest[6] != 9 {
+		t.Fatalf("TryDrain(0) = %v", rest)
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithAlgorithm(nbqueue.AlgorithmLLSC), nbqueue.WithCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Algorithm() != "FIFO Array LL/SC" {
+		t.Errorf("Algorithm() = %q", q.Algorithm())
+	}
+	if q.Capacity() != 4 {
+		t.Errorf("Capacity() = %d, want 4", q.Capacity())
+	}
+}
+
+// TestPointerPayloadGC: pointer payloads must survive the handle round
+// trip even under GC pressure (values are held in a GC-visible slice, so
+// nothing is hidden from the collector).
+func TestPointerPayloadGC(t *testing.T) {
+	q, err := nbqueue.New[*string](nbqueue.WithCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 32; i++ {
+		v := fmt.Sprintf("payload-%d", i)
+		if err := s.Enqueue(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	runtime.GC()
+	for i := 0; i < 32; i++ {
+		p, ok := s.Dequeue()
+		if !ok || p == nil || *p != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("payload %d corrupted: %v", i, p)
+		}
+	}
+}
+
+// benchNewPublic builds the default public queue for benchmarks.
+func benchNewPublic[T any]() (*nbqueue.Queue[T], error) {
+	return nbqueue.New[T](nbqueue.WithCapacity(1024))
+}

@@ -1,0 +1,32 @@
+package nbqueue
+
+import (
+	"nbqueue/internal/queue"
+)
+
+// RawQueue is the word-level queue interface: values are bare uint64
+// words subject to the contract below, with no payload mapping layer on
+// top. It is the zero-overhead path for callers that manage their own
+// value encoding (e.g. indices into caller-owned storage).
+type RawQueue = queue.Queue
+
+// RawSession is a RawQueue's per-goroutine handle.
+type RawSession = queue.Session
+
+// RawMaxValue is the largest legal raw value. Legal values are even,
+// nonzero and at most RawMaxValue: 0 is the algorithms' empty-slot
+// marker, odd values are Algorithm 2's reservation-tag space, and the
+// upper bound keeps values inside the LL/SC emulation's packed field.
+// Enqueue returns an error for values outside the contract.
+const RawMaxValue = queue.MaxValue
+
+// ErrRawValue reports a raw value outside the word contract.
+var ErrRawValue = queue.ErrValue
+
+// NewRaw builds a word-level queue with the same options as New. The
+// payload arena and values table of Queue[T] are skipped entirely; each
+// enqueue/dequeue moves exactly one machine word.
+func NewRaw(opts ...Option) (RawQueue, error) {
+	inner, _, err := newInner(opts)
+	return inner, err
+}

@@ -1,0 +1,134 @@
+package nbqueue_test
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"nbqueue"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	q, err := nbqueue.NewRaw(
+		nbqueue.WithAlgorithm(nbqueue.AlgorithmLLSC),
+		nbqueue.WithCapacity(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	for i := uint64(1); i <= 100; i++ {
+		v := i << 1
+		if err := s.Enqueue(v); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		got, ok := s.Dequeue()
+		if !ok || got != v {
+			t.Fatalf("dequeue = %#x,%v want %#x", got, ok, v)
+		}
+	}
+}
+
+func TestRawValueContract(t *testing.T) {
+	q, err := nbqueue.NewRaw(nbqueue.WithCapacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	for _, bad := range []uint64{0, 1, 5, nbqueue.RawMaxValue + 2} {
+		if err := s.Enqueue(bad); !errors.Is(err, nbqueue.ErrRawValue) {
+			t.Errorf("Enqueue(%#x) = %v, want ErrRawValue", bad, err)
+		}
+	}
+	if err := s.Enqueue(nbqueue.RawMaxValue - 1); err != nil {
+		t.Errorf("max legal value rejected: %v", err)
+	}
+}
+
+func TestRawRejectsBadConfig(t *testing.T) {
+	if _, err := nbqueue.NewRaw(nbqueue.WithAlgorithm("nope")); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := nbqueue.NewRaw(nbqueue.WithCapacity(-1)); err == nil {
+		t.Error("bad capacity accepted")
+	}
+	if _, err := nbqueue.NewRaw(nbqueue.WithAlgorithm("seq")); err == nil {
+		t.Error("non-concurrent algorithm accepted")
+	}
+}
+
+func TestRawMetricsFlow(t *testing.T) {
+	m := nbqueue.NewMetrics()
+	q, err := nbqueue.NewRaw(
+		nbqueue.WithAlgorithm(nbqueue.AlgorithmCAS),
+		nbqueue.WithCapacity(16),
+		nbqueue.WithMetrics(m),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	for i := uint64(1); i <= 50; i++ {
+		if err := s.Enqueue(i << 1); err != nil {
+			t.Fatal(err)
+		}
+		s.Dequeue()
+	}
+	s.Detach()
+	if m.Snapshot().Ops() != 100 {
+		t.Fatalf("ops = %d, want 100", m.Snapshot().Ops())
+	}
+}
+
+func TestRawConcurrent(t *testing.T) {
+	q, err := nbqueue.NewRaw(nbqueue.WithCapacity(64), nbqueue.WithMaxThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 4
+	const per = 1000
+	var wg sync.WaitGroup
+	var got sync.Map
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			for i := 0; i < per; i++ {
+				v := uint64(p*per+i+1) << 1
+				for s.Enqueue(v) != nil {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			for n := 0; n < producers*per/2; n++ {
+				v, ok := s.Dequeue()
+				for !ok {
+					runtime.Gosched()
+					v, ok = s.Dequeue()
+				}
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Errorf("value %#x delivered twice", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	count := 0
+	got.Range(func(any, any) bool { count++; return true })
+	if count != producers*per {
+		t.Fatalf("delivered %d values, want %d", count, producers*per)
+	}
+}
