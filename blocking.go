@@ -2,6 +2,7 @@ package nbqueue
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"time"
 )
@@ -24,24 +25,71 @@ const (
 	waitSleepMax = time.Millisecond
 )
 
-// EnqueueWait inserts v, waiting while the queue is full until the
-// context is done. Returns ctx.Err() on cancellation.
+// retryable reports whether err is a transient full/contended condition
+// worth waiting out, as opposed to a permanent error (e.g. ErrRawValue)
+// that no amount of waiting will fix.
+func retryable(err error) bool {
+	return errors.Is(err, ErrFull) || errors.Is(err, ErrContended)
+}
+
+// sleeper owns the single reusable timer of a wait loop, so that waking
+// up every backoff interval does not allocate a fresh runtime timer the
+// way time.After does.
+type sleeper struct {
+	timer *time.Timer
+}
+
+// wait sleeps for d or until ctx is done, whichever comes first,
+// reporting whether the context ended the wait.
+func (sl *sleeper) wait(ctx context.Context, d time.Duration) (cancelled bool) {
+	if sl.timer == nil {
+		sl.timer = time.NewTimer(d)
+	} else {
+		// The timer is guaranteed expired-and-drained here: wait only
+		// returns cancelled=false after consuming timer.C, and
+		// cancelled=true aborts the whole loop.
+		sl.timer.Reset(d)
+	}
+	select {
+	case <-ctx.Done():
+		if !sl.timer.Stop() {
+			<-sl.timer.C
+		}
+		return true
+	case <-sl.timer.C:
+		return false
+	}
+}
+
+// stop releases the timer, if any was ever armed.
+func (sl *sleeper) stop() {
+	if sl.timer != nil {
+		sl.timer.Stop()
+	}
+}
+
+// EnqueueWait inserts v, waiting while the queue is full (or, under
+// WithRetryBudget, contended) until the context is done. Returns
+// ctx.Err() on cancellation; non-transient errors are returned
+// immediately.
 func (s *Session[T]) EnqueueWait(ctx context.Context, v T) error {
 	for spin := 0; spin < waitSpins; spin++ {
-		if err := s.Enqueue(v); err == nil {
-			return nil
+		err := s.Enqueue(v)
+		if err == nil || !retryable(err) {
+			return err
 		}
 		runtime.Gosched()
 	}
+	var sl sleeper
+	defer sl.stop()
 	sleep := waitSleepMin
 	for {
-		if err := s.Enqueue(v); err == nil {
-			return nil
+		err := s.Enqueue(v)
+		if err == nil || !retryable(err) {
+			return err
 		}
-		select {
-		case <-ctx.Done():
+		if sl.wait(ctx, sleep) {
 			return ctx.Err()
-		case <-time.After(sleep):
 		}
 		if sleep < waitSleepMax {
 			sleep *= 2
@@ -50,7 +98,8 @@ func (s *Session[T]) EnqueueWait(ctx context.Context, v T) error {
 }
 
 // DequeueWait removes the head value, waiting while the queue is empty
-// until the context is done. Returns ctx.Err() on cancellation.
+// (or, under WithRetryBudget, contended) until the context is done.
+// Returns ctx.Err() on cancellation.
 func (s *Session[T]) DequeueWait(ctx context.Context) (T, error) {
 	for spin := 0; spin < waitSpins; spin++ {
 		if v, ok := s.Dequeue(); ok {
@@ -58,16 +107,16 @@ func (s *Session[T]) DequeueWait(ctx context.Context) (T, error) {
 		}
 		runtime.Gosched()
 	}
+	var sl sleeper
+	defer sl.stop()
 	sleep := waitSleepMin
 	for {
 		if v, ok := s.Dequeue(); ok {
 			return v, nil
 		}
-		select {
-		case <-ctx.Done():
+		if sl.wait(ctx, sleep) {
 			var zero T
 			return zero, ctx.Err()
-		case <-time.After(sleep):
 		}
 		if sleep < waitSleepMax {
 			sleep *= 2

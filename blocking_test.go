@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -126,6 +127,152 @@ func TestWaitHonorsContext(t *testing.T) {
 	}
 }
 
+// TestDequeueWaitCancelWhileSleeping: cancellation must wake a waiter
+// that is deep in the sleep phase of its backoff, not just one spinning.
+func TestDequeueWaitCancelWhileSleeping(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		s := q.Attach()
+		defer s.Detach()
+		_, err := s.DequeueWait(ctx)
+		errc <- err
+	}()
+	// 30ms is far past the spin phase; the waiter is asleep on its timer
+	// (backoff caps at 1ms, so wake-up must come from the context).
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("DequeueWait = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeping waiter never woke on cancellation")
+	}
+}
+
+// TestDequeueWaitCancelRacesSuccess: when cancellation races a concurrent
+// enqueue, the waiter must either return the value or a context error —
+// and in the error case the value must still be in the queue. Either way
+// nothing is lost.
+func TestDequeueWaitCancelRacesSuccess(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		q, err := nbqueue.New[int](nbqueue.WithCapacity(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		type result struct {
+			v   int
+			err error
+		}
+		got := make(chan result, 1)
+		var producer sync.WaitGroup
+		producer.Add(1)
+		go func() {
+			s := q.Attach()
+			defer s.Detach()
+			v, err := s.DequeueWait(ctx)
+			got <- result{v, err}
+		}()
+		go func() {
+			defer producer.Done()
+			s := q.Attach()
+			defer s.Detach()
+			if err := s.Enqueue(7); err != nil {
+				t.Errorf("producer: %v", err)
+			}
+		}()
+		go cancel()
+
+		r := <-got
+		producer.Wait()
+		if r.err == nil {
+			if r.v != 7 {
+				t.Fatalf("round %d: dequeued %d, want 7", i, r.v)
+			}
+		} else {
+			if !errors.Is(r.err, context.Canceled) {
+				t.Fatalf("round %d: DequeueWait = %v", i, r.err)
+			}
+			s := q.Attach()
+			if v, ok := s.Dequeue(); !ok || v != 7 {
+				t.Fatalf("round %d: value lost on cancelled wait: (%d, %v)", i, v, ok)
+			}
+			s.Detach()
+		}
+		cancel()
+	}
+}
+
+// TestTryDrainMax: positive max stops early and preserves order.
+func TestTryDrainMax(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 10; i++ {
+		if err := s.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := s.TryDrain(3)
+	if len(head) != 3 || head[0] != 0 || head[2] != 2 {
+		t.Fatalf("TryDrain(3) = %v", head)
+	}
+	rest := s.TryDrain(0)
+	if len(rest) != 7 || rest[0] != 3 || rest[6] != 9 {
+		t.Fatalf("TryDrain(0) = %v", rest)
+	}
+	if again := s.TryDrain(-1); len(again) != 0 {
+		t.Fatalf("TryDrain on empty = %v", again)
+	}
+}
+
+// TestTryDrainUnboundedWithConcurrentRefill: TryDrain(max <= 0) on a
+// queue being refilled concurrently terminates at each empty observation
+// and, looped, eventually collects everything in FIFO order.
+func TestTryDrainUnboundedWithConcurrentRefill(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 500
+	go func() {
+		s := q.Attach()
+		defer s.Detach()
+		for i := 0; i < items; i++ {
+			if err := s.EnqueueWait(context.Background(), i); err != nil {
+				t.Errorf("producer: %v", err)
+				return
+			}
+		}
+	}()
+	s := q.Attach()
+	defer s.Detach()
+	var collected []int
+	deadline := time.Now().Add(10 * time.Second)
+	for len(collected) < items {
+		if time.Now().After(deadline) {
+			t.Fatalf("collected only %d of %d items", len(collected), items)
+		}
+		batch := s.TryDrain(0) // must return even while the producer runs
+		collected = append(collected, batch...)
+	}
+	for i, v := range collected {
+		if v != i {
+			t.Fatalf("order broken at %d: got %d", i, v)
+		}
+	}
+}
+
 func TestWaitPipelineThroughput(t *testing.T) {
 	q, err := nbqueue.New[int](nbqueue.WithCapacity(8))
 	if err != nil {
@@ -161,5 +308,47 @@ func TestWaitPipelineThroughput(t *testing.T) {
 			}
 		}
 	}()
+	wg.Wait()
+}
+
+// TestWaitRetriesThroughContention: with a retry budget installed, the
+// *Wait variants treat ErrContended like ErrFull/empty — wait and retry —
+// so a budgeted pipeline completes instead of erroring out or
+// deadlocking.
+func TestWaitRetriesThroughContention(t *testing.T) {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(8), nbqueue.WithRetryBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 2000
+	const pairs = 3
+	var wg sync.WaitGroup
+	var consumed atomic.Int64
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			for i := 0; i < items; i++ {
+				if err := s.EnqueueWait(context.Background(), p*items+i); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+		go func() {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			for consumed.Add(1) <= pairs*items {
+				if _, err := s.DequeueWait(context.Background()); err != nil {
+					t.Errorf("consumer: %v", err)
+					return
+				}
+			}
+			consumed.Add(-1)
+		}()
+	}
 	wg.Wait()
 }

@@ -10,12 +10,22 @@
 //	fifosoak -algo evq-cas -duration 5s
 //	fifosoak -algo all -duration 2s -threads 8
 //	fifosoak -algo ms-hp -duration 10m -audit 30s    # the long haul
+//	fifosoak -algo evq-cas -crash -duration 5s       # crash-recovery drill
+//
+// With -crash the soak becomes a crash-recovery drill: sessions are
+// continuously abandoned without Detach — both at operation boundaries
+// and (for algorithms with yield hooks) killed at random atomic-step
+// boundaries mid-operation — and replaced by fresh workers. Queues that
+// implement orphan scavenging are scavenged on every audit tick. The run
+// fails on space-bound violations or on conservation drift beyond what
+// the abandonment count can account for.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -24,6 +34,8 @@ import (
 
 	"nbqueue/internal/arena"
 	"nbqueue/internal/bench"
+	"nbqueue/internal/chaos"
+	"nbqueue/internal/queue"
 )
 
 func main() {
@@ -43,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		capacity = fs.Int("capacity", 256, "queue capacity")
 		audit    = fs.Duration("audit", 500*time.Millisecond, "interval between invariant audits")
 		rotate   = fs.Int("rotate", 200, "operations between session detach/reattach cycles")
+		crash    = fs.Bool("crash", false, "abandon sessions continuously (crash-recovery drill)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,7 +68,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	for _, key := range keys {
-		if err := soak(out, key, *duration, *threads, *capacity, *audit, *rotate); err != nil {
+		var err error
+		if *crash {
+			err = soakCrash(out, key, *duration, *threads, *capacity, *audit)
+		} else {
+			err = soak(out, key, *duration, *threads, *capacity, *audit, *rotate)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -163,6 +182,198 @@ loop:
 	}
 	fmt.Fprintf(out, "%-18s ok: ops=%d produced=%d consumed=%d drained=%d rotations=%d audits=%d\n",
 		key, ops.Load(), produced.Load(), consumed.Load(), drained, rotations.Load(), audits)
+	return nil
+}
+
+// soakCrash drives one algorithm while continuously abandoning sessions:
+// workers end their lives without Detach (rate-limited so record growth
+// in non-scavenging queues stays interpretable), and a killer goroutine
+// schedules mid-operation kills consumed through the queue's yield hook
+// (algorithms without hooks only see boundary abandonment). Orphan
+// scavenging runs on every audit tick where supported. Conservation and
+// space audits are the relaxed crash versions: drift and leaks must stay
+// within the abandonment budget.
+func soakCrash(out io.Writer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration) error {
+	entry, err := bench.Lookup(key)
+	if err != nil {
+		return err
+	}
+	var in chaos.Injector
+	q := entry.New(bench.Config{Capacity: capacity, MaxThreads: threads + 64, Yield: in.Hook})
+	a := arena.New(capacity + threads*8 + 4096)
+	sc, canScavenge := q.(queue.Scavenger)
+
+	// Queues that implement orphan scavenging reclaim corpses and can
+	// absorb unlimited abandonment; the rest only have their static
+	// reclamation headroom (each corpse pins records and strands retired
+	// nodes forever), so the drill caps their corpse count below it.
+	abandonBudget := int64(1) << 62
+	if !canScavenge {
+		abandonBudget = 16
+	}
+
+	var ops, produced, consumed, abandoned, scavenged atomic.Int64
+	var lastAbandon atomic.Int64
+	stop := make(chan struct{})
+	in.Arm()
+
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 3))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lifespan := 200 + rng.Intn(800)
+				detached := false
+				killed := chaos.Worker(func() {
+					s := q.Attach()
+					for i := 0; i < lifespan; i++ {
+						select {
+						case <-stop:
+							s.Detach()
+							detached = true
+							return
+						default:
+						}
+						if w%2 == 0 {
+							h := a.Alloc()
+							if h == arena.Nil {
+								runtime.Gosched()
+								continue
+							}
+							if s.Enqueue(h) != nil {
+								a.Free(h)
+								runtime.Gosched()
+							} else {
+								produced.Add(1)
+							}
+						} else {
+							if h, ok := s.Dequeue(); ok {
+								a.Free(h)
+								consumed.Add(1)
+							} else {
+								runtime.Gosched()
+							}
+						}
+						ops.Add(1)
+					}
+					// End of life: abandon without Detach when the rate
+					// limiter allows and budget remains, otherwise detach
+					// cleanly.
+					now := time.Now().UnixNano()
+					last := lastAbandon.Load()
+					if abandoned.Load() < abandonBudget &&
+						now-last > int64(5*time.Millisecond) && lastAbandon.CompareAndSwap(last, now) {
+						return
+					}
+					s.Detach()
+					detached = true
+				})
+				if killed || !detached {
+					abandoned.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Mid-operation killer: whoever executes the scheduled hooked step
+	// dies there, session still attached.
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			if !in.KillPending() && abandoned.Load() < abandonBudget {
+				in.ScheduleKill(uint64(rng.Int63n(4096)) + 1)
+			}
+		}
+	}()
+
+	deadline := time.After(d)
+	ticker := time.NewTicker(auditEvery)
+	defer ticker.Stop()
+	audits := 0
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			if canScavenge {
+				sc.AdvanceEpoch()
+				scavenged.Add(int64(sc.Scavenge(2)))
+			}
+			if err := auditCrash(q, a, threads, int(abandoned.Load())); err != nil {
+				close(stop)
+				wg.Wait()
+				<-killDone
+				return fmt.Errorf("%s: crash audit failed: %w", key, err)
+			}
+			audits++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	<-killDone
+	in.Disarm()
+
+	// Quiesce: reclaim what is still orphaned, then drain.
+	if canScavenge {
+		for i := 0; i < 3; i++ {
+			sc.AdvanceEpoch()
+		}
+		scavenged.Add(int64(sc.Scavenge(2)))
+	}
+	s := q.Attach()
+	drained := 0
+	for {
+		h, ok := s.Dequeue()
+		if !ok {
+			break
+		}
+		a.Free(h)
+		drained++
+	}
+	s.Detach()
+
+	ab := abandoned.Load()
+	if leaked := int64(a.Live()); leaked > ab {
+		return fmt.Errorf("%s: %d arena nodes leaked after drain but only %d sessions were abandoned", key, leaked, ab)
+	}
+	if drift := produced.Load() - consumed.Load() - int64(drained); drift < -ab || drift > ab {
+		return fmt.Errorf("%s: conservation drift %d exceeds abandonment budget %d", key, drift, ab)
+	}
+	fmt.Fprintf(out, "%-18s ok (crash): ops=%d produced=%d consumed=%d drained=%d abandoned=%d scavenged=%d audits=%d\n",
+		key, ops.Load(), produced.Load(), consumed.Load(), drained, ab, scavenged.Load(), audits)
+	return nil
+}
+
+// auditCrash checks the crash drill's relaxed space bounds mid-flight:
+// per-thread records may grow with abandonment (every corpse pins one)
+// but never past live threads + corpses + recycling-race slack.
+func auditCrash(q interface{ Capacity() int }, a *arena.Arena, threads, abandoned int) error {
+	if live := a.Live(); live > a.Capacity() {
+		return fmt.Errorf("arena live %d exceeds capacity %d", live, a.Capacity())
+	}
+	type spaceRecords interface{ SpaceRecords() int }
+	if sr, ok := q.(spaceRecords); ok {
+		bound := 2*threads + abandoned + 64
+		if n := sr.SpaceRecords(); n > bound {
+			return fmt.Errorf("per-thread records %d exceed crash bound %d (threads=%d abandoned=%d)",
+				n, bound, threads, abandoned)
+		}
+	}
 	return nil
 }
 

@@ -25,6 +25,43 @@ func TestSoakSingleAlgorithm(t *testing.T) {
 	}
 }
 
+func TestSoakCrashSingleAlgorithm(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "evq-cas", "-crash", "-duration", "300ms", "-threads", "4",
+		"-audit", "100ms",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ok (crash):") {
+		t.Errorf("crash report malformed:\n%s", out)
+	}
+	if strings.Contains(out, "abandoned=0 ") {
+		t.Errorf("crash drill abandoned no sessions:\n%s", out)
+	}
+	// evq-cas implements the scavenger; the audit ticks must have
+	// reclaimed the corpses.
+	if strings.Contains(out, "scavenged=0 ") {
+		t.Errorf("crash drill scavenged nothing:\n%s", out)
+	}
+}
+
+func TestSoakCrashAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-soaking all algorithms is slow")
+	}
+	var sb strings.Builder
+	err := run([]string{"-algo", "all", "-crash", "-duration", "150ms", "-threads", "4"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if got := strings.Count(sb.String(), "ok (crash):"); got < 8 {
+		t.Errorf("expected 8 crash reports, got %d:\n%s", got, sb.String())
+	}
+}
+
 func TestSoakUnknownAlgo(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-algo", "nope", "-duration", "10ms"}, &sb); err == nil {

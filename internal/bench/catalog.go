@@ -37,6 +37,15 @@ type Config struct {
 	PaddedSlots bool
 	// Backoff enables exponential backoff in the Evequoz queues.
 	Backoff bool
+	// RetryBudget bounds retry-loop iterations per operation in the two
+	// Evequoz queues, surfacing queue.ErrContended when exhausted; 0
+	// keeps the loops unbounded.
+	RetryBudget int
+	// Yield, when non-nil, installs a pre-access hook on the algorithms
+	// that support one (evq-cas and the MS hazard-pointer queues),
+	// enabling interleaving exploration and fault injection. Ignored by
+	// the rest.
+	Yield func()
 	// Weak configures the weak LL/SC memory for the evq-llsc-weak
 	// ablation entry; ignored elsewhere.
 	Weak weak.Config
@@ -98,7 +107,8 @@ var catalog = map[string]Algo{
 			c = c.normalize()
 			mem := func(n int) llsc.Memory { return emul.New(n, c.PaddedSlots) }
 			return evqllsc.New(c.Capacity, mem,
-				evqllsc.WithCounters(c.Counters), evqllsc.WithBackoff(c.Backoff))
+				evqllsc.WithCounters(c.Counters), evqllsc.WithBackoff(c.Backoff),
+				evqllsc.WithRetryBudget(c.RetryBudget))
 		},
 	},
 	KeyEvqLLSCWeak: {
@@ -119,7 +129,8 @@ var catalog = map[string]Algo{
 			c = c.normalize()
 			return evqcas.New(c.Capacity,
 				evqcas.WithCounters(c.Counters), evqcas.WithBackoff(c.Backoff),
-				evqcas.WithPaddedSlots(c.PaddedSlots))
+				evqcas.WithPaddedSlots(c.PaddedSlots),
+				evqcas.WithRetryBudget(c.RetryBudget), evqcas.WithYield(c.Yield))
 		},
 	},
 	KeyMSHP: {
@@ -127,7 +138,8 @@ var catalog = map[string]Algo{
 		New: func(c Config) queue.Queue {
 			c = c.normalize()
 			return msqueue.New(c.Capacity, false,
-				msqueue.WithCounters(c.Counters), msqueue.WithMaxThreads(c.MaxThreads))
+				msqueue.WithCounters(c.Counters), msqueue.WithMaxThreads(c.MaxThreads),
+				msqueue.WithYield(c.Yield))
 		},
 	},
 	KeyMSHPSorted: {
@@ -135,7 +147,8 @@ var catalog = map[string]Algo{
 		New: func(c Config) queue.Queue {
 			c = c.normalize()
 			return msqueue.New(c.Capacity, true,
-				msqueue.WithCounters(c.Counters), msqueue.WithMaxThreads(c.MaxThreads))
+				msqueue.WithCounters(c.Counters), msqueue.WithMaxThreads(c.MaxThreads),
+				msqueue.WithYield(c.Yield))
 		},
 	},
 	KeyMSDoherty: {

@@ -40,6 +40,8 @@ type Domain struct {
 	nrec    atomic.Int64
 	sorted  bool
 	factor  int
+	// epoch is the logical orphan-detection clock; see AdvanceEpoch.
+	epoch atomic.Uint64
 	// yield, when set, fires before each shared-memory access so a
 	// cooperative scheduler (internal/explore) can interleave threads
 	// deterministically through the reclamation protocol. Nil in
@@ -81,6 +83,14 @@ type Record struct {
 	active  atomic.Uint32
 	hp      [MaxHP]atomic.Uint64
 	retired []arena.Handle
+	// beat is the domain epoch at the owner's last heartbeat; a record
+	// active but unstamped for Scavenge's minAge epochs is presumed
+	// abandoned (owner died without Release).
+	beat atomic.Uint64
+	// gen is bumped each time the scavenger revokes the record so a
+	// presumed-dead owner that turns out alive can detect the revocation
+	// (see Gen) instead of sharing the record with its next owner.
+	gen atomic.Uint64
 }
 
 // Acquire returns a hazard record for the calling goroutine, recycling an
@@ -88,11 +98,17 @@ type Record struct {
 // (lock-free, LIFO, mirroring the paper's Register).
 func (d *Domain) Acquire() *Record {
 	for r := d.records.Load(); r != nil; r = r.next {
-		if r.active.Load() == 0 && r.active.CompareAndSwap(0, 1) {
-			return r
+		if r.active.Load() == 0 {
+			// Stamp before raising active so the scavenger can never see
+			// a freshly acquired record as stale.
+			r.beat.Store(d.epoch.Load())
+			if r.active.CompareAndSwap(0, 1) {
+				return r
+			}
 		}
 	}
 	r := &Record{domain: d}
+	r.beat.Store(d.epoch.Load())
 	r.active.Store(1)
 	for {
 		head := d.records.Load()
@@ -226,6 +242,61 @@ func (d *Domain) Parked() int {
 	n := 0
 	for rec := d.records.Load(); rec != nil; rec = rec.next {
 		n += len(rec.retired)
+	}
+	return n
+}
+
+// Heartbeat stamps the record with the domain's current epoch. Queue
+// sessions call it once per operation; the cost is one uncontended atomic
+// store on the record's own line.
+func (r *Record) Heartbeat() { r.beat.Store(r.domain.epoch.Load()) }
+
+// Gen returns the record's revocation generation. An owner that captures
+// it at Acquire time can detect scavenger revocation by comparing before
+// each operation and re-acquire instead of using a recycled record.
+func (r *Record) Gen() uint64 { return r.gen.Load() }
+
+// AdvanceEpoch ticks the domain's orphan-detection clock; see the
+// identical mechanism on registry.Registry.
+func (d *Domain) AdvanceEpoch() uint64 { return d.epoch.Add(1) }
+
+// Orphans counts records presumed abandoned: still active but with no
+// owner heartbeat for at least minAge epochs. Such a record pins every
+// handle left in its hazard slots and strands its retired list — the
+// leak a thread dying without Release causes.
+func (d *Domain) Orphans(minAge uint64) int {
+	e := d.epoch.Load()
+	n := 0
+	for rec := d.records.Load(); rec != nil; rec = rec.next {
+		if rec.active.Load() == 1 && e-rec.beat.Load() >= minAge {
+			n++
+		}
+	}
+	return n
+}
+
+// Scavenge reclaims presumed-abandoned records: the revocation generation
+// is bumped (so a revived owner re-acquires rather than shares), hazard
+// slots are cleared (unpinning whatever the dead owner had published),
+// and the record is deactivated for recycling. Retired handles stay with
+// the record and are inherited by its next owner, exactly as in Release,
+// so no retired node is leaked. Returns the number of records reclaimed.
+// The staleness policy carries the same caveat as registry.Scavenge: an
+// owner stalled mid-operation past minAge is indistinguishable from a
+// dead one.
+func (d *Domain) Scavenge(minAge uint64) int {
+	e := d.epoch.Load()
+	n := 0
+	for rec := d.records.Load(); rec != nil; rec = rec.next {
+		if rec.active.Load() == 1 && e-rec.beat.Load() >= minAge {
+			rec.gen.Add(1)
+			for i := range rec.hp {
+				rec.hp[i].Store(arena.Nil)
+			}
+			if rec.active.CompareAndSwap(1, 0) {
+				n++
+			}
+		}
 	}
 	return n
 }

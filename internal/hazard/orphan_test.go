@@ -1,0 +1,89 @@
+package hazard_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/hazard"
+)
+
+// TestOrphanDetectionAndHeartbeat: an active record with no heartbeat for
+// minAge epochs is an orphan; Heartbeat or Release clears it.
+func TestOrphanDetectionAndHeartbeat(t *testing.T) {
+	a := arena.New(16)
+	d := hazard.NewDomain(a, false, 1)
+	r := d.Acquire()
+	if n := d.Orphans(2); n != 0 {
+		t.Fatalf("fresh record already orphaned (%d)", n)
+	}
+	d.AdvanceEpoch()
+	d.AdvanceEpoch()
+	if n := d.Orphans(2); n != 1 {
+		t.Fatalf("stale active record not reported: %d orphans, want 1", n)
+	}
+	r.Heartbeat()
+	if n := d.Orphans(2); n != 0 {
+		t.Fatalf("heartbeat did not clear staleness (%d orphans)", n)
+	}
+	r.Release()
+	d.AdvanceEpoch()
+	d.AdvanceEpoch()
+	if n := d.Orphans(2); n != 0 {
+		t.Fatalf("released record reported as orphan (%d)", n)
+	}
+}
+
+// TestScavengeUnpinsAndRecycles: scavenging a dead owner's record clears
+// its hazard slots (so the nodes it pinned become reclaimable), bumps the
+// revocation generation, and makes the record recyclable.
+func TestScavengeUnpinsAndRecycles(t *testing.T) {
+	a := arena.New(16)
+	d := hazard.NewDomain(a, false, 1)
+	r := d.Acquire()
+	gen := r.Gen()
+
+	// The "dead" owner leaves a node published in a hazard slot.
+	h := a.Alloc()
+	var src atomic.Uint64
+	src.Store(h)
+	r.Protect(0, &src)
+
+	d.AdvanceEpoch()
+	d.AdvanceEpoch()
+	if n := d.Scavenge(2); n != 1 {
+		t.Fatalf("Scavenge = %d, want 1", n)
+	}
+	if r.Gen() == gen {
+		t.Fatal("scavenge did not bump the revocation generation")
+	}
+
+	// The next Acquire recycles the corpse's record (no list growth), and
+	// the formerly pinned node is now reclaimable.
+	r2 := d.Acquire()
+	if d.Records() != 1 {
+		t.Fatalf("records = %d, want 1 (recycled)", d.Records())
+	}
+	r2.Retire(h)
+	r2.Scan()
+	if live := a.Live(); live != 0 {
+		t.Fatalf("scavenged record still pins the node: live = %d", live)
+	}
+	r2.Release()
+}
+
+// TestScavengeSkipsHeartbeatingRecords: a record whose owner stamps it
+// every epoch is never reclaimed.
+func TestScavengeSkipsHeartbeatingRecords(t *testing.T) {
+	a := arena.New(16)
+	d := hazard.NewDomain(a, false, 1)
+	r := d.Acquire()
+	for round := 0; round < 5; round++ {
+		d.AdvanceEpoch()
+		r.Heartbeat()
+		if n := d.Scavenge(2); n != 0 {
+			t.Fatalf("round %d: scavenged a live record", round)
+		}
+	}
+	r.Release()
+}

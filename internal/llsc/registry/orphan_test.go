@@ -1,0 +1,125 @@
+package registry_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/llsc/registry"
+)
+
+// TestOrphanDetection: a registered record with no heartbeat for minAge
+// epochs is an orphan; a ReRegister heartbeat or a Deregister clears it.
+func TestOrphanDetection(t *testing.T) {
+	g := registry.New()
+	h := g.Register(noCtr())
+	if n := len(g.Orphans(2)); n != 0 {
+		t.Fatalf("freshly registered record already orphaned (%d)", n)
+	}
+	g.AdvanceEpoch()
+	if n := len(g.Orphans(2)); n != 0 {
+		t.Fatalf("record orphaned after one epoch with minAge 2 (%d)", n)
+	}
+	g.AdvanceEpoch()
+	if n := len(g.Orphans(2)); n != 1 {
+		t.Fatalf("stale registered record not reported: got %d orphans, want 1", n)
+	}
+	// A heartbeat (any ReRegister) makes the record fresh again.
+	h = g.ReRegister(h, noCtr())
+	if n := len(g.Orphans(2)); n != 0 {
+		t.Fatalf("heartbeat did not clear staleness (%d orphans)", n)
+	}
+	g.Deregister(h, noCtr())
+	for i := 0; i < 3; i++ {
+		g.AdvanceEpoch()
+	}
+	if n := len(g.Orphans(2)); n != 0 {
+		t.Fatalf("deregistered record reported as orphan (%d)", n)
+	}
+}
+
+// TestScavengeRecyclesOrphan: scavenging forces the abandoned record's
+// refcount to zero so Register recycles it instead of growing the list.
+func TestScavengeRecyclesOrphan(t *testing.T) {
+	g := registry.New()
+	h := g.Register(noCtr()) // abandoned: never deregistered
+	for i := 0; i < 3; i++ {
+		g.AdvanceEpoch()
+	}
+	// Not yet stale enough for a higher threshold.
+	if n := g.Scavenge(4, nil); n != 0 {
+		t.Fatalf("Scavenge(4) reclaimed %d records before staleness", n)
+	}
+	unpinned := 0
+	n := g.Scavenge(2, func(got registry.Handle, _ *registry.Var) {
+		unpinned++
+		if got != h {
+			t.Errorf("unpin called for %#x, want %#x", got, h)
+		}
+	})
+	if n != 1 || unpinned != 1 {
+		t.Fatalf("Scavenge(2) = %d (unpin calls %d), want 1 and 1", n, unpinned)
+	}
+	// The corpse's record must now be recyclable: the next Register gets
+	// it back and the list does not grow.
+	if h2 := g.Register(noCtr()); h2 != h {
+		t.Fatalf("scavenged record not recycled: Register = %#x, want %#x", h2, h)
+	}
+	if got := g.Records(); got != 1 {
+		t.Fatalf("records = %d, want 1", got)
+	}
+}
+
+// TestScavengeRevokesGeneration: an owner that turns out alive after its
+// record was scavenged must detect the revocation via the generation
+// counter — acquiring a fresh record instead of sharing the recycled one,
+// and leaving the new owner's reference untouched on a stale Deregister.
+func TestScavengeRevokesGeneration(t *testing.T) {
+	g := registry.New()
+	h := g.Register(noCtr())
+	gen := g.Gen(h)
+	for i := 0; i < 3; i++ {
+		g.AdvanceEpoch()
+	}
+	if n := g.Scavenge(2, nil); n != 1 {
+		t.Fatalf("Scavenge = %d, want 1", n)
+	}
+	if g.Gen(h) == gen {
+		t.Fatal("scavenge did not bump the revocation generation")
+	}
+	// A new owner recycles the record.
+	h2 := g.Register(noCtr())
+	if h2 != h {
+		t.Fatalf("expected recycling of %#x, got %#x", h, h2)
+	}
+	// The revived original owner re-registers with its stale generation:
+	// it must walk away to a different record.
+	nh, ngen := g.ReRegisterGen(h, gen, noCtr())
+	if nh == h {
+		t.Fatal("revoked owner reacquired the record the new owner holds")
+	}
+	if ngen != g.Gen(nh) {
+		t.Fatalf("ReRegisterGen returned gen %d, record says %d", ngen, g.Gen(nh))
+	}
+	// A stale-generation Deregister must not drop the new owner's
+	// reference.
+	g.DeregisterGen(h, gen, noCtr())
+	if r := g.Var(h).Refs(); r != 1 {
+		t.Fatalf("stale DeregisterGen changed the new owner's refcount: %d, want 1", r)
+	}
+	g.Deregister(nh, noCtr())
+	g.Deregister(h2, noCtr())
+}
+
+// TestScavengeSkipsLiveRecords: records whose owners heartbeat are never
+// reclaimed no matter how often the scavenger runs.
+func TestScavengeSkipsLiveRecords(t *testing.T) {
+	g := registry.New()
+	h := g.Register(noCtr())
+	for round := 0; round < 5; round++ {
+		g.AdvanceEpoch()
+		h = g.ReRegister(h, noCtr()) // heartbeat
+		if n := g.Scavenge(2, nil); n != 0 {
+			t.Fatalf("round %d: scavenged a live record", round)
+		}
+	}
+	g.Deregister(h, noCtr())
+}

@@ -53,6 +53,15 @@ type Var struct {
 	r atomic.Int64
 	// next links the global First list (handle; 0 terminates).
 	next atomic.Uint64
+	// beat is the registry epoch at the owner's last Register/ReRegister.
+	// A record whose beat lags the epoch by Scavenge's minAge while r is
+	// still raised is presumed abandoned (owner died without Deregister).
+	beat atomic.Uint64
+	// gen is bumped each time the scavenger revokes the record, so a
+	// presumed-dead owner that turns out to be alive discovers the
+	// revocation in ReRegisterGen/DeregisterGen instead of corrupting the
+	// next owner's reference count.
+	gen atomic.Uint64
 }
 
 type segment [segSize]Var
@@ -64,6 +73,8 @@ type Registry struct {
 	spine   [spineLen]atomic.Pointer[segment]
 	nextIdx atomic.Uint64
 	first   atomic.Uint64
+	// epoch is the logical orphan-detection clock; see AdvanceEpoch.
+	epoch atomic.Uint64
 	// yield, when set, is invoked before every shared-memory access so
 	// a cooperative scheduler (internal/explore) can interleave threads
 	// deterministically. Nil in production.
@@ -119,6 +130,9 @@ func (g *Registry) Register(ctr xsync.Handle) Handle {
 		if v.r.Load() == 0 {
 			ctr.Inc(xsync.OpCASAttempt)
 			g.fire()
+			// Stamp the heartbeat before raising r so the scavenger can
+			// never observe a freshly acquired record as stale.
+			v.beat.Store(g.epoch.Load())
 			if v.r.CompareAndSwap(0, 1) {
 				ctr.Inc(xsync.OpCASSuccess)
 				return h
@@ -134,6 +148,7 @@ func (g *Registry) Register(ctr xsync.Handle) Handle {
 	g.ensureSegment(idx >> segBits)
 	h := handleFor(idx)
 	v := g.Var(h)
+	v.beat.Store(g.epoch.Load())
 	v.r.Store(1)
 	for {
 		g.fire()
@@ -161,15 +176,31 @@ func (g *Registry) ensureSegment(s uint64) {
 // reused, otherwise the owner's reference is dropped and a fresh record
 // acquired (Figure 5 ReRegister).
 func (g *Registry) ReRegister(h Handle, ctr xsync.Handle) Handle {
+	h, _ = g.ReRegisterGen(h, g.Var(h).gen.Load(), ctr)
+	return h
+}
+
+// ReRegisterGen is ReRegister for owners that track the record generation
+// returned by Gen at acquisition time. If the generation no longer
+// matches, the scavenger revoked the record while the owner was idle; the
+// owner's reference is already gone, so a fresh record is acquired
+// without touching the revoked one.
+func (g *Registry) ReRegisterGen(h Handle, gen uint64, ctr xsync.Handle) (Handle, uint64) {
 	v := g.Var(h)
 	g.fire()
+	if v.gen.Load() != gen {
+		h = g.Register(ctr)
+		return h, g.Var(h).gen.Load()
+	}
+	v.beat.Store(g.epoch.Load())
 	if v.r.Load() == 1 {
-		return h
+		return h, gen
 	}
 	ctr.Inc(xsync.OpFAA)
 	g.fire()
 	v.r.Add(-1)
-	return g.Register(ctr)
+	h = g.Register(ctr)
+	return h, g.Var(h).gen.Load()
 }
 
 // Deregister drops the owner's reference so the record can be recycled by
@@ -179,6 +210,93 @@ func (g *Registry) Deregister(h Handle, ctr xsync.Handle) {
 	g.fire()
 	g.Var(h).r.Add(-1)
 }
+
+// DeregisterGen is Deregister for generation-tracking owners: a no-op
+// when the record was already revoked by the scavenger, so a late Detach
+// cannot decrement the next owner's reference count.
+func (g *Registry) DeregisterGen(h Handle, gen uint64, ctr xsync.Handle) {
+	v := g.Var(h)
+	if v.gen.Load() != gen {
+		return
+	}
+	ctr.Inc(xsync.OpFAA)
+	g.fire()
+	v.r.Add(-1)
+}
+
+// Gen returns the record's current revocation generation; owners capture
+// it at acquisition and pass it to ReRegisterGen/DeregisterGen.
+func (g *Registry) Gen(h Handle) uint64 { return g.Var(h).gen.Load() }
+
+// AdvanceEpoch increments the orphan-detection clock and returns the new
+// epoch. Owners stamp their record with the current epoch on every
+// Register/ReRegister, so "the record's beat is minAge epochs behind"
+// means "the owner has not operated across minAge AdvanceEpoch calls" —
+// the staleness predicate Orphans and Scavenge use. The caller decides
+// what an epoch is (an audit tick, a wall-clock interval, ...).
+func (g *Registry) AdvanceEpoch() uint64 { return g.epoch.Add(1) }
+
+// Epoch returns the current orphan-detection epoch.
+func (g *Registry) Epoch() uint64 { return g.epoch.Load() }
+
+// Orphans returns the handles of records presumed abandoned: reference
+// count still raised, but no owner heartbeat for at least minAge epochs.
+// A thread that dies between Register and Deregister — the leak the paper
+// acknowledges for Algorithm 2 — shows up here once the epoch advances
+// past its last operation.
+func (g *Registry) Orphans(minAge uint64) []Handle {
+	e := g.epoch.Load()
+	var out []Handle
+	for h := g.first.Load(); h != 0; {
+		v := g.Var(h)
+		if v.r.Load() >= 1 && e-v.beat.Load() >= minAge {
+			out = append(out, h)
+		}
+		h = v.next.Load()
+	}
+	return out
+}
+
+// Scavenge reclaims presumed-orphaned records (see Orphans) through the
+// existing recycling machinery: it bumps the record's generation so a
+// surprisingly alive owner abandons it on its next ReRegisterGen, invokes
+// unpin (which must erase any reservation markers naming the record from
+// shared words), and forces the reference count to zero so Register can
+// recycle the record. Returns the number of records reclaimed.
+//
+// Scavenging is a *policy*, not a proof: an owner stalled mid-operation
+// for minAge epochs is indistinguishable from a dead one, and reclaiming
+// its record re-opens the recycled-record ABA the reference counts exist
+// to prevent. Callers choose minAge so that the scavenge window vastly
+// exceeds any plausible operation latency, or invoke it only when
+// abandoned sessions are known to be dead (crash recovery, tests).
+func (g *Registry) Scavenge(minAge uint64, unpin func(h Handle, v *Var)) int {
+	e := g.epoch.Load()
+	n := 0
+	for h := g.first.Load(); h != 0; {
+		v := g.Var(h)
+		r := v.r.Load()
+		if r >= 1 && e-v.beat.Load() >= minAge {
+			// Revoke before releasing: after the bump, a revived owner's
+			// ReRegisterGen/DeregisterGen sees the generation mismatch and
+			// walks away instead of sharing the record with its next owner.
+			v.gen.Add(1)
+			if unpin != nil {
+				unpin(h, v)
+			}
+			// CAS rather than Store: a reader racing through LL may still
+			// move r; if so, leave the record for the next pass.
+			if v.r.CompareAndSwap(r, 0) {
+				n++
+			}
+		}
+		h = v.next.Load()
+	}
+	return n
+}
+
+// Beat returns the record's last heartbeat epoch; exposed for tests.
+func (v *Var) Beat() uint64 { return v.beat.Load() }
 
 // LL is the simulated load-linked of Figure 5: it reads the shared word
 // addr, copies the observed application value into the caller's record,

@@ -22,6 +22,13 @@ var ErrFull = errors.New("queue: full")
 // contract (zero, odd, or too wide).
 var ErrValue = errors.New("queue: value must be even, nonzero and below 2^40")
 
+// ErrContended is returned by operations on queues configured with a
+// retry budget when the budget is exhausted before the operation can
+// complete. The operation had no effect; the caller may retry or shed
+// load. Distinct from ErrFull: the queue may well have room (or items),
+// the thread just kept losing CAS races for it.
+var ErrContended = errors.New("queue: retry budget exhausted under contention")
+
 // MaxValue is the largest enqueueable value.
 const MaxValue = (uint64(1) << 40) - 1
 
@@ -61,6 +68,35 @@ type Session interface {
 	// Detach releases per-thread resources (LLSCvar records, hazard
 	// records). The session must not be used afterwards.
 	Detach()
+}
+
+// BudgetSession is implemented by sessions of queues constructed with a
+// retry budget. DequeueErr is Dequeue with an error channel: ok=false
+// with a nil error means the queue was observed empty; ok=false with
+// ErrContended means the attempt budget ran out while the queue was
+// contended (it may be nonempty). Plain Dequeue on such a session folds
+// budget exhaustion into ok=false.
+type BudgetSession interface {
+	Session
+	DequeueErr() (v uint64, ok bool, err error)
+}
+
+// Scavenger is implemented by queues whose per-thread records (LLSCvar or
+// hazard records) leak when a session is abandoned without Detach — the
+// crash mode the paper acknowledges ("a thread dying between register and
+// deregister leaks its variable"). The epoch clock is caller-driven:
+// sessions stamp their record on every operation, AdvanceEpoch ticks the
+// clock, and Orphans/Scavenge treat "no stamp for minAge epochs while
+// still registered" as presumed death. See registry.Scavenge for the
+// safety caveats of that presumption.
+type Scavenger interface {
+	// AdvanceEpoch ticks the orphan-detection clock.
+	AdvanceEpoch() uint64
+	// Orphans counts records presumed abandoned at the given staleness.
+	Orphans(minAge uint64) int
+	// Scavenge reclaims presumed-abandoned records for recycling and
+	// returns how many it reclaimed.
+	Scavenge(minAge uint64) int
 }
 
 // Drain dequeues until empty through s, returning the values in order.

@@ -47,6 +47,7 @@ type Queue struct {
 	reg    *registry.Registry
 	ctrs   *xsync.Counters
 	useBO  bool
+	budget int
 	yield  func()
 }
 
@@ -58,6 +59,12 @@ func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c
 
 // WithBackoff enables bounded exponential backoff on retry loops.
 func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
+
+// WithRetryBudget bounds each operation to at most n retry-loop
+// iterations; exhausting the budget surfaces queue.ErrContended instead
+// of spinning further (graceful degradation under contention). n <= 0
+// keeps the loops unbounded (lock-free progress as in the paper).
+func WithRetryBudget(n int) Option { return func(q *Queue) { q.budget = n } }
 
 // WithYield installs a pre-access hook invoked before every shared-memory
 // access (queue words and registry state), enabling systematic
@@ -118,19 +125,24 @@ func (q *Queue) slot(i uint64) *atomic.Uint64 { return &q.slots[int(i)*q.stride]
 
 // Session carries the goroutine's registered LLSCvar.
 type Session struct {
-	q    *Queue
-	varH registry.Handle
-	ctr  xsync.Handle
-	bo   xsync.Backoff
+	q      *Queue
+	varH   registry.Handle
+	varGen uint64
+	ctr    xsync.Handle
+	bo     xsync.Backoff
 }
 
-var _ queue.Session = (*Session)(nil)
+var (
+	_ queue.Session       = (*Session)(nil)
+	_ queue.BudgetSession = (*Session)(nil)
+)
 
 // Attach registers the calling goroutine with the queue's LLSCvar
 // registry.
 func (q *Queue) Attach() queue.Session {
 	s := &Session{q: q, ctr: q.ctrs.Handle()}
 	s.varH = q.reg.Register(s.ctr)
+	s.varGen = q.reg.Gen(s.varH)
 	if q.useBO {
 		s.bo = xsync.NewBackoff(0, 0)
 	}
@@ -138,16 +150,24 @@ func (q *Queue) Attach() queue.Session {
 }
 
 // Detach deregisters the goroutine's LLSCvar so it can be recycled.
+// Idempotent: a second Detach is a no-op.
 func (s *Session) Detach() {
-	s.q.reg.Deregister(s.varH, s.ctr)
+	if s.varH == 0 {
+		return
+	}
+	s.q.reg.DeregisterGen(s.varH, s.varGen, s.ctr)
 	s.varH = 0
 }
 
 // prepare runs the between-operations protocol: ReRegister swaps the
 // LLSCvar for a fresh one if another thread still holds a reference,
-// closing the recycled-record ABA described in §5.
+// closing the recycled-record ABA described in §5. It also stamps the
+// record's heartbeat and recovers from scavenger revocation.
 func (s *Session) prepare() {
-	s.varH = s.q.reg.ReRegister(s.varH, s.ctr)
+	if s.varH == 0 {
+		panic("evqcas: session used after Detach")
+	}
+	s.varH, s.varGen = s.q.reg.ReRegisterGen(s.varH, s.varGen, s.ctr)
 }
 
 // cas wraps CompareAndSwap with instrumentation.
@@ -169,7 +189,11 @@ func (s *Session) Enqueue(v uint64) error {
 	s.prepare()
 	q := s.q
 	marker := tagptr.Tag(s.varH)
-	for {
+	for attempt := 0; ; attempt++ {
+		if q.budget > 0 && attempt >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			return queue.ErrContended
+		}
 		q.fire()
 		t := q.tail.Load()
 		q.fire()
@@ -200,17 +224,31 @@ func (s *Session) Enqueue(v uint64) error {
 	}
 }
 
-// Dequeue removes the head value; Figure 5 Dequeue.
+// Dequeue removes the head value; Figure 5 Dequeue. On a queue with a
+// retry budget, budget exhaustion is folded into ok=false; use DequeueErr
+// to tell the two apart.
 func (s *Session) Dequeue() (uint64, bool) {
+	v, ok, _ := s.DequeueErr()
+	return v, ok
+}
+
+// DequeueErr is Dequeue with a contention signal: ok=false with a nil
+// error means the queue was observed empty; ok=false with
+// queue.ErrContended means the retry budget ran out first.
+func (s *Session) DequeueErr() (uint64, bool, error) {
 	s.prepare()
 	q := s.q
 	marker := tagptr.Tag(s.varH)
-	for {
+	for attempt := 0; ; attempt++ {
+		if q.budget > 0 && attempt >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			return 0, false, queue.ErrContended
+		}
 		q.fire()
 		h := q.head.Load()
 		q.fire()
 		if h == q.tail.Load() {
-			return 0, false
+			return 0, false, nil
 		}
 		head := h & q.mask
 		w := q.slot(head)
@@ -225,7 +263,7 @@ func (s *Session) Dequeue() (uint64, bool) {
 				s.cas(q.head.Ptr(), h, h+1)
 				s.ctr.Inc(xsync.OpDequeue)
 				s.bo.Reset()
-				return slot, true
+				return slot, true, nil
 			}
 		} else {
 			s.cas(w, marker, slot)
@@ -247,3 +285,32 @@ func (q *Queue) SpaceRecords() int { return q.reg.Records() }
 // or a tagged reservation marker). Diagnostic/testing accessor; the
 // value may be stale by return.
 func (q *Queue) SlotSnapshot(i uint64) uint64 { return q.slot(i & q.mask).Load() }
+
+var _ queue.Scavenger = (*Queue)(nil)
+
+// AdvanceEpoch ticks the registry's orphan-detection clock; see
+// queue.Scavenger.
+func (q *Queue) AdvanceEpoch() uint64 { return q.reg.AdvanceEpoch() }
+
+// Orphans counts LLSCvar records presumed abandoned: still referenced but
+// with no owner heartbeat for minAge epochs.
+func (q *Queue) Orphans(minAge uint64) int { return len(q.reg.Orphans(minAge)) }
+
+// Scavenge reclaims presumed-abandoned LLSCvar records. A session that
+// died mid-operation may have left its tagged reservation marker in a
+// queue slot; before releasing the record, the marker is un-reserved by
+// restoring the application value the dead owner's LL copied into the
+// record — exactly the release CAS a live thread performs — so no slot
+// stays pinned to a recycled record. See registry.Scavenge for the
+// staleness-policy caveats.
+func (q *Queue) Scavenge(minAge uint64) int {
+	return q.reg.Scavenge(minAge, func(h registry.Handle, v *registry.Var) {
+		marker := tagptr.Tag(h)
+		for i := uint64(0); i < q.size; i++ {
+			w := q.slot(i)
+			if w.Load() == marker {
+				w.CompareAndSwap(marker, v.Node())
+			}
+		}
+	})
+}

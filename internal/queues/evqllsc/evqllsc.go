@@ -36,11 +36,12 @@ import (
 type Queue struct {
 	slots llsc.Memory
 	idx   llsc.Memory // word 0 = Head, word 1 = Tail
-	mask  uint64
-	size  uint64
-	ctrs  *xsync.Counters
-	useBO bool
-	name  string
+	mask   uint64
+	size   uint64
+	ctrs   *xsync.Counters
+	useBO  bool
+	budget int
+	name   string
 }
 
 const (
@@ -56,6 +57,12 @@ func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c
 
 // WithBackoff enables bounded exponential backoff on retry loops.
 func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
+
+// WithRetryBudget bounds each operation to at most n retry-loop
+// iterations, surfacing queue.ErrContended when the budget runs out so
+// callers can shed load instead of spinning. n <= 0 keeps the loops
+// unbounded.
+func WithRetryBudget(n int) Option { return func(q *Queue) { q.budget = n } }
 
 // WithName overrides the display name (used by the weak-LL/SC ablation to
 // distinguish configurations).
@@ -105,7 +112,10 @@ type Session struct {
 	bo  xsync.Backoff
 }
 
-var _ queue.Session = (*Session)(nil)
+var (
+	_ queue.Session       = (*Session)(nil)
+	_ queue.BudgetSession = (*Session)(nil)
+)
 
 // Attach returns a session for the calling goroutine.
 func (q *Queue) Attach() queue.Session {
@@ -130,7 +140,11 @@ func (s *Session) Enqueue(v uint64) error {
 		return err
 	}
 	q := s.q
-	for {
+	for attempt := 0; ; attempt++ {
+		if q.budget > 0 && attempt >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			return queue.ErrContended
+		}
 		t := q.idx.Load(tailWord) // E5
 		// E6: exact equality, as in the paper. Head is read after Tail,
 		// so it can only be newer (larger); a wrapped delta above size
@@ -159,13 +173,27 @@ func (s *Session) Enqueue(v uint64) error {
 	}
 }
 
-// Dequeue removes the head value; Figure 3 lines D1–D21.
+// Dequeue removes the head value; Figure 3 lines D1–D21. On a queue with
+// a retry budget, budget exhaustion is folded into ok=false; use
+// DequeueErr to tell the two apart.
 func (s *Session) Dequeue() (uint64, bool) {
+	v, ok, _ := s.DequeueErr()
+	return v, ok
+}
+
+// DequeueErr is Dequeue with a contention signal: ok=false with a nil
+// error means the queue was observed empty; ok=false with
+// queue.ErrContended means the retry budget ran out first.
+func (s *Session) DequeueErr() (uint64, bool, error) {
 	q := s.q
-	for {
+	for attempt := 0; ; attempt++ {
+		if q.budget > 0 && attempt >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			return 0, false, queue.ErrContended
+		}
 		h := q.idx.Load(headWord)      // D5
 		if h == q.idx.Load(tailWord) { // D6
-			return 0, false
+			return 0, false, nil
 		}
 		head := int(h & q.mask) // D8
 		s.ctr.Inc(xsync.OpLL)
@@ -180,7 +208,7 @@ func (s *Session) Dequeue() (uint64, bool) {
 					s.advance(headWord, h) // D16–D17
 					s.ctr.Inc(xsync.OpDequeue)
 					s.bo.Reset()
-					return slot, true
+					return slot, true, nil
 				}
 			}
 		}

@@ -137,10 +137,24 @@ func (q *Queue) SpaceRecords() int { return q.dom.Records() }
 // only.
 func (q *Queue) SpaceParked() int { return q.dom.Parked() }
 
+var _ queue.Scavenger = (*Queue)(nil)
+
+// AdvanceEpoch ticks the hazard domain's orphan-detection clock; see
+// queue.Scavenger.
+func (q *Queue) AdvanceEpoch() uint64 { return q.dom.AdvanceEpoch() }
+
+// Orphans counts hazard records presumed abandoned without Detach.
+func (q *Queue) Orphans(minAge uint64) int { return q.dom.Orphans(minAge) }
+
+// Scavenge reclaims presumed-abandoned hazard records (see
+// hazard.Domain.Scavenge for mechanism and caveats).
+func (q *Queue) Scavenge(minAge uint64) int { return q.dom.Scavenge(minAge) }
+
 // Session carries the goroutine's hazard record.
 type Session struct {
 	q   *Queue
 	rec *hazard.Record
+	gen uint64
 	ctr xsync.Handle
 }
 
@@ -148,12 +162,35 @@ var _ queue.Session = (*Session)(nil)
 
 // Attach acquires a hazard record for the calling goroutine.
 func (q *Queue) Attach() queue.Session {
-	return &Session{q: q, rec: q.dom.Acquire(), ctr: q.ctrs.Handle()}
+	s := &Session{q: q, rec: q.dom.Acquire(), ctr: q.ctrs.Handle()}
+	s.gen = s.rec.Gen()
+	return s
 }
 
-// Detach releases the hazard record for recycling.
+// Detach releases the hazard record for recycling. Idempotent: a second
+// Detach is a no-op.
 func (s *Session) Detach() {
-	s.rec.Release()
+	if s.rec == nil {
+		return
+	}
+	if s.rec.Gen() == s.gen {
+		s.rec.Release()
+	}
+	s.rec = nil
+}
+
+// prepare stamps the heartbeat and recovers from scavenger revocation:
+// if the record was reclaimed while the session sat idle, a fresh one is
+// acquired instead of sharing the recycled record with its new owner.
+func (s *Session) prepare() {
+	if s.rec == nil {
+		panic("msqueue: session used after Detach")
+	}
+	if s.rec.Gen() != s.gen {
+		s.rec = s.q.dom.Acquire()
+		s.gen = s.rec.Gen()
+	}
+	s.rec.Heartbeat()
 }
 
 const (
@@ -167,6 +204,7 @@ func (s *Session) Enqueue(v uint64) error {
 	if err := queue.CheckValue(v); err != nil {
 		return err
 	}
+	s.prepare()
 	q := s.q
 	n := q.nodes.Alloc()
 	if n == arena.Nil {
@@ -215,6 +253,7 @@ func (s *Session) Enqueue(v uint64) error {
 
 // Dequeue removes the head value.
 func (s *Session) Dequeue() (uint64, bool) {
+	s.prepare()
 	q := s.q
 	for {
 		h := s.rec.Protect(hpHead, q.head.Ptr())

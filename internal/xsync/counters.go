@@ -29,6 +29,9 @@ const (
 	OpEnqueue
 	// OpDequeue counts completed (non-empty) dequeue operations.
 	OpDequeue
+	// OpContended counts operations abandoned with ErrContended because
+	// their retry budget ran out (see queue.ErrContended).
+	OpContended
 
 	numOpKinds
 )
@@ -52,6 +55,8 @@ func (k OpKind) String() string {
 		return "enqueue"
 	case OpDequeue:
 		return "dequeue"
+	case OpContended:
+		return "contended"
 	default:
 		return "unknown"
 	}

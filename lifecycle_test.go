@@ -1,0 +1,262 @@
+package nbqueue_test
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nbqueue"
+)
+
+func TestDetachIdempotent(t *testing.T) {
+	q, err := nbqueue.New[int]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	s.Detach()
+	s.Detach() // second Detach must be a silent no-op
+}
+
+func TestUseAfterDetachPanics(t *testing.T) {
+	q, err := nbqueue.New[int]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	s.Detach()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Enqueue after Detach did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "used after Detach") {
+			t.Fatalf("panic = %v, want a 'used after Detach' message", r)
+		}
+	}()
+	_ = s.Enqueue(1)
+}
+
+// TestRawSessionLifecycle: the word-level sessions of the algorithms with
+// per-thread state carry the same contract — idempotent Detach, loud
+// panic on use after Detach.
+func TestRawSessionLifecycle(t *testing.T) {
+	for _, algo := range []nbqueue.Algorithm{nbqueue.AlgorithmCAS, nbqueue.AlgorithmMSHazard} {
+		q, err := nbqueue.NewRaw(nbqueue.WithAlgorithm(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := q.Attach()
+		if err := s.Enqueue(2); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatalf("%s: dequeue failed", algo)
+		}
+		s.Detach()
+		s.Detach()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no use-after-Detach panic", algo)
+				}
+			}()
+			_ = s.Enqueue(2)
+		}()
+	}
+}
+
+func TestAttachFuncDetachesOnPanic(t *testing.T) {
+	q, err := nbqueue.New[int]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AttachFunc swallowed the worker panic")
+			}
+		}()
+		_ = q.AttachFunc(func(s *nbqueue.Session[int]) error {
+			panic("worker crashed")
+		})
+	}()
+	// The panicked worker's session must have been detached: repeated
+	// scavenges (which advance the orphan epoch) find nothing to reclaim.
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += q.ScavengeOrphans()
+	}
+	if total != 0 {
+		t.Fatalf("AttachFunc leaked a session through a panic: scavenged %d records", total)
+	}
+}
+
+func TestAttachFuncPropagatesError(t *testing.T) {
+	q, err := nbqueue.New[string]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("sentinel")
+	if got := q.AttachFunc(func(s *nbqueue.Session[string]) error {
+		if err := s.Enqueue("a"); err != nil {
+			return err
+		}
+		return sentinel
+	}); !errors.Is(got, sentinel) {
+		t.Fatalf("AttachFunc = %v, want sentinel", got)
+	}
+}
+
+// TestScavengeOrphansReclaimsAbandoned: a session dropped without Detach
+// is reclaimed once its record has been stale across two epochs.
+func TestScavengeOrphansReclaimsAbandoned(t *testing.T) {
+	q, err := nbqueue.New[int]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	if err := s.Enqueue(1); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon s (no Detach). Keep it referenced so the finalizer safety
+	// net cannot race this test's scavenging.
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += q.ScavengeOrphans()
+	}
+	if total != 1 {
+		t.Fatalf("scavenged %d records for one abandoned session, want 1", total)
+	}
+	if n := q.Orphans(); n != 0 {
+		t.Fatalf("%d orphans remain after scavenging", n)
+	}
+	// The stranded value is still there for survivors.
+	if v, ok := func() (int, bool) {
+		s2 := q.Attach()
+		defer s2.Detach()
+		return s2.Dequeue()
+	}(); !ok || v != 1 {
+		t.Fatalf("stranded value lost: got (%d, %v)", v, ok)
+	}
+	runtime.KeepAlive(s)
+}
+
+// TestFinalizerCountsLeakedSessions: the GC safety net counts sessions
+// collected without Detach and reports them to the leak handler.
+func TestFinalizerCountsLeakedSessions(t *testing.T) {
+	q, err := nbqueue.New[int]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	algoCh := make(chan string, 1)
+	nbqueue.SetLeakHandler(func(algorithm string) {
+		select {
+		case algoCh <- algorithm:
+		default:
+		}
+	})
+	defer nbqueue.SetLeakHandler(nil)
+
+	func() { _ = q.Attach() }() // leak: session unreachable, never detached
+
+	deadline := time.Now().Add(5 * time.Second)
+	for q.LeakedSessions() == 0 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := q.LeakedSessions(); got != 1 {
+		t.Fatalf("LeakedSessions = %d, want 1", got)
+	}
+	select {
+	case algorithm := <-algoCh:
+		if algorithm != q.Algorithm() {
+			t.Fatalf("leak handler got algorithm %q, want %q", algorithm, q.Algorithm())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("leak handler never called")
+	}
+	// A detached session must NOT count as a leak.
+	s := q.Attach()
+	s.Detach()
+	runtime.GC()
+	time.Sleep(20 * time.Millisecond)
+	if got := q.LeakedSessions(); got != 1 {
+		t.Fatalf("detached session was finalized as a leak: count %d", got)
+	}
+}
+
+// TestRetryBudgetSurfacesErrContended: with a one-attempt budget and
+// heavy cross-thread contention, some operations must shed load with
+// ErrContended, the metric must count them, and the queue must stay fully
+// functional afterwards.
+//
+// On a single CPU the bare operations are too fast for goroutines to
+// overlap inside the LL/SC window, so the yield hook forces a scheduling
+// point between atomic steps — two workers then routinely reserve the
+// same slot and one of them loses its CAS and burns the budget.
+func TestRetryBudgetSurfacesErrContended(t *testing.T) {
+	m := nbqueue.NewMetrics()
+	q, err := nbqueue.New[int](
+		nbqueue.WithCapacity(4), nbqueue.WithRetryBudget(1), nbqueue.WithMetrics(m),
+		nbqueue.WithYieldHook(runtime.Gosched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const maxOps = 50000
+	var contended atomic.Int64
+	start := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_ = q.AttachFunc(func(s *nbqueue.Session[int]) error {
+				ready.Done()
+				<-start
+				// Every worker both enqueues and dequeues so head and tail
+				// slots are contested from all sides; stop once contention
+				// has been observed anywhere.
+				for i := 0; i < maxOps && contended.Load() == 0; i++ {
+					if (w+i)%2 == 0 {
+						if err := s.Enqueue(i); errors.Is(err, nbqueue.ErrContended) {
+							contended.Add(1)
+						}
+					} else {
+						if _, ok, err := s.TryDequeue(); !ok && errors.Is(err, nbqueue.ErrContended) {
+							contended.Add(1)
+						}
+					}
+				}
+				return nil
+			})
+		}(w)
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+	if contended.Load() == 0 {
+		t.Fatal("no ErrContended under 8-way contention with budget 1")
+	}
+	if snap := m.Snapshot(); snap.Contended == 0 {
+		t.Fatal("metrics did not count contended operations")
+	}
+	// Load shedding must not have corrupted anything: drain, then do a
+	// clean round-trip.
+	_ = q.AttachFunc(func(s *nbqueue.Session[int]) error {
+		s.TryDrain(0)
+		if err := s.Enqueue(42); err != nil {
+			t.Errorf("post-contention enqueue: %v", err)
+		}
+		if v, ok := s.Dequeue(); !ok || v != 42 {
+			t.Errorf("post-contention dequeue = (%d, %v)", v, ok)
+		}
+		return nil
+	})
+}

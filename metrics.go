@@ -43,6 +43,9 @@ type Snapshot struct {
 	LLs         uint64
 	SCAttempts  uint64
 	SCSuccesses uint64
+	// Contended counts operations abandoned with ErrContended because
+	// their WithRetryBudget budget ran out — the load actually shed.
+	Contended uint64
 }
 
 // Snapshot returns the current totals.
@@ -56,6 +59,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		LLs:          m.c.Total(xsync.OpLL),
 		SCAttempts:   m.c.Total(xsync.OpSCAttempt),
 		SCSuccesses:  m.c.Total(xsync.OpSCSuccess),
+		Contended:    m.c.Total(xsync.OpContended),
 	}
 }
 

@@ -41,6 +41,8 @@ package nbqueue
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"nbqueue/internal/arena"
 	"nbqueue/internal/bench"
@@ -87,16 +89,23 @@ const (
 var (
 	// ErrFull reports a bounded queue at capacity.
 	ErrFull = queue.ErrFull
+	// ErrContended reports an operation abandoned because the retry
+	// budget set with WithRetryBudget ran out while the operation kept
+	// losing CAS races. The operation had no effect; the queue may have
+	// room (or items). Callers use it to shed load instead of spinning.
+	ErrContended = queue.ErrContended
 )
 
 // config collects option state.
 type config struct {
-	algorithm  Algorithm
-	capacity   int
-	maxThreads int
-	padded     bool
-	backoff    bool
-	metrics    *Metrics
+	algorithm   Algorithm
+	capacity    int
+	maxThreads  int
+	padded      bool
+	backoff     bool
+	retryBudget int
+	metrics     *Metrics
+	yield       func()
 }
 
 // Option configures New.
@@ -124,6 +133,14 @@ func WithPaddedSlots(on bool) Option { return func(c *config) { c.padded = on } 
 // the two Evequoz algorithms.
 func WithBackoff(on bool) Option { return func(c *config) { c.backoff = on } }
 
+// WithRetryBudget bounds each operation of the two Evequoz algorithms to
+// at most n retry-loop iterations. When the budget runs out, Enqueue and
+// the *Wait variants surface ErrContended (and TryDequeue reports it) so
+// the caller can shed load; without a budget the loops retry until they
+// win, which is the paper's lock-free default. Ignored by the baseline
+// algorithms. n <= 0 disables the budget.
+func WithRetryBudget(n int) Option { return func(c *config) { c.retryBudget = n } }
+
 // WithMetrics attaches an operation-counter sink; see Metrics.
 func WithMetrics(m *Metrics) Option { return func(c *config) { c.metrics = m } }
 
@@ -133,6 +150,7 @@ type Queue[T any] struct {
 	inner  queue.Queue
 	arena  *arena.Arena
 	values []T
+	leaked atomic.Uint64
 }
 
 // newInner resolves options and builds the word-level queue shared by
@@ -166,6 +184,8 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 		Counters:    ctrs,
 		PaddedSlots: c.padded,
 		Backoff:     c.backoff,
+		RetryBudget: c.retryBudget,
+		Yield:       c.yield,
 	}), c, nil
 }
 
@@ -193,28 +213,100 @@ func (q *Queue[T]) Capacity() int { return q.inner.Capacity() }
 // Algorithm returns the display name of the underlying implementation.
 func (q *Queue[T]) Algorithm() string { return q.inner.Name() }
 
-// Session is one goroutine's handle on the queue. Obtain with Attach; use
-// from a single goroutine; Detach when done.
+// Session is one goroutine's handle on the queue. Obtain with Attach (or
+// let AttachFunc manage the lifecycle); use from a single goroutine;
+// Detach when done. Detach is idempotent, but any other use after Detach
+// panics.
 type Session[T any] struct {
 	q     *Queue[T]
 	inner queue.Session
 }
 
-// Attach registers the calling goroutine and returns its session.
-func (q *Queue[T]) Attach() *Session[T] {
-	return &Session[T]{q: q, inner: q.inner.Attach()}
+// leakHandler, when set, observes garbage-collected undetached sessions.
+var leakHandler atomic.Pointer[func(algorithm string)]
+
+// SetLeakHandler installs fn, invoked (from the runtime's finalizer
+// goroutine) with the algorithm name each time a Session is garbage
+// collected without Detach — a leak of the session's per-thread record
+// that only the orphan scavenger can repair. A nil fn removes the
+// handler. Intended for wiring a log line or a test hook; the leak is
+// always counted on the queue regardless (see LeakedSessions).
+func SetLeakHandler(fn func(algorithm string)) {
+	if fn == nil {
+		leakHandler.Store(nil)
+		return
+	}
+	leakHandler.Store(&fn)
 }
 
-// Detach releases per-thread resources; the session must not be used
-// afterwards.
+// LeakedSessions counts sessions of this queue that were garbage
+// collected without Detach. The count is best-effort (it advances when
+// the GC runs finalizers), but a nonzero value always indicates a real
+// lifecycle bug in the caller.
+func (q *Queue[T]) LeakedSessions() uint64 { return q.leaked.Load() }
+
+// Attach registers the calling goroutine and returns its session.
+//
+// A session dropped without Detach leaks its per-thread registration
+// record (the crash model the paper acknowledges for Algorithm 2). As a
+// safety net, a finalizer detaches such sessions when the GC proves them
+// unreachable, counts the leak (LeakedSessions), and reports it to the
+// SetLeakHandler hook — but GC-timed reclamation is far too late for a
+// production attach/detach cycle, so treat any leak report as a bug.
+func (q *Queue[T]) Attach() *Session[T] {
+	s := &Session[T]{q: q, inner: q.inner.Attach()}
+	runtime.SetFinalizer(s, func(dead *Session[T]) {
+		if dead.inner == nil {
+			return
+		}
+		dead.q.leaked.Add(1)
+		if h := leakHandler.Load(); h != nil {
+			(*h)(dead.q.inner.Name())
+		}
+		dead.inner.Detach()
+		dead.inner = nil
+	})
+	return s
+}
+
+// AttachFunc runs fn with a freshly attached session and guarantees
+// Detach afterwards — including when fn panics, the case where a plain
+// Attach/defer-less pattern would leak the per-thread record. It is the
+// recommended way to scope a worker's queue access:
+//
+//	err := q.AttachFunc(func(s *nbqueue.Session[string]) error {
+//		return s.Enqueue("job")
+//	})
+func (q *Queue[T]) AttachFunc(fn func(s *Session[T]) error) error {
+	s := q.Attach()
+	defer s.Detach()
+	return fn(s)
+}
+
+// Detach releases per-thread resources. Idempotent: extra Detach calls
+// are no-ops. Any other method panics once the session is detached.
 func (s *Session[T]) Detach() {
+	if s.inner == nil {
+		return
+	}
+	runtime.SetFinalizer(s, nil)
 	s.inner.Detach()
 	s.inner = nil
 }
 
+// use returns the inner session, panicking with a clear message when the
+// session was already detached.
+func (s *Session[T]) use() queue.Session {
+	if s.inner == nil {
+		panic("nbqueue: session used after Detach")
+	}
+	return s.inner
+}
+
 // Enqueue inserts v at the tail, returning ErrFull when the queue is at
-// capacity.
+// capacity, or ErrContended when a WithRetryBudget budget ran out.
 func (s *Session[T]) Enqueue(v T) error {
+	inner := s.use()
 	h := s.q.arena.Alloc()
 	if h == arena.Nil {
 		// Arena pressure means capacity + in-flight slack is exhausted —
@@ -222,7 +314,7 @@ func (s *Session[T]) Enqueue(v T) error {
 		return ErrFull
 	}
 	s.q.values[h>>1] = v
-	if err := s.inner.Enqueue(h); err != nil {
+	if err := inner.Enqueue(h); err != nil {
 		var zero T
 		s.q.values[h>>1] = zero
 		s.q.arena.Free(h)
@@ -231,19 +323,79 @@ func (s *Session[T]) Enqueue(v T) error {
 	return nil
 }
 
-// Dequeue removes and returns the value at the head; ok is false when the
-// queue was observed empty.
-func (s *Session[T]) Dequeue() (v T, ok bool) {
-	h, ok := s.inner.Dequeue()
-	if !ok {
-		return v, false
-	}
+// take maps a dequeued word back to its payload and releases the node.
+func (s *Session[T]) take(h uint64) T {
 	idx := h >> 1
-	v = s.q.values[idx]
+	v := s.q.values[idx]
 	var zero T
 	s.q.values[idx] = zero
 	s.q.arena.Free(h)
-	return v, true
+	return v
+}
+
+// Dequeue removes and returns the value at the head; ok is false when the
+// queue was observed empty. Under WithRetryBudget, a contended attempt
+// whose budget ran out also reports ok=false; use TryDequeue to tell the
+// two apart.
+func (s *Session[T]) Dequeue() (v T, ok bool) {
+	h, ok := s.use().Dequeue()
+	if !ok {
+		return v, false
+	}
+	return s.take(h), true
+}
+
+// TryDequeue is Dequeue with a contention signal: ok=false with a nil
+// error means the queue was observed empty, while ok=false with
+// ErrContended means the WithRetryBudget attempt budget ran out while
+// the queue was contended (it may be nonempty). Without a retry budget
+// it behaves exactly like Dequeue.
+func (s *Session[T]) TryDequeue() (v T, ok bool, err error) {
+	inner := s.use()
+	bs, budgeted := inner.(queue.BudgetSession)
+	if !budgeted {
+		v, ok = s.Dequeue()
+		return v, ok, nil
+	}
+	h, ok, err := bs.DequeueErr()
+	if !ok {
+		return v, false, err
+	}
+	return s.take(h), true, nil
+}
+
+// ScavengeOrphans advances the queue's orphan-detection epoch and
+// reclaims per-thread records of sessions presumed abandoned without
+// Detach, returning how many it reclaimed (always 0 for algorithms with
+// stateless sessions). A record is presumed abandoned when its session
+// performed no operation across the two preceding ScavengeOrphans calls,
+// so reclamation requires at least two calls after the session died —
+// call it periodically from a janitor goroutine.
+//
+// Caveat: the staleness heuristic cannot distinguish a dead session from
+// an attached-but-idle one. Only run the scavenger when idle sessions do
+// not exist by construction (workers operate continuously, or crashed
+// workers are the only ones that stop operating). A live session whose
+// record was wrongly reclaimed while *between* operations recovers
+// transparently; one reclaimed mid-operation is undefined behaviour.
+func (q *Queue[T]) ScavengeOrphans() int {
+	sc, ok := q.inner.(queue.Scavenger)
+	if !ok {
+		return 0
+	}
+	sc.AdvanceEpoch()
+	return sc.Scavenge(2)
+}
+
+// Orphans counts per-thread records presumed abandoned (see
+// ScavengeOrphans for the staleness policy); 0 for algorithms with
+// stateless sessions.
+func (q *Queue[T]) Orphans() int {
+	sc, ok := q.inner.(queue.Scavenger)
+	if !ok {
+		return 0
+	}
+	return sc.Orphans(2)
 }
 
 // TryDrain dequeues up to max values (all available when max <= 0),
