@@ -49,6 +49,8 @@ func run(args []string, out io.Writer) error {
 		padded     = fs.Bool("padded", false, "pad array-queue slots across cache lines")
 		backoff    = fs.Bool("backoff", false, "enable exponential backoff in the Evequoz queues")
 		syncopsN   = fs.Int("syncops-threads", 4, "thread count for the syncops experiment")
+		latency    = fs.Bool("latency", false, "measure per-operation latency quantiles instead of experiments")
+		latencyN   = fs.Int("latency-threads", 4, "thread count for the -latency measurement")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +81,14 @@ func run(args []string, out io.Writer) error {
 	}
 	p.PaddedSlots = *padded
 	p.Backoff = *backoff
+
+	if *latency {
+		rows, err := bench.RunLatency(latencyAlgos(), *latencyN, p)
+		if err != nil {
+			return err
+		}
+		return bench.WriteLatencyTable(out, *latencyN, rows)
+	}
 
 	var exps []bench.Experiment
 	if *experiment == "all" {
@@ -179,6 +189,11 @@ func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, sy
 	default:
 		return fmt.Errorf("unknown experiment %q (known: %v, all)", e, bench.Experiments())
 	}
+}
+
+// latencyAlgos lists the algorithms with histogram instrumentation.
+func latencyAlgos() []string {
+	return []string{bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyMSHP, bench.KeyMSHPSorted}
 }
 
 // extendedAlgos lists every concurrent algorithm for the extended sweep.

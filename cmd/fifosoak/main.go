@@ -22,12 +22,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,7 @@ import (
 	"nbqueue/internal/bench"
 	"nbqueue/internal/chaos"
 	"nbqueue/internal/queue"
+	"nbqueue/internal/xsync"
 )
 
 func main() {
@@ -54,11 +57,21 @@ func run(args []string, out io.Writer) error {
 		threads  = fs.Int("threads", 6, "worker goroutines")
 		capacity = fs.Int("capacity", 256, "queue capacity")
 		audit    = fs.Duration("audit", 500*time.Millisecond, "interval between invariant audits")
-		rotate   = fs.Int("rotate", 200, "operations between session detach/reattach cycles")
-		crash    = fs.Bool("crash", false, "abandon sessions continuously (crash-recovery drill)")
+		rotate    = fs.Int("rotate", 200, "operations between session detach/reattach cycles")
+		crash     = fs.Bool("crash", false, "abandon sessions continuously (crash-recovery drill)")
+		statsaddr = fs.String("statsaddr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080)")
+		statstick = fs.Duration("statsevery", time.Second, "interval between one-line stats digests on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var st *statsServer
+	if *statsaddr != "" {
+		var err error
+		if st, err = startStats(*statsaddr, *statstick, out, statsTickWriter); err != nil {
+			return err
+		}
+		defer st.close()
 	}
 	keys := []string{*algo}
 	if *algo == "all" {
@@ -70,9 +83,9 @@ func run(args []string, out io.Writer) error {
 	for _, key := range keys {
 		var err error
 		if *crash {
-			err = soakCrash(out, key, *duration, *threads, *capacity, *audit)
+			err = soakCrash(out, st, key, *duration, *threads, *capacity, *audit)
 		} else {
-			err = soak(out, key, *duration, *threads, *capacity, *audit, *rotate)
+			err = soak(out, st, key, *duration, *threads, *capacity, *audit, *rotate)
 		}
 		if err != nil {
 			return err
@@ -81,13 +94,38 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// statsTickWriter receives the periodic stats digests; a variable so
+// tests can capture them.
+var statsTickWriter io.Writer = os.Stderr
+
+// instrument builds counter/histogram banks and registers the queue
+// with the stats server once constructed. No-op (nil banks) without
+// -statsaddr, so the uninstrumented soak path stays untouched.
+func instrument(st *statsServer, key string, cfg *bench.Config) func(q queue.Queue) {
+	if st == nil {
+		return func(queue.Queue) {}
+	}
+	cfg.Counters = xsync.NewCounters()
+	cfg.Hists = xsync.NewHistograms()
+	return func(q queue.Queue) {
+		var depth func() int
+		if lq, ok := q.(interface{ Len() int }); ok {
+			depth = lq.Len
+		}
+		st.setAlgorithm(key, cfg.Counters, cfg.Hists, depth)
+	}
+}
+
 // soak drives one algorithm and audits it until the deadline.
-func soak(out io.Writer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration, rotate int) error {
+func soak(out io.Writer, st *statsServer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration, rotate int) error {
 	entry, err := bench.Lookup(key)
 	if err != nil {
 		return err
 	}
-	q := entry.New(bench.Config{Capacity: capacity, MaxThreads: threads})
+	cfg := bench.Config{Capacity: capacity, MaxThreads: threads}
+	register := instrument(st, key, &cfg)
+	q := entry.New(cfg)
+	register(q)
 	a := arena.New(capacity + threads*8 + 64)
 
 	var ops, rotations atomic.Int64
@@ -98,6 +136,14 @@ func soak(out io.Writer, key string, d time.Duration, threads, capacity int, aud
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Label the loop so CPU profiles split by algorithm and role.
+			role := "producer"
+			if w%2 != 0 {
+				role = "consumer"
+			}
+			defer pprof.SetGoroutineLabels(context.Background())
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("algorithm", key, "op", role)))
 			s := q.Attach()
 			sinceRotate := 0
 			for {
@@ -193,13 +239,16 @@ loop:
 // scavenging runs on every audit tick where supported. Conservation and
 // space audits are the relaxed crash versions: drift and leaks must stay
 // within the abandonment budget.
-func soakCrash(out io.Writer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration) error {
+func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration) error {
 	entry, err := bench.Lookup(key)
 	if err != nil {
 		return err
 	}
 	var in chaos.Injector
-	q := entry.New(bench.Config{Capacity: capacity, MaxThreads: threads + 64, Yield: in.Hook})
+	cfg := bench.Config{Capacity: capacity, MaxThreads: threads + 64, Yield: in.Hook}
+	register := instrument(st, key, &cfg)
+	q := entry.New(cfg)
+	register(q)
 	a := arena.New(capacity + threads*8 + 4096)
 	sc, canScavenge := q.(queue.Scavenger)
 

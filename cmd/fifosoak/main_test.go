@@ -1,7 +1,10 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -84,5 +87,114 @@ func TestSoakShortAll(t *testing.T) {
 	}
 	if got := strings.Count(sb.String(), "ok:"); got < 8 {
 		t.Errorf("expected 8 algorithm reports, got %d:\n%s", got, sb.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe writer the stats tests poll while the
+// soak is still running.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSoakStatsEndpoint drives a 2s soak with -statsaddr, scrapes all
+// three endpoints mid-run, and requires run() to return promptly after
+// the deadline — the HTTP server and digest ticker must never block
+// shutdown.
+func TestSoakStatsEndpoint(t *testing.T) {
+	var out, ticks syncBuffer
+	oldTick := statsTickWriter
+	statsTickWriter = &ticks
+	defer func() { statsTickWriter = oldTick }()
+
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- run([]string{
+			"-algo", "evq-cas", "-duration", "2s", "-threads", "4",
+			"-statsaddr", "127.0.0.1:0", "-statsevery", "100ms",
+		}, &out)
+	}()
+
+	// Wait for the announcement line, then scrape.
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if s := out.String(); strings.Contains(s, "stats: serving http://") {
+			line := s[strings.Index(s, "stats: serving http://")+len("stats: serving http://"):]
+			addr = strings.TrimSpace(strings.TrimSuffix(line[:strings.Index(line, "\n")], "/metrics"))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("no stats announcement:\n%s", out.String())
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(b)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE nbq_enqueues_total counter",
+		"# TYPE nbq_enqueue_latency_ns histogram",
+		"# TYPE nbq_enqueue_retries histogram",
+		`algorithm="evq-cas"`,
+		"nbq_contended_total",
+		"nbq_orphans_scavenged_total",
+		"nbq_leaked_sessions_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%.2000s", want, metrics)
+		}
+	}
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "fifosoak") {
+		t.Errorf("/debug/vars missing fifosoak var:\n%.500s", body)
+	}
+
+	// The 2s drill: the run must end promptly once the soak deadline
+	// passes, stats plumbing or not.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return; stats server or ticker blocked shutdown")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("shutdown too slow: %v for a 2s soak", elapsed)
+	}
+	if !strings.Contains(ticks.String(), "ops/s=") {
+		t.Errorf("no digest lines ticked:\n%s", ticks.String())
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Errorf("final report missing:\n%s", out.String())
 	}
 }

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"nbqueue/internal/expose"
+	"nbqueue/internal/xsync"
+)
+
+// statsServer serves the soak's live instrumentation over HTTP
+// (/metrics in Prometheus text format, /debug/vars as expvar JSON,
+// /healthz for liveness probes) and prints a one-line digest to errW on
+// every tick. The soak loop swaps the current algorithm's banks in via
+// setAlgorithm as it rotates through keys; scrapes always see the live
+// banks. The server and ticker are fully owned here: close() stops both
+// promptly and never blocks shutdown on a slow scraper.
+type statsServer struct {
+	mu    sync.Mutex
+	key   string
+	ctrs  *xsync.Counters
+	hists *xsync.Histograms
+	depth func() int
+	prev  map[xsync.OpKind]uint64
+
+	errW io.Writer
+	srv  *http.Server
+	addr string
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startStats binds addr, announces the endpoint on out, and starts the
+// serve and ticker goroutines.
+func startStats(addr string, every time.Duration, out, errW io.Writer) (*statsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("statsaddr: %w", err)
+	}
+	st := &statsServer{
+		errW: errW,
+		addr: ln.Addr().String(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = st.collector().WritePrometheus(w)
+	}))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	}))
+	st.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Fprintf(out, "stats: serving http://%s/metrics\n", st.addr)
+	go func() { _ = st.srv.Serve(ln) }()
+	go st.tickLoop(every)
+	return st, nil
+}
+
+// setAlgorithm swaps the banks scrapes and ticks read. depth samples
+// the queue's current occupancy (nil when the queue cannot report one).
+func (st *statsServer) setAlgorithm(key string, ctrs *xsync.Counters, hists *xsync.Histograms, depth func() int) {
+	st.mu.Lock()
+	st.key, st.ctrs, st.hists, st.depth = key, ctrs, hists, depth
+	st.prev = nil
+	st.mu.Unlock()
+	st.collector().PublishExpvar("fifosoak")
+}
+
+// collector builds an exposition view of the current algorithm's banks.
+func (st *statsServer) collector() *expose.Collector {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := &expose.Collector{
+		Counters: st.ctrs,
+		Hists:    st.hists,
+	}
+	if st.key != "" {
+		c.Labels = map[string]string{"algorithm": st.key}
+	}
+	if st.depth != nil {
+		depth := st.depth
+		c.Gauges = append(c.Gauges, expose.Gauge{
+			Name: "depth", Help: "Current queue occupancy.",
+			Value: func() float64 { return float64(depth()) },
+		})
+	}
+	return c
+}
+
+// tickLoop prints one digest line per tick until close().
+func (st *statsServer) tickLoop(every time.Duration) {
+	defer close(st.done)
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+			st.tick(every)
+		}
+	}
+}
+
+// tick writes one digest line: per-interval throughput from the counter
+// delta plus cumulative tail latency from the histograms.
+func (st *statsServer) tick(every time.Duration) {
+	st.mu.Lock()
+	key, ctrs, hists, depth := st.key, st.ctrs, st.hists, st.depth
+	prev := st.prev
+	var cur map[xsync.OpKind]uint64
+	if ctrs != nil {
+		cur = ctrs.Snapshot()
+		st.prev = cur
+	}
+	st.mu.Unlock()
+	if cur == nil {
+		return
+	}
+	delta := func(k xsync.OpKind) uint64 {
+		if prev == nil {
+			return cur[k]
+		}
+		return cur[k] - prev[k]
+	}
+	ops := float64(delta(xsync.OpEnqueue)+delta(xsync.OpDequeue)) / every.Seconds()
+	line := fmt.Sprintf("stats: %s ops/s=%.3g contended=%d scavenged=%d leaked=%d",
+		key, ops, delta(xsync.OpContended), delta(xsync.OpScavenge), delta(xsync.OpLeak))
+	if hists != nil {
+		if v := hists.View(xsync.HistEnqLatency); v.Count > 0 {
+			line += fmt.Sprintf(" p99(enq)=%.2fµs", v.Quantile(0.99)/1e3)
+		}
+		if v := hists.View(xsync.HistDeqLatency); v.Count > 0 {
+			line += fmt.Sprintf(" p99(deq)=%.2fµs", v.Quantile(0.99)/1e3)
+		}
+	}
+	if depth != nil {
+		line += fmt.Sprintf(" depth=%d", depth())
+	}
+	fmt.Fprintln(st.errW, line)
+}
+
+// close stops the ticker and shuts the server down. Bounded: a scrape
+// in flight gets a short grace period, then the listener is torn down
+// hard, so soak shutdown never hangs on the stats plumbing.
+func (st *statsServer) close() {
+	close(st.stop)
+	<-st.done
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if err := st.srv.Shutdown(ctx); err != nil {
+		_ = st.srv.Close()
+	}
+}

@@ -33,6 +33,9 @@ type Config struct {
 	MaxThreads int
 	// Counters receives instrumentation when non-nil.
 	Counters *xsync.Counters
+	// Hists receives latency/retry histograms when non-nil (supported by
+	// the Evequoz and MS hazard-pointer queues; ignored elsewhere).
+	Hists *xsync.Histograms
 	// PaddedSlots spreads array-queue slots across cache lines.
 	PaddedSlots bool
 	// Backoff enables exponential backoff in the Evequoz queues.
@@ -107,7 +110,8 @@ var catalog = map[string]Algo{
 			c = c.normalize()
 			mem := func(n int) llsc.Memory { return emul.New(n, c.PaddedSlots) }
 			return evqllsc.New(c.Capacity, mem,
-				evqllsc.WithCounters(c.Counters), evqllsc.WithBackoff(c.Backoff),
+				evqllsc.WithCounters(c.Counters), evqllsc.WithHistograms(c.Hists),
+				evqllsc.WithBackoff(c.Backoff),
 				evqllsc.WithRetryBudget(c.RetryBudget))
 		},
 	},
@@ -128,7 +132,8 @@ var catalog = map[string]Algo{
 		New: func(c Config) queue.Queue {
 			c = c.normalize()
 			return evqcas.New(c.Capacity,
-				evqcas.WithCounters(c.Counters), evqcas.WithBackoff(c.Backoff),
+				evqcas.WithCounters(c.Counters), evqcas.WithHistograms(c.Hists),
+				evqcas.WithBackoff(c.Backoff),
 				evqcas.WithPaddedSlots(c.PaddedSlots),
 				evqcas.WithRetryBudget(c.RetryBudget), evqcas.WithYield(c.Yield))
 		},
@@ -138,7 +143,8 @@ var catalog = map[string]Algo{
 		New: func(c Config) queue.Queue {
 			c = c.normalize()
 			return msqueue.New(c.Capacity, false,
-				msqueue.WithCounters(c.Counters), msqueue.WithMaxThreads(c.MaxThreads),
+				msqueue.WithCounters(c.Counters), msqueue.WithHistograms(c.Hists),
+				msqueue.WithMaxThreads(c.MaxThreads),
 				msqueue.WithYield(c.Yield))
 		},
 	},
@@ -147,7 +153,8 @@ var catalog = map[string]Algo{
 		New: func(c Config) queue.Queue {
 			c = c.normalize()
 			return msqueue.New(c.Capacity, true,
-				msqueue.WithCounters(c.Counters), msqueue.WithMaxThreads(c.MaxThreads),
+				msqueue.WithCounters(c.Counters), msqueue.WithHistograms(c.Hists),
+				msqueue.WithMaxThreads(c.MaxThreads),
 				msqueue.WithYield(c.Yield))
 		},
 	},

@@ -15,8 +15,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -67,13 +69,18 @@ func Run(q queue.Queue, w Workload) (meanThread, wall time.Duration) {
 	// exclude the time other workers held the processor — on a single-P
 	// runtime that erases the thread-count axis entirely.
 	var epoch time.Time
+	labels := pprof.Labels("algorithm", q.Name(), "op", "bench-worker")
 	for i := 0; i < w.Threads; i++ {
 		go func(id int) {
 			defer wg.Done()
 			s := q.Attach()
 			defer s.Detach()
 			start.Wait()
-			worker(s, w)
+			// Label the hot loop so CPU profiles attribute samples to the
+			// algorithm under test rather than one anonymous goroutine pile.
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				worker(s, w)
+			})
 			perThread[id] = time.Since(epoch)
 		}(i)
 	}

@@ -46,6 +46,7 @@ type Queue struct {
 	size   uint64
 	reg    *registry.Registry
 	ctrs   *xsync.Counters
+	hists  *xsync.Histograms
 	useBO  bool
 	budget int
 	yield  func()
@@ -56,6 +57,11 @@ type Option func(*Queue)
 
 // WithCounters attaches instrumentation counters.
 func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithHistograms attaches latency/retry histograms. Latency is sampled
+// (xsync.SampleShift); retry counts are recorded for every completed or
+// shed operation. Nil keeps the hot path free of clock reads.
+func WithHistograms(h *xsync.Histograms) Option { return func(q *Queue) { q.hists = h } }
 
 // WithBackoff enables bounded exponential backoff on retry loops.
 func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
@@ -129,6 +135,7 @@ type Session struct {
 	varH   registry.Handle
 	varGen uint64
 	ctr    xsync.Handle
+	hist   xsync.HistHandle
 	bo     xsync.Backoff
 }
 
@@ -140,7 +147,7 @@ var (
 // Attach registers the calling goroutine with the queue's LLSCvar
 // registry.
 func (q *Queue) Attach() queue.Session {
-	s := &Session{q: q, ctr: q.ctrs.Handle()}
+	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
 	s.varH = q.reg.Register(s.ctr)
 	s.varGen = q.reg.Gen(s.varH)
 	if q.useBO {
@@ -157,6 +164,7 @@ func (s *Session) Detach() {
 	}
 	s.q.reg.DeregisterGen(s.varH, s.varGen, s.ctr)
 	s.varH = 0
+	s.hist.Flush()
 }
 
 // prepare runs the between-operations protocol: ReRegister swaps the
@@ -188,10 +196,12 @@ func (s *Session) Enqueue(v uint64) error {
 	}
 	s.prepare()
 	q := s.q
+	start := s.hist.StartEnq()
 	marker := tagptr.Tag(s.varH)
 	for attempt := 0; ; attempt++ {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
+			s.hist.DoneEnq(start, attempt)
 			return queue.ErrContended
 		}
 		q.fire()
@@ -213,6 +223,7 @@ func (s *Session) Enqueue(v uint64) error {
 			} else if s.cas(w, marker, v) {
 				s.cas(q.tail.Ptr(), t, t+1)
 				s.ctr.Inc(xsync.OpEnqueue)
+				s.hist.DoneEnq(start, attempt)
 				s.bo.Reset()
 				return nil
 			}
@@ -238,10 +249,12 @@ func (s *Session) Dequeue() (uint64, bool) {
 func (s *Session) DequeueErr() (uint64, bool, error) {
 	s.prepare()
 	q := s.q
+	start := s.hist.StartDeq()
 	marker := tagptr.Tag(s.varH)
 	for attempt := 0; ; attempt++ {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
+			s.hist.DoneDeq(start, attempt)
 			return 0, false, queue.ErrContended
 		}
 		q.fire()
@@ -262,6 +275,7 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			} else if s.cas(w, marker, 0) {
 				s.cas(q.head.Ptr(), h, h+1)
 				s.ctr.Inc(xsync.OpDequeue)
+				s.hist.DoneDeq(start, attempt)
 				s.bo.Reset()
 				return slot, true, nil
 			}

@@ -39,6 +39,7 @@ type Queue struct {
 	mask   uint64
 	size   uint64
 	ctrs   *xsync.Counters
+	hists  *xsync.Histograms
 	useBO  bool
 	budget int
 	name   string
@@ -54,6 +55,11 @@ type Option func(*Queue)
 
 // WithCounters attaches instrumentation counters.
 func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithHistograms attaches latency/retry histograms. Latency is sampled
+// (xsync.SampleShift); retry counts are recorded for every completed or
+// shed operation. Nil keeps the hot path free of clock reads.
+func WithHistograms(h *xsync.Histograms) Option { return func(q *Queue) { q.hists = h } }
 
 // WithBackoff enables bounded exponential backoff on retry loops.
 func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
@@ -107,9 +113,10 @@ func (q *Queue) Name() string { return q.name }
 // Session is a stateless per-goroutine handle (Algorithm 1 needs no
 // registration).
 type Session struct {
-	q   *Queue
-	ctr xsync.Handle
-	bo  xsync.Backoff
+	q    *Queue
+	ctr  xsync.Handle
+	hist xsync.HistHandle
+	bo   xsync.Backoff
 }
 
 var (
@@ -119,7 +126,7 @@ var (
 
 // Attach returns a session for the calling goroutine.
 func (q *Queue) Attach() queue.Session {
-	s := &Session{q: q, ctr: q.ctrs.Handle()}
+	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
 	if q.useBO {
 		s.bo = xsync.NewBackoff(0, 0)
 	}
@@ -127,7 +134,7 @@ func (q *Queue) Attach() queue.Session {
 }
 
 // Detach releases the session (a no-op for this algorithm).
-func (s *Session) Detach() {}
+func (s *Session) Detach() { s.hist.Flush() }
 
 // indexDelta returns (t - h) in the wrapped index domain. Index words
 // live in the 40-bit value field of the LL/SC memory and the queue size
@@ -140,9 +147,11 @@ func (s *Session) Enqueue(v uint64) error {
 		return err
 	}
 	q := s.q
+	start := s.hist.StartEnq()
 	for attempt := 0; ; attempt++ {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
+			s.hist.DoneEnq(start, attempt)
 			return queue.ErrContended
 		}
 		t := q.idx.Load(tailWord) // E5
@@ -164,6 +173,7 @@ func (s *Session) Enqueue(v uint64) error {
 					s.ctr.Inc(xsync.OpSCSuccess)
 					s.advance(tailWord, t) // E16–E17
 					s.ctr.Inc(xsync.OpEnqueue)
+					s.hist.DoneEnq(start, attempt)
 					s.bo.Reset()
 					return nil
 				}
@@ -186,9 +196,11 @@ func (s *Session) Dequeue() (uint64, bool) {
 // queue.ErrContended means the retry budget ran out first.
 func (s *Session) DequeueErr() (uint64, bool, error) {
 	q := s.q
+	start := s.hist.StartDeq()
 	for attempt := 0; ; attempt++ {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
+			s.hist.DoneDeq(start, attempt)
 			return 0, false, queue.ErrContended
 		}
 		h := q.idx.Load(headWord)      // D5
@@ -207,6 +219,7 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 					s.ctr.Inc(xsync.OpSCSuccess)
 					s.advance(headWord, h) // D16–D17
 					s.ctr.Inc(xsync.OpDequeue)
+					s.hist.DoneDeq(start, attempt)
 					s.bo.Reset()
 					return slot, true, nil
 				}

@@ -36,6 +36,7 @@ type Queue struct {
 	dom          *hazard.Domain
 	sorted       bool
 	ctrs         *xsync.Counters
+	hists        *xsync.Histograms
 	cap          int
 	maxThreads   int
 	retireFactor int
@@ -47,6 +48,11 @@ type Option func(*Queue)
 
 // WithCounters attaches instrumentation counters.
 func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithHistograms attaches latency/retry histograms. Latency is sampled
+// (xsync.SampleShift); retry counts are recorded for every successful
+// operation. Nil keeps the hot path free of clock reads.
+func WithHistograms(h *xsync.Histograms) Option { return func(q *Queue) { q.hists = h } }
 
 // WithMaxThreads sizes the retire-list headroom of the node arena. Each
 // of up to n threads may park hazard.RetireFactor x n retired nodes
@@ -152,17 +158,18 @@ func (q *Queue) Scavenge(minAge uint64) int { return q.dom.Scavenge(minAge) }
 
 // Session carries the goroutine's hazard record.
 type Session struct {
-	q   *Queue
-	rec *hazard.Record
-	gen uint64
-	ctr xsync.Handle
+	q    *Queue
+	rec  *hazard.Record
+	gen  uint64
+	ctr  xsync.Handle
+	hist xsync.HistHandle
 }
 
 var _ queue.Session = (*Session)(nil)
 
 // Attach acquires a hazard record for the calling goroutine.
 func (q *Queue) Attach() queue.Session {
-	s := &Session{q: q, rec: q.dom.Acquire(), ctr: q.ctrs.Handle()}
+	s := &Session{q: q, rec: q.dom.Acquire(), ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
 	s.gen = s.rec.Gen()
 	return s
 }
@@ -170,6 +177,7 @@ func (q *Queue) Attach() queue.Session {
 // Detach releases the hazard record for recycling. Idempotent: a second
 // Detach is a no-op.
 func (s *Session) Detach() {
+	s.hist.Flush()
 	if s.rec == nil {
 		return
 	}
@@ -217,7 +225,8 @@ func (s *Session) Enqueue(v uint64) error {
 	node := q.nodes.Get(n)
 	node.Value.Store(v)
 	node.Next.Store(arena.Nil)
-	for {
+	start := s.hist.StartEnq()
+	for attempt := 0; ; attempt++ {
 		t := s.rec.Protect(hpHead, q.tail.Ptr())
 		q.fire()
 		next := q.nodes.Get(t).Next.Load()
@@ -238,6 +247,7 @@ func (s *Session) Enqueue(v uint64) error {
 				}
 				s.rec.Clear(hpHead)
 				s.ctr.Inc(xsync.OpEnqueue)
+				s.hist.DoneEnq(start, attempt)
 				return nil
 			}
 		} else {
@@ -255,7 +265,8 @@ func (s *Session) Enqueue(v uint64) error {
 func (s *Session) Dequeue() (uint64, bool) {
 	s.prepare()
 	q := s.q
-	for {
+	start := s.hist.StartDeq()
+	for attempt := 0; ; attempt++ {
 		h := s.rec.Protect(hpHead, q.head.Ptr())
 		q.fire()
 		t := q.tail.Load()
@@ -298,6 +309,7 @@ func (s *Session) Dequeue() (uint64, bool) {
 			s.rec.Clear(hpNext)
 			s.rec.Retire(h)
 			s.ctr.Inc(xsync.OpDequeue)
+			s.hist.DoneDeq(start, attempt)
 			return v, true
 		}
 	}

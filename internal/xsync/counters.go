@@ -32,6 +32,12 @@ const (
 	// OpContended counts operations abandoned with ErrContended because
 	// their retry budget ran out (see queue.ErrContended).
 	OpContended
+	// OpScavenge counts per-thread records reclaimed by the orphan
+	// scavenger (sessions presumed abandoned without Detach).
+	OpScavenge
+	// OpLeak counts sessions garbage collected without Detach (the
+	// finalizer safety net fired; see nbqueue.LeakedSessions).
+	OpLeak
 
 	numOpKinds
 )
@@ -57,6 +63,10 @@ func (k OpKind) String() string {
 		return "dequeue"
 	case OpContended:
 		return "contended"
+	case OpScavenge:
+		return "scavenge"
+	case OpLeak:
+		return "leak"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,61 @@
+package nbqueue
+
+import (
+	"io"
+	"net/http"
+
+	"nbqueue/internal/expose"
+)
+
+// Exporter renders a Metrics sink for scraping: Prometheus text
+// exposition over HTTP (mount it at /metrics) and expvar JSON at
+// /debug/vars. The exporter reads the live banks, so one constructed
+// early keeps serving current totals with no further wiring.
+//
+//	m := nbqueue.NewMetrics()
+//	q, _ := nbqueue.New[int](nbqueue.WithMetrics(m))
+//	e := nbqueue.NewExporter(m, map[string]string{"algorithm": string(q.Algorithm())})
+//	e.AddGauge("depth", "Current queue occupancy.", func() float64 {
+//		n, _ := q.Len()
+//		return float64(n)
+//	})
+//	http.Handle("/metrics", e)
+type Exporter struct {
+	col expose.Collector
+}
+
+// NewExporter returns an exporter for m. labels are constant labels
+// stamped on every series (conventionally {"algorithm": ...}); nil is
+// fine.
+func NewExporter(m *Metrics, labels map[string]string) *Exporter {
+	return &Exporter{col: expose.Collector{
+		Labels:   labels,
+		Counters: m.counters(),
+		Hists:    m.histograms(),
+	}}
+}
+
+// AddGauge registers an instantaneous value sampled at scrape time.
+// value must be safe for concurrent use.
+func (e *Exporter) AddGauge(name, help string, value func() float64) {
+	e.col.Gauges = append(e.col.Gauges, expose.Gauge{Name: name, Help: help, Value: value})
+}
+
+// WritePrometheus writes all series in the Prometheus text exposition
+// format (version 0.0.4).
+func (e *Exporter) WritePrometheus(w io.Writer) error {
+	return e.col.WritePrometheus(w)
+}
+
+// ServeHTTP implements http.Handler, serving the text exposition.
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	e.col.Handler().ServeHTTP(w, r)
+}
+
+// PublishExpvar exposes the exporter's totals under name in the
+// process-wide expvar registry (GET /debug/vars). Unlike
+// expvar.Publish, republishing the same name rebinds it instead of
+// panicking, so tests and restarted components can call it freely.
+func (e *Exporter) PublishExpvar(name string) {
+	e.col.PublishExpvar(name)
+}

@@ -105,6 +105,7 @@ type config struct {
 	backoff     bool
 	retryBudget int
 	metrics     *Metrics
+	hook        func(Event)
 	yield       func()
 }
 
@@ -151,6 +152,21 @@ type Queue[T any] struct {
 	arena  *arena.Arena
 	values []T
 	leaked atomic.Uint64
+	// mctr records lifecycle events (scavenges, leaks) into the
+	// WithMetrics counter bank; a zero handle when metrics are off.
+	mctr xsync.Handle
+	// hook is the WithEventHook observer; nil when unset.
+	hook func(Event)
+}
+
+// emit delivers e to the event hook, stamping the algorithm name.
+// Callers only reach it from rare paths (sheds, scavenges, leaks).
+func (q *Queue[T]) emit(e Event) {
+	if q.hook == nil {
+		return
+	}
+	e.Algorithm = q.inner.Name()
+	q.hook(e)
 }
 
 // newInner resolves options and builds the word-level queue shared by
@@ -175,13 +191,16 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 		return nil, c, fmt.Errorf("nbqueue: algorithm %q is not safe for concurrent use", c.algorithm)
 	}
 	var ctrs *xsync.Counters
+	var hists *xsync.Histograms
 	if c.metrics != nil {
 		ctrs = c.metrics.counters()
+		hists = c.metrics.histograms()
 	}
 	return algo.New(bench.Config{
 		Capacity:    c.capacity,
 		MaxThreads:  c.maxThreads,
 		Counters:    ctrs,
+		Hists:       hists,
 		PaddedSlots: c.padded,
 		Backoff:     c.backoff,
 		RetryBudget: c.retryBudget,
@@ -199,11 +218,16 @@ func New[T any](opts ...Option) (*Queue[T], error) {
 	// in-flight node per attached session.
 	nodes := inner.Capacity() + c.maxThreads + 16
 	a := arena.New(nodes)
-	return &Queue[T]{
+	q := &Queue[T]{
 		inner:  inner,
 		arena:  a,
 		values: make([]T, nodes+1),
-	}, nil
+		hook:   c.hook,
+	}
+	if c.metrics != nil {
+		q.mctr = c.metrics.counters().Handle()
+	}
+	return q, nil
 }
 
 // Capacity returns the queue bound (array algorithms may round the
@@ -260,6 +284,8 @@ func (q *Queue[T]) Attach() *Session[T] {
 			return
 		}
 		dead.q.leaked.Add(1)
+		dead.q.mctr.Inc(xsync.OpLeak)
+		dead.q.emit(Event{Kind: EventSessionLeaked})
 		if h := leakHandler.Load(); h != nil {
 			(*h)(dead.q.inner.Name())
 		}
@@ -318,6 +344,9 @@ func (s *Session[T]) Enqueue(v T) error {
 		var zero T
 		s.q.values[h>>1] = zero
 		s.q.arena.Free(h)
+		if err == ErrContended {
+			s.q.emit(Event{Kind: EventContentionShed, Op: "enqueue"})
+		}
 		return err
 	}
 	return nil
@@ -338,7 +367,22 @@ func (s *Session[T]) take(h uint64) T {
 // whose budget ran out also reports ok=false; use TryDequeue to tell the
 // two apart.
 func (s *Session[T]) Dequeue() (v T, ok bool) {
-	h, ok := s.use().Dequeue()
+	inner := s.use()
+	if s.q.hook != nil {
+		// With an event hook installed, budget exhaustion must stay
+		// observable even though Dequeue's signature folds it away.
+		if bs, budgeted := inner.(queue.BudgetSession); budgeted {
+			h, ok, err := bs.DequeueErr()
+			if err == ErrContended {
+				s.q.emit(Event{Kind: EventRetryBudgetExhausted, Op: "dequeue"})
+			}
+			if !ok {
+				return v, false
+			}
+			return s.take(h), true
+		}
+	}
+	h, ok := inner.Dequeue()
 	if !ok {
 		return v, false
 	}
@@ -359,6 +403,9 @@ func (s *Session[T]) TryDequeue() (v T, ok bool, err error) {
 	}
 	h, ok, err := bs.DequeueErr()
 	if !ok {
+		if err == ErrContended {
+			s.q.emit(Event{Kind: EventContentionShed, Op: "dequeue"})
+		}
 		return v, false, err
 	}
 	return s.take(h), true, nil
@@ -384,7 +431,12 @@ func (q *Queue[T]) ScavengeOrphans() int {
 		return 0
 	}
 	sc.AdvanceEpoch()
-	return sc.Scavenge(2)
+	n := sc.Scavenge(2)
+	if n > 0 {
+		q.mctr.Add(xsync.OpScavenge, uint64(n))
+		q.emit(Event{Kind: EventOrphanScavenged, N: n})
+	}
+	return n
 }
 
 // Orphans counts per-thread records presumed abandoned (see
@@ -396,6 +448,18 @@ func (q *Queue[T]) Orphans() int {
 		return 0
 	}
 	return sc.Orphans(2)
+}
+
+// Len reports the queue's current depth for algorithms that can observe
+// it (the bounded array queues); ok is false when the algorithm cannot.
+// The value is approximate under concurrency and exact at quiescence —
+// an occupancy gauge, not a synchronization primitive.
+func (q *Queue[T]) Len() (n int, ok bool) {
+	l, ok := q.inner.(interface{ Len() int })
+	if !ok {
+		return 0, false
+	}
+	return l.Len(), true
 }
 
 // TryDrain dequeues up to max values (all available when max <= 0),
