@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments check soak explore clean
+.PHONY: all build test race cover bench bench-smoke experiments check soak explore clean
 
 all: build test
 
@@ -21,6 +21,14 @@ cover:
 # The full testing.B view of the paper's evaluation (see bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick burst benchmark (bounded ring vs unbounded segmented) with JSON
+# output for trend tracking; CI uploads the result as an artifact.
+bench-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/fifobench -experiment burst -iters 2000 -runs 1 \
+		-capacity 1024 -format json > results/BENCH_smoke.json
+	cat results/BENCH_smoke.json
 
 # Regenerate every figure/table with scaled-down defaults (minutes).
 experiments:

@@ -38,14 +38,14 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fifobench", flag.ContinueOnError)
 	fs.SetOutput(out) // keep usage/errors off stderr in tests
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: fig6a|fig6b|fig6c|fig6d|overhead|syncops|extended|all")
+		experiment = fs.String("experiment", "all", "experiment to run: fig6a|fig6b|fig6c|fig6d|overhead|syncops|extended|space|related|burst|all")
 		threads    = fs.String("threads", "", "comma-separated thread counts overriding the experiment default")
 		iters      = fs.Int("iters", 0, "iterations per thread per run (0 = default)")
 		runs       = fs.Int("runs", 0, "measurement runs per point (0 = default)")
 		capacity   = fs.Int("capacity", 0, "queue capacity (0 = default 1024)")
 		burst      = fs.Int("burst", 0, "enqueues/dequeues per iteration (0 = paper's 5)")
 		paper      = fs.Bool("paper", false, "use the paper's full parameters (N=100000, R=50)")
-		format     = fs.String("format", "table", "output format: table|csv|ascii (ascii draws a chart)")
+		format     = fs.String("format", "table", "output format: table|csv|ascii|json (ascii draws a chart; json is burst-only)")
 		padded     = fs.Bool("padded", false, "pad array-queue slots across cache lines")
 		backoff    = fs.Bool("backoff", false, "enable exponential backoff in the Evequoz queues")
 		syncopsN   = fs.Int("syncops-threads", 4, "thread count for the syncops experiment")
@@ -168,6 +168,15 @@ func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, sy
 			return err
 		}
 		return bench.WriteSpaceTable(out, rows)
+	case bench.ExpBurst:
+		rows, err := bench.RunBurst(syncopsThreads, p)
+		if err != nil {
+			return err
+		}
+		if format == "json" {
+			return bench.WriteBurstJSON(out, rows)
+		}
+		return bench.WriteBurstTable(out, rows)
 	case bench.ExpRelated:
 		series, err := bench.RunRelated([]int{16, 128, 1024, 8192}, p)
 		if err != nil {
@@ -193,13 +202,17 @@ func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, sy
 
 // latencyAlgos lists the algorithms with histogram instrumentation.
 func latencyAlgos() []string {
-	return []string{bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyMSHP, bench.KeyMSHPSorted}
+	return []string{
+		bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyEvqSeg,
+		bench.KeyMSHP, bench.KeyMSHPSorted,
+	}
 }
 
 // extendedAlgos lists every concurrent algorithm for the extended sweep.
 func extendedAlgos() []string {
 	return []string{
-		bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyMSHP, bench.KeyMSHPSorted,
+		bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyEvqSeg,
+		bench.KeyMSHP, bench.KeyMSHPSorted,
 		bench.KeyMSDoherty, bench.KeyShann, bench.KeyTsigasZhang,
 		bench.KeyTwoLock, bench.KeyChan,
 	}

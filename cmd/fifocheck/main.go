@@ -56,7 +56,8 @@ func run(args []string, out io.Writer) error {
 	keys := []string{*algo}
 	if *algo == "all" {
 		keys = []string{
-			bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyMSHP, bench.KeyMSHPSorted,
+			bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyEvqSeg,
+			bench.KeyMSHP, bench.KeyMSHPSorted,
 			bench.KeyMSDoherty, bench.KeyShann, bench.KeyTsigasZhang,
 			bench.KeyTwoLock, bench.KeyChan,
 		}

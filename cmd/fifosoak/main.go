@@ -76,7 +76,8 @@ func run(args []string, out io.Writer) error {
 	keys := []string{*algo}
 	if *algo == "all" {
 		keys = []string{
-			bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyMSHP, bench.KeyMSHPSorted,
+			bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyEvqSeg,
+			bench.KeyMSHP, bench.KeyMSHPSorted,
 			bench.KeyMSDoherty, bench.KeyShann, bench.KeyTsigasZhang, bench.KeyTreiber,
 		}
 	}
@@ -108,11 +109,14 @@ func instrument(st *statsServer, key string, cfg *bench.Config) func(q queue.Que
 	cfg.Counters = xsync.NewCounters()
 	cfg.Hists = xsync.NewHistograms()
 	return func(q queue.Queue) {
-		var depth func() int
+		var depth, segments func() int
 		if lq, ok := q.(interface{ Len() int }); ok {
 			depth = lq.Len
 		}
-		st.setAlgorithm(key, cfg.Counters, cfg.Hists, depth)
+		if sq, ok := q.(interface{ Segments() int }); ok {
+			segments = sq.Segments
+		}
+		st.setAlgorithm(key, cfg.Counters, cfg.Hists, depth, segments)
 	}
 }
 
@@ -410,17 +414,26 @@ loop:
 
 // auditCrash checks the crash drill's relaxed space bounds mid-flight:
 // per-thread records may grow with abandonment (every corpse pins one)
-// but never past live threads + corpses + recycling-race slack.
+// but never past live threads + corpses + recycling-race slack. Queues
+// whose sessions hold more than one record each (the segmented queue
+// registers with both the LLSC registry and the hazard domain) report
+// the multiplier via SessionRecordCost.
 func auditCrash(q interface{ Capacity() int }, a *arena.Arena, threads, abandoned int) error {
 	if live := a.Live(); live > a.Capacity() {
 		return fmt.Errorf("arena live %d exceeds capacity %d", live, a.Capacity())
 	}
 	type spaceRecords interface{ SpaceRecords() int }
 	if sr, ok := q.(spaceRecords); ok {
-		bound := 2*threads + abandoned + 64
+		cost := 1
+		if rc, ok := q.(interface{ SessionRecordCost() int }); ok {
+			if c := rc.SessionRecordCost(); c > cost {
+				cost = c
+			}
+		}
+		bound := cost*(2*threads+abandoned) + 64
 		if n := sr.SpaceRecords(); n > bound {
-			return fmt.Errorf("per-thread records %d exceed crash bound %d (threads=%d abandoned=%d)",
-				n, bound, threads, abandoned)
+			return fmt.Errorf("per-thread records %d exceed crash bound %d (threads=%d abandoned=%d cost=%d)",
+				n, bound, threads, abandoned, cost)
 		}
 	}
 	return nil

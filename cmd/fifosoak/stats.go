@@ -22,12 +22,13 @@ import (
 // banks. The server and ticker are fully owned here: close() stops both
 // promptly and never blocks shutdown on a slow scraper.
 type statsServer struct {
-	mu    sync.Mutex
-	key   string
-	ctrs  *xsync.Counters
-	hists *xsync.Histograms
-	depth func() int
-	prev  map[xsync.OpKind]uint64
+	mu       sync.Mutex
+	key      string
+	ctrs     *xsync.Counters
+	hists    *xsync.Histograms
+	depth    func() int
+	segments func() int
+	prev     map[xsync.OpKind]uint64
 
 	errW io.Writer
 	srv  *http.Server
@@ -67,10 +68,11 @@ func startStats(addr string, every time.Duration, out, errW io.Writer) (*statsSe
 }
 
 // setAlgorithm swaps the banks scrapes and ticks read. depth samples
-// the queue's current occupancy (nil when the queue cannot report one).
-func (st *statsServer) setAlgorithm(key string, ctrs *xsync.Counters, hists *xsync.Histograms, depth func() int) {
+// the queue's current occupancy and segments its live segment count;
+// either is nil when the queue cannot report one.
+func (st *statsServer) setAlgorithm(key string, ctrs *xsync.Counters, hists *xsync.Histograms, depth, segments func() int) {
 	st.mu.Lock()
-	st.key, st.ctrs, st.hists, st.depth = key, ctrs, hists, depth
+	st.key, st.ctrs, st.hists, st.depth, st.segments = key, ctrs, hists, depth, segments
 	st.prev = nil
 	st.mu.Unlock()
 	st.collector().PublishExpvar("fifosoak")
@@ -92,6 +94,13 @@ func (st *statsServer) collector() *expose.Collector {
 		c.Gauges = append(c.Gauges, expose.Gauge{
 			Name: "depth", Help: "Current queue occupancy.",
 			Value: func() float64 { return float64(depth()) },
+		})
+	}
+	if st.segments != nil {
+		segments := st.segments
+		c.Gauges = append(c.Gauges, expose.Gauge{
+			Name: "segments", Help: "Live ring segments of the segmented queue.",
+			Value: func() float64 { return float64(segments()) },
 		})
 	}
 	return c
@@ -119,7 +128,7 @@ func (st *statsServer) tickLoop(every time.Duration) {
 // delta plus cumulative tail latency from the histograms.
 func (st *statsServer) tick(every time.Duration) {
 	st.mu.Lock()
-	key, ctrs, hists, depth := st.key, st.ctrs, st.hists, st.depth
+	key, ctrs, hists, depth, segments := st.key, st.ctrs, st.hists, st.depth, st.segments
 	prev := st.prev
 	var cur map[xsync.OpKind]uint64
 	if ctrs != nil {
@@ -149,6 +158,9 @@ func (st *statsServer) tick(every time.Duration) {
 	}
 	if depth != nil {
 		line += fmt.Sprintf(" depth=%d", depth())
+	}
+	if segments != nil {
+		line += fmt.Sprintf(" segments=%d", segments())
 	}
 	fmt.Fprintln(st.errW, line)
 }

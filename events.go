@@ -19,6 +19,12 @@ const (
 	// EventSessionLeaked reports a session garbage collected without
 	// Detach (the finalizer safety net fired; always a caller bug).
 	EventSessionLeaked
+	// EventSegmentGrow reports AlgorithmSegmented appending a ring
+	// segment because the tail segment filled; Event.N is the live
+	// segment count after the append. Fires from the enqueuing
+	// goroutine that won the append race — a burst absorbed rather
+	// than shed.
+	EventSegmentGrow
 )
 
 // String returns the label used in logs and metric names.
@@ -32,6 +38,8 @@ func (k EventKind) String() string {
 		return "orphan-scavenged"
 	case EventSessionLeaked:
 		return "session-leaked"
+	case EventSegmentGrow:
+		return "segment-grow"
 	default:
 		return "unknown"
 	}
@@ -46,7 +54,8 @@ type Event struct {
 	// Op is "enqueue" or "dequeue" for per-operation events, empty for
 	// lifecycle events.
 	Op string
-	// N is the event magnitude where one exists (records scavenged).
+	// N is the event magnitude where one exists (records scavenged,
+	// live segments after a grow).
 	N int
 }
 

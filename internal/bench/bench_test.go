@@ -21,7 +21,7 @@ func tinyParams() Params {
 
 func TestCatalogComplete(t *testing.T) {
 	want := []string{
-		KeyEvqLLSC, KeyEvqLLSCWeak, KeyEvqCAS, KeyMSHP, KeyMSHPSorted,
+		KeyEvqLLSC, KeyEvqLLSCWeak, KeyEvqCAS, KeyEvqSeg, KeyMSHP, KeyMSHPSorted,
 		KeyMSDoherty, KeyShann, KeyTsigasZhang, KeyTwoLock, KeyChan, KeySeq,
 		KeyHerlihyWing, KeyHerlihyWingScan, KeyTreiber, KeyValois,
 	}
@@ -293,6 +293,72 @@ func TestRunRelatedShapes(t *testing.T) {
 	s1, _ := evq.At(512)
 	if s1 > 5*s0 {
 		t.Errorf("Algorithm 2 cost unexpectedly scales with backlog: %g -> %g", s0, s1)
+	}
+}
+
+func TestRunBurst(t *testing.T) {
+	p := tinyParams()
+	p.Iterations = 100
+	p.Runs = 1
+	rows, err := RunBurst(2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("burst rows = %d, want bounded + segmented", len(rows))
+	}
+	byKey := map[string]BurstRow{}
+	for _, r := range rows {
+		byKey[r.Key] = r
+	}
+	bounded := byKey[KeyEvqCAS]
+	seg := byKey[KeyEvqSeg]
+	// The bounded ring cannot hold more than its capacity of the burst;
+	// the unbounded segmented queue must accept every item.
+	if bounded.Rejected == 0 {
+		t.Errorf("bounded ring absorbed a %dx-capacity burst without shedding: %+v", BurstFactor, bounded)
+	}
+	if bounded.Accepted > bounded.Capacity {
+		t.Errorf("bounded ring accepted %d > capacity %d", bounded.Accepted, bounded.Capacity)
+	}
+	if seg.Rejected != 0 {
+		t.Errorf("unbounded segmented queue shed %d of the burst", seg.Rejected)
+	}
+	if seg.Accepted != seg.Offered {
+		t.Errorf("segmented accepted %d of %d offered", seg.Accepted, seg.Offered)
+	}
+	if seg.PeakLen != seg.Accepted {
+		t.Errorf("segmented peak len %d != accepted %d at quiescence", seg.PeakLen, seg.Accepted)
+	}
+	if seg.PeakSegments < 2 {
+		t.Errorf("segmented peak segments = %d after a %dx burst", seg.PeakSegments, BurstFactor)
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 {
+			t.Errorf("%s: nonpositive steady-state throughput", r.Label)
+		}
+	}
+}
+
+func TestWriteBurstOutputs(t *testing.T) {
+	rows := []BurstRow{{
+		Key: KeyEvqSeg, Label: "FIFO Array Segmented", Unbounded: true,
+		Threads: 2, Capacity: 64, Offered: 256, Accepted: 256,
+		PeakLen: 256, PeakSegments: 17, OpsPerSec: 1e6,
+	}}
+	var sb strings.Builder
+	if err := WriteBurstTable(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(unbounded)") || !strings.Contains(sb.String(), "256") {
+		t.Errorf("burst table malformed:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteBurstJSON(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"peak_segments": 17`) {
+		t.Errorf("burst json malformed:\n%s", sb.String())
 	}
 }
 

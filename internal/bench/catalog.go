@@ -11,6 +11,7 @@ import (
 	"nbqueue/internal/queues/chanq"
 	"nbqueue/internal/queues/evqcas"
 	"nbqueue/internal/queues/evqllsc"
+	"nbqueue/internal/queues/evqseg"
 	"nbqueue/internal/queues/herlihywing"
 	"nbqueue/internal/queues/msdoherty"
 	"nbqueue/internal/queues/msqueue"
@@ -52,6 +53,14 @@ type Config struct {
 	// Weak configures the weak LL/SC memory for the evq-llsc-weak
 	// ablation entry; ignored elsewhere.
 	Weak weak.Config
+	// Unbounded lifts the capacity bound on the segmented queue: Capacity
+	// stops acting as a high-water mark and enqueues never shed with
+	// ErrFull (until the segment pool backstop). Ignored elsewhere.
+	Unbounded bool
+	// SegSize is the per-segment ring size for the segmented queue; 0
+	// derives it from Capacity (clamped to [16, 1024]). Ignored
+	// elsewhere.
+	SegSize int
 }
 
 // normalize fills defaults.
@@ -83,6 +92,10 @@ const (
 	KeyEvqLLSC     = "evq-llsc"
 	KeyEvqLLSCWeak = "evq-llsc-weak"
 	KeyEvqCAS      = "evq-cas"
+	// KeyEvqSeg is the segmented composition of the evq-cas ring: an
+	// unbounded MPMC queue chaining Algorithm 2 rings Michael–Scott-style
+	// with hazard-pointer segment reclamation.
+	KeyEvqSeg = "evq-seg"
 	KeyMSHP        = "ms-hp"
 	KeyMSHPSorted  = "ms-hp-sorted"
 	KeyMSDoherty   = "ms-doherty"
@@ -136,6 +149,32 @@ var catalog = map[string]Algo{
 				evqcas.WithBackoff(c.Backoff),
 				evqcas.WithPaddedSlots(c.PaddedSlots),
 				evqcas.WithRetryBudget(c.RetryBudget), evqcas.WithYield(c.Yield))
+		},
+	},
+	KeyEvqSeg: {
+		Key: KeyEvqSeg, Label: "FIFO Array Segmented", Concurrent: true,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			seg := c.SegSize
+			if seg <= 0 {
+				seg = c.Capacity / 4
+				if seg < 16 {
+					seg = 16
+				}
+				if seg > 1024 {
+					seg = 1024
+				}
+			}
+			high := c.Capacity
+			if c.Unbounded {
+				high = 0
+			}
+			return evqseg.New(seg,
+				evqseg.WithHighWater(high),
+				evqseg.WithCounters(c.Counters), evqseg.WithHistograms(c.Hists),
+				evqseg.WithBackoff(c.Backoff),
+				evqseg.WithPaddedSlots(c.PaddedSlots),
+				evqseg.WithRetryBudget(c.RetryBudget), evqseg.WithYield(c.Yield))
 		},
 	},
 	KeyMSHP: {

@@ -68,13 +68,14 @@ const (
 	ExpExtended Experiment = "extended" // all algorithms incl. extensions
 	ExpSpace    Experiment = "space"    // space adaptivity: records & parked nodes
 	ExpRelated  Experiment = "related"  // related-work cost scaling vs backlog
+	ExpBurst    Experiment = "burst"    // burst absorption: bounded ring vs segmented
 )
 
 // Experiments lists all runnable experiment names.
 func Experiments() []Experiment {
 	return []Experiment{
 		Fig6a, Fig6b, Fig6c, Fig6d,
-		ExpOverhead, ExpSyncOps, ExpExtended, ExpSpace, ExpRelated,
+		ExpOverhead, ExpSyncOps, ExpExtended, ExpSpace, ExpRelated, ExpBurst,
 	}
 }
 
@@ -90,8 +91,8 @@ func profileAlgos(e Experiment) []string {
 		return []string{KeyMSDoherty, KeyMSHP, KeyMSHPSorted, KeyEvqCAS, KeyShann}
 	case ExpExtended:
 		return []string{
-			KeyEvqLLSC, KeyEvqCAS, KeyMSHP, KeyMSHPSorted, KeyMSDoherty,
-			KeyShann, KeyTsigasZhang, KeyTwoLock, KeyChan,
+			KeyEvqLLSC, KeyEvqCAS, KeyEvqSeg, KeyMSHP, KeyMSHPSorted,
+			KeyMSDoherty, KeyShann, KeyTsigasZhang, KeyTwoLock, KeyChan,
 			KeyHerlihyWing, KeyTreiber,
 		}
 	default:

@@ -62,6 +62,9 @@ var counterSeries = []struct {
 	{xsync.OpContended, "contended_total", "Operations shed with ErrContended (retry budget exhausted)."},
 	{xsync.OpScavenge, "orphans_scavenged_total", "Per-thread records reclaimed from presumed-dead sessions."},
 	{xsync.OpLeak, "leaked_sessions_total", "Sessions garbage collected without Detach (caller bug)."},
+	{xsync.OpSegAlloc, "segments_allocated_total", "Ring segments allocated fresh from the segment pool."},
+	{xsync.OpSegRecycle, "segments_recycled_total", "Retired ring segments reset and relinked from the free list."},
+	{xsync.OpSegRetire, "segments_retired_total", "Drained ring segments handed to the hazard domain."},
 }
 
 // histSeries maps histogram kinds to Prometheus series names. Latency

@@ -1,0 +1,814 @@
+// Package evqseg composes the paper's Algorithm 2 ring (Figure 5, the
+// "FIFO Array Simulated CAS" configuration of internal/queues/evqcas)
+// into an *unbounded* MPMC FIFO: each segment is a fixed-size instance
+// of the bounded circular-array queue, and segments are linked
+// Michael–Scott-style into a list whose head and tail segment pointers
+// advance by CAS. The construction follows the standard bounded-ring/
+// linked-list hybrid of Nikolaev's SCQ (arXiv:1908.04511) and the
+// memory-bound framing of Aksenov et al. (arXiv:2104.15003): the ring
+// stays the unit of fast-path work, the list supplies elasticity, and
+// safe memory reclamation (the existing internal/hazard domain) bounds
+// space by live elements plus O(segments in flight).
+//
+// # Segment lifecycle
+//
+// A segment moves through four states:
+//
+//	free → preparing → live (open → closed → drained) → retired → free
+//
+//   - open: the ring accepts enqueues and dequeues exactly as in evqcas.
+//   - closed: a producer that found the ring full set the closed bit
+//     (the top bit of the segment's Tail index) with CAS. A closed
+//     tail index makes every in-flight enqueue's "Tail unchanged?"
+//     validation fail, so no new item can be installed; producers move
+//     on and append a successor segment.
+//   - drained: Head has caught up with the closed Tail *and* the
+//     finalize step below proved no late install slipped in.
+//   - retired: a dequeuer unlinked the drained segment from the chain
+//     and handed its handle to the hazard domain; once a scan finds no
+//     hazard pointer naming it, the handle returns to the segment pool
+//     and the ring will be reset and reused (recycle), keeping the
+//     steady-state hot path allocation-free.
+//
+// # The close/finalize race
+//
+// Closing the ring races with the last in-flight enqueue: a producer
+// may validate Tail, install its value with SC, and then fail the Tail
+// advance because the closed bit appeared — leaving a committed item
+// the ring's indices do not cover. At most one such install can exist
+// (only the producer whose reservation was taken before the close CAS
+// can still succeed its SC; all later LLs re-read a closed Tail).
+// Dequeuers therefore *finalize* a closed segment before declaring it
+// drained: with Head == Tail's position, they LL the slot that position
+// names. The LL displaces any still-pending reservation marker — which
+// defeats the straggler's SC; its operation has not linearized, so it
+// simply retries in the successor segment — and reads the slot value.
+// Zero means the segment is truly drained (and, because reservations
+// were displaced, no install can succeed later). Nonzero means the
+// straggler already committed: the dequeuer helps by advancing the
+// closed Tail over the item so the normal dequeue path consumes it.
+// Either way no value is lost or duplicated, and FIFO order across the
+// segment boundary is preserved: items in the successor were enqueued
+// by operations that saw the ring closed, i.e. after every install the
+// finalize step can observe.
+//
+// # Reclamation
+//
+// Segment handles come from a dedicated arena (the pool). Enqueuers
+// publish the tail-segment handle in a hazard slot before touching the
+// ring; dequeuers do the same with the head segment. A drained segment
+// is retired through the hazard domain, so it is recycled only when no
+// session can still be addressing it — hazard pointers, not epochs,
+// because a single stalled or crashed reader must not block *all*
+// reclamation (an epoch scheme's global minimum would), and because the
+// domain already provides the orphan-scavenging story crash recovery
+// needs: scavenging a dead session's record unpins whatever segment it
+// had published. A producer that dies between allocating a segment and
+// linking it leaves the segment in the preparing state; Scavenge
+// returns such segments to the pool once their age exceeds the caller's
+// threshold (the append-orphan case of the chaos crash storms).
+package evqseg
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nbqueue/internal/arena"
+	"nbqueue/internal/hazard"
+	"nbqueue/internal/llsc/registry"
+	"nbqueue/internal/pad"
+	"nbqueue/internal/queue"
+	"nbqueue/internal/tagptr"
+	"nbqueue/internal/xsync"
+)
+
+// closedBit marks a segment's Tail index as closed: the ring is full
+// (or was sealed by the finalize helper) and all further enqueues must
+// go to a successor segment. Index arithmetic always strips it first.
+// Tail indices stay far below 2^63: they are bounded by the segment
+// size per incarnation and reset on recycle.
+const closedBit = uint64(1) << 63
+
+// Segment states, for scavenging and diagnostics. The open/closed/
+// drained sub-states of live are encoded in the ring indices (closedBit
+// and Head==Tail), not here: state transitions that matter to
+// *reclamation* are the ones this word tracks.
+const (
+	segFree      uint32 = iota // in the pool, contents meaningless
+	segPreparing               // allocated by a producer, not yet linked
+	segLive                    // linked into the chain
+	segRetired                 // unlinked, awaiting hazard reclamation
+)
+
+// segment is one bounded ring plus its chain link and lifecycle state.
+// The ring fields replicate evqcas.Queue; the logic in enqueue/dequeue
+// below is Figure 5 verbatim with the closed bit threaded through.
+type segment struct {
+	head pad.Uint64
+	tail pad.Uint64 // top bit: closedBit
+	// next is the pool handle of the successor segment; 0 while this is
+	// the last segment of its incarnation. Set once per incarnation by
+	// the producer that wins the append CAS.
+	next atomic.Uint64
+	// state is the reclamation state machine (segFree..segRetired).
+	state atomic.Uint32
+	// beat is the queue's scavenge epoch when the segment was allocated;
+	// a segment stuck in segPreparing for minAge epochs is an append
+	// orphan (its producer died before linking) and is reclaimed by
+	// Scavenge.
+	beat  atomic.Uint64
+	slots []atomic.Uint64
+}
+
+// Queue is the segmented unbounded queue. Create with New.
+type Queue struct {
+	headSeg pad.Uint64 // pool handle of the head (oldest) segment
+	tailSeg pad.Uint64 // pool handle of the tail (append) segment
+
+	// segs maps pool-handle>>1 to the ring storage. Entries are created
+	// lazily on first allocation of the pool slot and reused (reset) on
+	// every recycle, so steady state allocates nothing.
+	segs []atomic.Pointer[segment]
+	pool *arena.Arena
+	dom  *hazard.Domain
+	reg  *registry.Registry
+
+	size    uint64 // slots per segment (power of two)
+	mask    uint64
+	stride  int
+	high    int // soft capacity; 0 = unbounded
+	maxSegs int
+
+	liveSegs atomic.Int64
+	epoch    atomic.Uint64 // append-orphan scavenge clock
+
+	ctrs   *xsync.Counters
+	hists  *xsync.Histograms
+	useBO  bool
+	budget int
+	yield  func()
+	grow   func(liveSegments int)
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithCounters attaches instrumentation counters.
+func WithCounters(c *xsync.Counters) Option { return func(q *Queue) { q.ctrs = c } }
+
+// WithHistograms attaches latency/retry histograms; see evqcas.
+func WithHistograms(h *xsync.Histograms) Option { return func(q *Queue) { q.hists = h } }
+
+// WithBackoff enables bounded exponential backoff on retry loops.
+func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
+
+// WithRetryBudget bounds each operation to at most n retry-loop
+// iterations across segments; exhausting the budget surfaces
+// queue.ErrContended. Segment hops (closed ring, drained ring) count
+// toward the budget. n <= 0 keeps the loops unbounded.
+func WithRetryBudget(n int) Option { return func(q *Queue) { q.budget = n } }
+
+// WithYield installs a pre-access hook invoked before shared-memory
+// accesses (ring words, chain pointers, registry and hazard state),
+// enabling interleaving exploration and fault injection.
+func WithYield(f func()) Option { return func(q *Queue) { q.yield = f } }
+
+// WithPaddedSlots spreads ring slots across cache-line pairs.
+func WithPaddedSlots(on bool) Option {
+	return func(q *Queue) {
+		if on {
+			q.stride = pad.SlotStride
+		} else {
+			q.stride = 1
+		}
+	}
+}
+
+// WithHighWater sets a soft capacity: an enqueue that observes Len() at
+// or above n returns queue.ErrFull instead of growing further. The
+// check is exact when quiescent and approximate under concurrency (the
+// depth estimate and the install are not atomic together), which is the
+// documented soft-cap contract. n <= 0 means unbounded.
+func WithHighWater(n int) Option { return func(q *Queue) { q.high = n } }
+
+// WithMaxSegments bounds the segment pool. When every pool slot is
+// live, awaiting reclamation, or parked on a retired list, enqueues
+// that need a new segment return queue.ErrFull — the hard backstop
+// behind the "unbounded" queue, sized generously by default.
+func WithMaxSegments(n int) Option { return func(q *Queue) { q.maxSegs = n } }
+
+// defaultMaxSegments backs an unbounded queue when the caller gives no
+// bound: 16k segments of the default 256 slots is ~4M in-flight items.
+const defaultMaxSegments = 1 << 14
+
+// New returns a segmented queue whose rings hold segSize slots each
+// (rounded up to a power of two, minimum 2).
+func New(segSize int, opts ...Option) *Queue {
+	if segSize <= 0 {
+		panic(fmt.Sprintf("evqseg: segment size %d must be positive", segSize))
+	}
+	size := uint64(2)
+	for size < uint64(segSize) {
+		size <<= 1
+	}
+	q := &Queue{
+		size:   size,
+		mask:   size - 1,
+		stride: 1,
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	if q.maxSegs <= 0 {
+		if q.high > 0 {
+			// Bounded mode: enough segments to hold the cap four times
+			// over (drained-but-unreclaimed heads, parked retire lists)
+			// plus slack for concurrent appends.
+			q.maxSegs = 4*(q.high/int(size)+1) + 64
+		} else {
+			q.maxSegs = defaultMaxSegments
+		}
+	}
+	q.reg = registry.New(registry.WithYield(q.yield))
+	q.pool = arena.New(q.maxSegs)
+	q.segs = make([]atomic.Pointer[segment], q.maxSegs+1)
+	q.dom = hazard.NewDomain(q.pool, true, 2)
+	if q.yield != nil {
+		q.dom.SetYield(q.yield)
+	}
+	// Install the first segment directly: the queue is born with one
+	// live, open, empty ring.
+	h := q.pool.Alloc()
+	g := &segment{slots: make([]atomic.Uint64, int(size)*q.stride)}
+	g.state.Store(segLive)
+	q.segs[h>>1].Store(g)
+	q.headSeg.Store(h)
+	q.tailSeg.Store(h)
+	q.liveSegs.Store(1)
+	return q
+}
+
+// fire invokes the yield hook, if any.
+func (q *Queue) fire() {
+	if q.yield != nil {
+		q.yield()
+	}
+}
+
+// Capacity returns the soft capacity, or 0 for an unbounded queue (the
+// queue.Queue convention).
+func (q *Queue) Capacity() int { return q.high }
+
+// Name returns the display label for this algorithm.
+func (q *Queue) Name() string { return "FIFO Array Segmented" }
+
+// SegmentSize returns the per-segment slot count.
+func (q *Queue) SegmentSize() int { return int(q.size) }
+
+// Registry exposes the shared LLSCvar registry for tests and space
+// reporting. All segments share one registry: a session registers once,
+// not once per segment.
+func (q *Queue) Registry() *registry.Registry { return q.reg }
+
+// Domain exposes the hazard domain reclaiming segments, for tests.
+func (q *Queue) Domain() *hazard.Domain { return q.dom }
+
+// Pool exposes the segment-handle arena, for tests and space audits.
+func (q *Queue) Pool() *arena.Arena { return q.pool }
+
+// SetGrowHook installs fn to be called with the new live-segment count
+// each time a producer links a fresh segment. Install before concurrent
+// use; the hook runs on the enqueue path and must not block.
+func (q *Queue) SetGrowHook(fn func(liveSegments int)) { q.grow = fn }
+
+// Segments returns the number of live (linked, unretired) segments —
+// the gauge behind burst-absorption dashboards. At least 1.
+func (q *Queue) Segments() int { return int(q.liveSegs.Load()) }
+
+// PendingSegments counts segments in the preparing state: allocated by
+// a producer but not yet linked. Transiently nonzero during appends;
+// persistently nonzero only when an appending producer died (the
+// append-orphan case Scavenge reclaims).
+func (q *Queue) PendingSegments() int {
+	n := 0
+	for i := 1; i < len(q.segs); i++ {
+		g := q.segs[i].Load()
+		if g != nil && g.state.Load() == segPreparing {
+			n++
+		}
+	}
+	return n
+}
+
+// seg resolves a pool handle to its ring storage.
+func (q *Queue) seg(h uint64) *segment { return q.segs[h>>1].Load() }
+
+func (g *segment) slot(q *Queue, i uint64) *atomic.Uint64 { return &g.slots[int(i)*q.stride] }
+
+// Len reports the number of queued items, summed over the segment
+// chain: O(live segments), approximate under concurrency (each
+// segment's indices are read at different instants and the chain may
+// grow or shrink mid-walk), exact when quiescent. The walk is bounded
+// by the pool size so a stale chain read can never loop.
+func (q *Queue) Len() int {
+	n := 0
+	h := q.headSeg.Load()
+	for i := 0; h != 0 && i <= q.maxSegs; i++ {
+		g := q.seg(h)
+		if g == nil {
+			break
+		}
+		head := g.head.Load()
+		pos := g.tail.Load() &^ closedBit
+		if pos > head {
+			n += int(pos - head)
+		}
+		h = g.next.Load()
+	}
+	return n
+}
+
+// SpaceRecords reports per-session records ever created: the shared
+// LLSCvar list plus the hazard records guarding segment reclamation.
+func (q *Queue) SpaceRecords() int { return q.reg.Records() + q.dom.Records() }
+
+// SessionRecordCost reports how many of those records one session
+// consumes (one LLSCvar plus one hazard record); crash-audit space
+// bounds scale their per-thread allowance by this.
+func (q *Queue) SessionRecordCost() int { return 2 }
+
+// allocSegment pops a pool slot and prepares its ring for linking:
+// fresh slots on first use, a full reset on recycle. Returns 0 when the
+// pool is exhausted even after giving this session's parked retirees a
+// chance to be reclaimed.
+func (q *Queue) allocSegment(s *Session) uint64 {
+	q.fire()
+	h := q.pool.Alloc()
+	if h == arena.Nil {
+		s.rec.Scan()
+		if h = q.pool.Alloc(); h == arena.Nil {
+			return 0
+		}
+	}
+	g := q.segs[h>>1].Load()
+	if g == nil {
+		g = &segment{slots: make([]atomic.Uint64, int(q.size)*q.stride)}
+		g.beat.Store(q.epoch.Load())
+		g.state.Store(segPreparing)
+		// Publish the storage only after it is fully initialized; the
+		// atomic store orders it for every later reader of the table.
+		q.segs[h>>1].Store(g)
+		s.ctr.Inc(xsync.OpSegAlloc)
+		return h
+	}
+	// Recycle: the allocator owns the segment exclusively (the pool
+	// handed it out, hazard scanning proved nobody still addresses it),
+	// so plain-order atomic resets suffice; the link CAS publishes them.
+	for i := range g.slots {
+		g.slots[i].Store(0)
+	}
+	g.head.Store(0)
+	g.tail.Store(0)
+	g.next.Store(0)
+	g.beat.Store(q.epoch.Load())
+	g.state.Store(segPreparing)
+	s.ctr.Inc(xsync.OpSegRecycle)
+	return h
+}
+
+// freeSegment returns an allocated-but-never-linked segment to the pool
+// (the loser of an append race).
+func (q *Queue) freeSegment(h uint64) {
+	q.seg(h).state.Store(segFree)
+	q.pool.Free(h)
+}
+
+var _ queue.Scavenger = (*Queue)(nil)
+
+// AdvanceEpoch ticks every orphan-detection clock the queue composes:
+// the registry's, the hazard domain's, and the segment append clock.
+func (q *Queue) AdvanceEpoch() uint64 {
+	q.dom.AdvanceEpoch()
+	q.epoch.Add(1)
+	return q.reg.AdvanceEpoch()
+}
+
+// Orphans counts presumed-abandoned per-session state: LLSCvar records,
+// hazard records, and append-orphaned segments.
+func (q *Queue) Orphans(minAge uint64) int {
+	return len(q.reg.Orphans(minAge)) + q.dom.Orphans(minAge) + q.pendingOlderThan(minAge)
+}
+
+func (q *Queue) pendingOlderThan(minAge uint64) int {
+	e := q.epoch.Load()
+	n := 0
+	for i := 1; i < len(q.segs); i++ {
+		g := q.segs[i].Load()
+		if g != nil && g.state.Load() == segPreparing && e-g.beat.Load() >= minAge {
+			n++
+		}
+	}
+	return n
+}
+
+// Scavenge reclaims the state of sessions presumed dead for minAge
+// epochs: LLSCvar records (restoring any reservation marker the dead
+// owner left in a ring slot, across every segment), hazard records
+// (unpinning whatever segment the dead session had published), and
+// append-orphaned segments (allocated but never linked because the
+// producer died first — returned straight to the pool). See
+// registry.Scavenge for the staleness-policy caveats.
+func (q *Queue) Scavenge(minAge uint64) int {
+	n := q.reg.Scavenge(minAge, func(h registry.Handle, v *registry.Var) {
+		marker := tagptr.Tag(h)
+		for i := 1; i < len(q.segs); i++ {
+			g := q.segs[i].Load()
+			if g == nil {
+				continue
+			}
+			for j := uint64(0); j < q.size; j++ {
+				w := g.slot(q, j)
+				if w.Load() == marker {
+					w.CompareAndSwap(marker, v.Node())
+				}
+			}
+		}
+	})
+	n += q.dom.Scavenge(minAge)
+	n += q.scavengeAppends(minAge)
+	return n
+}
+
+// scavengeAppends reclaims append orphans: segments a dead producer
+// allocated but never linked. A stale preparing segment that *is*
+// chain-reachable means the producer died between the link CAS and the
+// live transition; the scavenger completes the transition (and the
+// live-count accounting) instead. Staleness (beat minAge epochs old)
+// excludes in-flight appends, whose beat is fresh — up to the same
+// stalled-vs-dead caveat every scavenging path documents.
+func (q *Queue) scavengeAppends(minAge uint64) int {
+	e := q.epoch.Load()
+	reachable := make(map[uint64]bool)
+	h := q.headSeg.Load()
+	for i := 0; h != 0 && i <= q.maxSegs; i++ {
+		reachable[h] = true
+		g := q.seg(h)
+		if g == nil {
+			break
+		}
+		h = g.next.Load()
+	}
+	n := 0
+	for i := 1; i < len(q.segs); i++ {
+		g := q.segs[i].Load()
+		if g == nil || g.state.Load() != segPreparing || e-g.beat.Load() < minAge {
+			continue
+		}
+		if reachable[uint64(i)<<1] {
+			if g.state.CompareAndSwap(segPreparing, segLive) {
+				q.liveSegs.Add(1)
+			}
+			continue
+		}
+		if g.state.CompareAndSwap(segPreparing, segFree) {
+			q.pool.Free(uint64(i) << 1)
+			n++
+		}
+	}
+	return n
+}
+
+// Session carries the goroutine's LLSCvar (slot reservation) and hazard
+// record (segment protection).
+type Session struct {
+	q      *Queue
+	varH   registry.Handle
+	varGen uint64
+	rec    *hazard.Record
+	hpGen  uint64
+	ctr    xsync.Handle
+	hist   xsync.HistHandle
+	bo     xsync.Backoff
+}
+
+var (
+	_ queue.Session       = (*Session)(nil)
+	_ queue.BudgetSession = (*Session)(nil)
+)
+
+// Attach registers the calling goroutine with the shared registry and
+// acquires a hazard record. One registration serves every segment.
+func (q *Queue) Attach() queue.Session {
+	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
+	s.varH = q.reg.Register(s.ctr)
+	s.varGen = q.reg.Gen(s.varH)
+	s.rec = q.dom.Acquire()
+	s.hpGen = s.rec.Gen()
+	if q.useBO {
+		s.bo = xsync.NewBackoff(0, 0)
+	}
+	return s
+}
+
+// Detach releases both records for recycling. Idempotent.
+func (s *Session) Detach() {
+	if s.varH == 0 {
+		return
+	}
+	s.q.reg.DeregisterGen(s.varH, s.varGen, s.ctr)
+	s.varH = 0
+	if s.rec.Gen() == s.hpGen {
+		s.rec.Release()
+	}
+	s.rec = nil
+	s.hist.Flush()
+}
+
+// prepare runs the between-operations protocol on both records:
+// ReRegister for the LLSCvar (closing the recycled-record ABA, §5),
+// revocation recovery for the hazard record, and heartbeats for the
+// orphan scavenger.
+func (s *Session) prepare() {
+	if s.varH == 0 {
+		panic("evqseg: session used after Detach")
+	}
+	s.varH, s.varGen = s.q.reg.ReRegisterGen(s.varH, s.varGen, s.ctr)
+	if s.rec.Gen() != s.hpGen {
+		s.rec = s.q.dom.Acquire()
+		s.hpGen = s.rec.Gen()
+	}
+	s.rec.Heartbeat()
+}
+
+// cas wraps CompareAndSwap with instrumentation.
+func (s *Session) cas(w *atomic.Uint64, old, new uint64) bool {
+	s.ctr.Inc(xsync.OpCASAttempt)
+	s.q.fire()
+	if w.CompareAndSwap(old, new) {
+		s.ctr.Inc(xsync.OpCASSuccess)
+		return true
+	}
+	return false
+}
+
+// hpSeg is the hazard slot publishing the segment a session operates
+// on. One slot suffices: an operation addresses one segment at a time.
+const hpSeg = 0
+
+// Results of a single-segment attempt.
+type segResult int
+
+const (
+	segOK        segResult = iota // operation completed
+	segClosed                     // ring closed; move to the successor
+	segEmpty                      // ring open and empty (dequeue only)
+	segDrained                    // ring closed and finalized empty
+	segContended                  // retry budget exhausted
+)
+
+// Enqueue inserts v at the tail of the segment chain.
+func (s *Session) Enqueue(v uint64) error {
+	if err := queue.CheckValue(v); err != nil {
+		return err
+	}
+	s.prepare()
+	q := s.q
+	start := s.hist.StartEnq()
+	attempts := 0
+	for {
+		if q.budget > 0 && attempts >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			s.hist.DoneEnq(start, attempts)
+			return queue.ErrContended
+		}
+		if q.high > 0 && q.Len() >= q.high {
+			return queue.ErrFull
+		}
+		ts := s.rec.Protect(hpSeg, q.tailSeg.Ptr())
+		g := q.seg(ts)
+		switch g.enqueue(s, v, &attempts) {
+		case segOK:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpEnqueue)
+			s.hist.DoneEnq(start, attempts)
+			s.bo.Reset()
+			return nil
+		case segContended:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpContended)
+			s.hist.DoneEnq(start, attempts)
+			return queue.ErrContended
+		case segClosed:
+			q.fire()
+			next := g.next.Load()
+			if next == 0 {
+				nh := q.allocSegment(s)
+				if nh == 0 {
+					s.rec.Clear(hpSeg)
+					return queue.ErrFull
+				}
+				q.fire()
+				if s.cas(&g.next, 0, nh) {
+					// The state CAS gates the live-count increment: if this
+					// producer dies right here, the scavenger finds the
+					// chain-reachable preparing segment and completes the
+					// transition (and the accounting) on its behalf.
+					ng := q.seg(nh)
+					if ng.state.CompareAndSwap(segPreparing, segLive) {
+						live := q.liveSegs.Add(1)
+						if q.grow != nil {
+							q.grow(int(live))
+						}
+					}
+					next = nh
+				} else {
+					// Another producer linked first; recycle ours.
+					q.freeSegment(nh)
+					next = g.next.Load()
+				}
+			}
+			if next != 0 {
+				s.cas(q.tailSeg.Ptr(), ts, next)
+			}
+			attempts++
+			s.bo.Fail()
+		}
+	}
+}
+
+// enqueue attempts the Figure 5 Enqueue against one ring. Returns
+// segClosed when the ring is (or becomes) closed.
+func (g *segment) enqueue(s *Session, v uint64, attempts *int) segResult {
+	q := s.q
+	marker := tagptr.Tag(s.varH)
+	for {
+		if q.budget > 0 && *attempts >= q.budget {
+			return segContended
+		}
+		q.fire()
+		t := g.tail.Load()
+		if t&closedBit != 0 {
+			return segClosed
+		}
+		q.fire()
+		if t == g.head.Load()+q.size {
+			// Ring full: close it so the append in the caller cannot
+			// reorder ahead of a straggling install here (see the
+			// close/finalize race in the package comment). Failure means
+			// the ring moved — either direction is progress; retry.
+			s.cas(g.tail.Ptr(), t, t|closedBit)
+			*attempts++
+			continue
+		}
+		w := g.slot(q, t&q.mask)
+		slot := q.reg.LL(w, s.varH, s.ctr) // reserve: slot word now holds marker
+		q.fire()
+		if t == g.tail.Load() {
+			if slot != 0 {
+				// A delayed enqueuer's item is already here; release the
+				// reservation and help advance Tail.
+				s.cas(w, marker, slot)
+				s.cas(g.tail.Ptr(), t, t+1)
+			} else if s.cas(w, marker, v) {
+				s.cas(g.tail.Ptr(), t, t+1)
+				return segOK
+			}
+		} else {
+			// Tail moved (or closed) under us: release and re-read.
+			s.cas(w, marker, slot)
+		}
+		*attempts++
+		s.bo.Fail()
+	}
+}
+
+// Dequeue removes the head value. On a queue with a retry budget,
+// budget exhaustion is folded into ok=false; use DequeueErr to tell the
+// two apart.
+func (s *Session) Dequeue() (uint64, bool) {
+	v, ok, _ := s.DequeueErr()
+	return v, ok
+}
+
+// DequeueErr is Dequeue with a contention signal: ok=false with a nil
+// error means the queue was observed empty; ok=false with
+// queue.ErrContended means the retry budget ran out first.
+func (s *Session) DequeueErr() (uint64, bool, error) {
+	s.prepare()
+	q := s.q
+	start := s.hist.StartDeq()
+	attempts := 0
+	for {
+		if q.budget > 0 && attempts >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			s.hist.DoneDeq(start, attempts)
+			return 0, false, queue.ErrContended
+		}
+		hs := s.rec.Protect(hpSeg, q.headSeg.Ptr())
+		g := q.seg(hs)
+		v, res := g.dequeue(s, &attempts)
+		switch res {
+		case segOK:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDequeue)
+			s.hist.DoneDeq(start, attempts)
+			s.bo.Reset()
+			return v, true, nil
+		case segContended:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpContended)
+			s.hist.DoneDeq(start, attempts)
+			return 0, false, queue.ErrContended
+		case segEmpty:
+			s.rec.Clear(hpSeg)
+			return 0, false, nil
+		case segDrained:
+			q.fire()
+			next := g.next.Load()
+			if next == 0 {
+				// Closed, drained, and still the last segment: the queue
+				// is empty (a successor append linearizes any later
+				// enqueue after this observation).
+				s.rec.Clear(hpSeg)
+				return 0, false, nil
+			}
+			// Keep tailSeg at or ahead of headSeg (Michael–Scott help)
+			// before unlinking, so the append pointer never dangles into
+			// a retired segment.
+			if q.tailSeg.Load() == hs {
+				s.cas(q.tailSeg.Ptr(), hs, next)
+			}
+			if s.cas(q.headSeg.Ptr(), hs, next) {
+				// The CAS gates the decrement against the preparing→live
+				// gate above: a segment retired before anyone completed
+				// that transition was never counted, so only a live→retired
+				// winner decrements.
+				if g.state.CompareAndSwap(segLive, segRetired) {
+					q.liveSegs.Add(-1)
+				} else {
+					g.state.Store(segRetired)
+				}
+				s.ctr.Inc(xsync.OpSegRetire)
+				s.rec.Clear(hpSeg)
+				s.rec.Retire(hs)
+			}
+			attempts++
+			s.bo.Fail()
+		}
+	}
+}
+
+// dequeue attempts the Figure 5 Dequeue against one ring, extended with
+// the closed-segment finalize step.
+func (g *segment) dequeue(s *Session, attempts *int) (uint64, segResult) {
+	q := s.q
+	marker := tagptr.Tag(s.varH)
+	for {
+		if q.budget > 0 && *attempts >= q.budget {
+			return 0, segContended
+		}
+		q.fire()
+		h := g.head.Load()
+		q.fire()
+		t := g.tail.Load()
+		closed := t&closedBit != 0
+		pos := t &^ closedBit
+		if h == pos {
+			if !closed {
+				return 0, segEmpty
+			}
+			// Finalize: Head caught the closed Tail. LL the slot Tail
+			// names: the LL displaces any still-pending enqueue
+			// reservation (defeating its SC; that producer retries in
+			// the successor), and reads whatever was committed there.
+			w := g.slot(q, pos&q.mask)
+			x := q.reg.LL(w, s.varH, s.ctr)
+			s.cas(w, marker, x) // release our reservation, restoring x
+			if x == 0 {
+				return 0, segDrained
+			}
+			// A straggler committed before the close: advance the
+			// closed Tail over it so the normal path consumes it.
+			s.cas(g.tail.Ptr(), t, (pos+1)|closedBit)
+			*attempts++
+			continue
+		}
+		w := g.slot(q, h&q.mask)
+		slot := q.reg.LL(w, s.varH, s.ctr)
+		q.fire()
+		if h == g.head.Load() {
+			if slot == 0 {
+				// Head is lagging; release the reservation and help.
+				s.cas(w, marker, slot)
+				s.cas(g.head.Ptr(), h, h+1)
+			} else if s.cas(w, marker, 0) {
+				s.cas(g.head.Ptr(), h, h+1)
+				return slot, segOK
+			}
+		} else {
+			s.cas(w, marker, slot)
+		}
+		*attempts++
+		s.bo.Fail()
+	}
+}

@@ -1,0 +1,202 @@
+package evqseg_test
+
+import (
+	"testing"
+
+	"nbqueue/internal/queue"
+	"nbqueue/internal/queues/evqseg"
+	"nbqueue/internal/queuetest"
+	"nbqueue/internal/xsync"
+)
+
+// maker builds a bounded-mode queue: small segments so the conformance
+// suite constantly crosses segment boundaries, high-water soft cap at
+// the requested capacity.
+func maker(capacity int) queue.Queue {
+	return evqseg.New(16, evqseg.WithHighWater(capacity))
+}
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, maker)
+}
+
+func TestConformanceUnbounded(t *testing.T) {
+	queuetest.RunAllWith(t, func(int) queue.Queue { return evqseg.New(64) },
+		queuetest.Opts{Unbounded: true, SegSize: 64})
+}
+
+func TestConformancePadded(t *testing.T) {
+	queuetest.RunAll(t, func(c int) queue.Queue {
+		return evqseg.New(16, evqseg.WithHighWater(c), evqseg.WithPaddedSlots(true))
+	})
+}
+
+func TestConformanceBackoff(t *testing.T) {
+	queuetest.RunAll(t, func(c int) queue.Queue {
+		return evqseg.New(16, evqseg.WithHighWater(c), evqseg.WithBackoff(true))
+	})
+}
+
+// TestTinySegmentContention pushes every operation across a segment
+// boundary: two-slot rings mean nearly every enqueue closes a ring and
+// appends, the worst case for the close/finalize protocol.
+func TestTinySegmentContention(t *testing.T) {
+	queuetest.StressMPMC(t, func(int) queue.Queue { return evqseg.New(2) }, 2, 2, 5000)
+}
+
+func TestStraddleUnbalancedConsumers(t *testing.T) {
+	queuetest.StressMPMC(t, func(int) queue.Queue { return evqseg.New(8) }, 5, 2, 2000)
+}
+
+// TestSegmentRecycling drives the queue through many fill/drain cycles
+// and verifies the free-list keeps the steady state allocation-free:
+// fresh ring allocations stay near the in-flight segment count while
+// recycles grow with the cycle count.
+func TestSegmentRecycling(t *testing.T) {
+	ctrs := xsync.NewCounters()
+	q := evqseg.New(8, evqseg.WithCounters(ctrs))
+	s := q.Attach()
+	defer s.Detach()
+	const cycles = 100
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < 20; i++ { // 20 items > 2 segments of 8
+			if err := s.Enqueue(uint64(c*100+i+1) << 1); err != nil {
+				t.Fatalf("cycle %d enqueue %d: %v", c, i, err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			if _, ok := s.Dequeue(); !ok {
+				t.Fatalf("cycle %d dequeue %d reported empty", c, i)
+			}
+		}
+	}
+	fresh := ctrs.Total(xsync.OpSegAlloc)
+	recycled := ctrs.Total(xsync.OpSegRecycle)
+	retired := ctrs.Total(xsync.OpSegRetire)
+	if fresh > 8 {
+		t.Errorf("%d fresh segment allocations across %d cycles; recycling is not engaging", fresh, cycles)
+	}
+	if recycled < cycles {
+		t.Errorf("only %d segment recycles across %d cycles, want at least one per cycle", recycled, cycles)
+	}
+	if retired < cycles {
+		t.Errorf("only %d segment retires across %d cycles", retired, cycles)
+	}
+	if live := q.Pool().Live(); live > 8 {
+		t.Errorf("%d pool handles live at quiescence; segments are leaking", live)
+	}
+	if got := q.Segments(); got != 1 {
+		t.Errorf("Segments() = %d at quiescence, want 1", got)
+	}
+}
+
+// TestSharedRegistry verifies sessions register once with one shared
+// registry, not once per segment: sequential sessions recycle a single
+// LLSCvar record no matter how many segments their traffic crossed.
+func TestSharedRegistry(t *testing.T) {
+	q := evqseg.New(4)
+	for i := 0; i < 50; i++ {
+		s := q.Attach()
+		for k := 0; k < 10; k++ {
+			if err := s.Enqueue(uint64(i*100+k+1) << 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < 10; k++ {
+			if _, ok := s.Dequeue(); !ok {
+				t.Fatal("empty")
+			}
+		}
+		s.Detach()
+	}
+	if n := q.Registry().Records(); n != 1 {
+		t.Errorf("sequential reuse created %d LLSCvar records, want 1", n)
+	}
+	if n := q.Domain().Records(); n != 1 {
+		t.Errorf("sequential reuse created %d hazard records, want 1", n)
+	}
+}
+
+// TestHighWaterSoftCap checks the combined mode: segmented growth below
+// the cap, ErrFull at it, capacity reported.
+func TestHighWaterSoftCap(t *testing.T) {
+	q := evqseg.New(8, evqseg.WithHighWater(40))
+	if got := q.Capacity(); got != 40 {
+		t.Fatalf("Capacity() = %d, want 40", got)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	n := 0
+	for ; ; n++ {
+		if err := s.Enqueue(uint64(n+1) << 1); err != nil {
+			if err != queue.ErrFull {
+				t.Fatalf("enqueue %d: %v", n, err)
+			}
+			break
+		}
+		if n > 100 {
+			t.Fatal("high-water cap never triggered")
+		}
+	}
+	if n != 40 {
+		t.Fatalf("sequential fill accepted %d items, want exactly the high-water mark 40", n)
+	}
+	if segs := q.Segments(); segs < 5 {
+		t.Fatalf("40 items across 8-slot rings should span >= 5 segments, got %d", segs)
+	}
+	// Draining one item must reopen exactly one slot.
+	if _, ok := s.Dequeue(); !ok {
+		t.Fatal("dequeue reported empty")
+	}
+	if err := s.Enqueue(2); err != nil {
+		t.Fatalf("enqueue after drain-one: %v", err)
+	}
+	if err := s.Enqueue(4); err != queue.ErrFull {
+		t.Fatalf("enqueue at cap = %v, want ErrFull", err)
+	}
+}
+
+// TestLenEstimate pins the Len contract: exact when quiescent,
+// including across segment boundaries and after partial drains.
+func TestLenEstimate(t *testing.T) {
+	q := evqseg.New(8)
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 30; i++ {
+		if got := q.Len(); got != i {
+			t.Fatalf("Len() = %d after %d enqueues", got, i)
+		}
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		s.Dequeue()
+	}
+	if got := q.Len(); got != 18 {
+		t.Fatalf("Len() = %d after 30 in / 12 out, want 18", got)
+	}
+}
+
+// TestGrowHook verifies the segment-growth callback fires with
+// monotonically informative live counts.
+func TestGrowHook(t *testing.T) {
+	q := evqseg.New(4)
+	var grows []int
+	q.SetGrowHook(func(live int) { grows = append(grows, live) })
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 20; i++ {
+		if err := s.Enqueue(uint64(i+1) << 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(grows) < 4 {
+		t.Fatalf("20 items over 4-slot rings grew %d times, want >= 4", len(grows))
+	}
+	for i, g := range grows {
+		if g != i+2 {
+			t.Fatalf("grow hook sequence %v, want consecutive live counts from 2", grows)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package evqseg
+
+// White-box tests of the segment lifecycle: append orphans, the
+// preparing→live promotion of a segment whose producer died after
+// linking, and the crash-storm recovery the chaos harness audits.
+
+import (
+	"testing"
+
+	"nbqueue/internal/chaos"
+)
+
+// TestAppendOrphanScavenge simulates the exact crash the ISSUE names: a
+// producer dies between allocating a segment and linking it. The
+// half-appended segment must be invisible to the queue, counted as an
+// orphan once stale, and reclaimed by Scavenge.
+func TestAppendOrphanScavenge(t *testing.T) {
+	q := New(8)
+	s := q.Attach().(*Session)
+	live0 := q.pool.Live()
+	h := q.allocSegment(s)
+	if h == 0 {
+		t.Fatal("allocSegment failed on a fresh pool")
+	}
+	// The producer "dies" here: h is allocated, prepared, never linked.
+	if got := q.PendingSegments(); got != 1 {
+		t.Fatalf("PendingSegments() = %d, want 1", got)
+	}
+	// Fresh orphans must survive a scavenge: the segment's beat is
+	// current, so an in-flight append is never yanked from under a live
+	// producer.
+	if n := q.scavengeAppends(2); n != 0 {
+		t.Fatalf("scavenge reclaimed %d fresh preparing segments, want 0", n)
+	}
+	for i := 0; i < 3; i++ {
+		q.AdvanceEpoch()
+	}
+	if got := q.Orphans(2); got < 1 {
+		t.Fatalf("Orphans(2) = %d, want >= 1 (the stale half-appended segment)", got)
+	}
+	if n := q.Scavenge(2); n < 1 {
+		t.Fatalf("Scavenge(2) = %d, want >= 1", n)
+	}
+	if got := q.PendingSegments(); got != 0 {
+		t.Fatalf("PendingSegments() = %d after scavenge, want 0", got)
+	}
+	if got := q.pool.Live(); got != live0 {
+		t.Fatalf("pool.Live() = %d after scavenge, want %d (segment returned)", got, live0)
+	}
+	// The queue must still work: the scavenge also revoked the idle
+	// session's records, which prepare() recovers from.
+	if err := s.Enqueue(2); err != nil {
+		t.Fatalf("enqueue after scavenge: %v", err)
+	}
+	if v, ok := s.Dequeue(); !ok || v != 2 {
+		t.Fatalf("dequeue after scavenge = %#x, %v", v, ok)
+	}
+	s.Detach()
+}
+
+// TestLinkedPreparingPromoted covers the other half of the append
+// window: the producer died after the link CAS but before the live
+// transition. The segment is chain-reachable, so the scavenger must
+// complete the transition (and the live-count accounting), never free
+// it.
+func TestLinkedPreparingPromoted(t *testing.T) {
+	q := New(8)
+	s := q.Attach().(*Session)
+	defer s.Detach()
+	ts := q.tailSeg.Load()
+	g := q.seg(ts)
+	nh := q.allocSegment(s)
+	if nh == 0 {
+		t.Fatal("allocSegment failed")
+	}
+	if !g.next.CompareAndSwap(0, nh) {
+		t.Fatal("link CAS failed on a quiescent queue")
+	}
+	// Died here: linked, still preparing, never counted.
+	for i := 0; i < 3; i++ {
+		q.AdvanceEpoch()
+	}
+	q.Scavenge(2)
+	if st := q.seg(nh).state.Load(); st != segLive {
+		t.Fatalf("reachable preparing segment in state %d after scavenge, want live (%d)", st, segLive)
+	}
+	if got := q.Segments(); got != 2 {
+		t.Fatalf("Segments() = %d after promotion, want 2", got)
+	}
+	if got := q.PendingSegments(); got != 0 {
+		t.Fatalf("PendingSegments() = %d, want 0", got)
+	}
+}
+
+// TestChaosStormMidAppend runs the abandonment storm against tiny
+// segments so kills constantly land inside segment appends, then
+// asserts full recovery: value conservation (audited inside chaos.Run),
+// no half-linked segment left behind, and every pool handle accounted
+// for as live, parked awaiting hazard reclamation, or returned.
+func TestChaosStormMidAppend(t *testing.T) {
+	var in chaos.Injector
+	q := New(4, WithMaxSegments(4096), WithYield(in.Hook))
+	rep, err := chaos.Run(chaos.Options{
+		Queue:        q,
+		Injector:     &in,
+		Waves:        6,
+		Workers:      8,
+		OpsPerWorker: 120,
+		KillsPerWave: 6,
+		KillSpread:   400,
+		Scavenge:     true,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Abandoned == 0 {
+		t.Fatal("storm killed no sessions; the test exercised nothing")
+	}
+	// Post-storm scavenge: everything the dead sessions pinned —
+	// records, markers, half-appended segments — must come back.
+	for i := 0; i < 3; i++ {
+		q.AdvanceEpoch()
+	}
+	q.Scavenge(2)
+	if got := q.PendingSegments(); got != 0 {
+		t.Fatalf("PendingSegments() = %d after storm + scavenge, want 0 (half-linked segments leaked)", got)
+	}
+	if got := q.Orphans(2); got != 0 {
+		t.Fatalf("Orphans(2) = %d after scavenge, want 0", got)
+	}
+	live := q.pool.Live()
+	acct := q.Segments() + q.dom.Parked()
+	if live != acct {
+		t.Fatalf("pool accounting broken: %d handles live, %d accounted (live segments + parked); segments leaked",
+			live, acct)
+	}
+	t.Logf("storm: %d abandoned (%d enq, %d deq), %d scavenged, %d segments live, %d parked, %d steps",
+		rep.Abandoned, rep.AbandonedEnq, rep.AbandonedDeq, rep.Scavenged, q.Segments(), q.dom.Parked(), rep.Steps)
+}
+
+// TestChaosDelayStorm widens the close/finalize race windows with
+// busy-wait stalls instead of kills: every interleaving of the
+// straggling-install protocol must preserve conservation.
+func TestChaosDelayStorm(t *testing.T) {
+	var in chaos.Injector
+	in.DelayEvery = 7
+	in.DelaySpins = 96
+	q := New(2, WithMaxSegments(4096), WithYield(in.Hook))
+	rep, err := chaos.Run(chaos.Options{
+		Queue:        q,
+		Injector:     &in,
+		Waves:        3,
+		Workers:      6,
+		OpsPerWorker: 120,
+		KillsPerWave: 3,
+		Scavenge:     true,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lost > rep.AbandonedDeq {
+		t.Fatalf("lost %d values with only %d mid-dequeue kills", rep.Lost, rep.AbandonedDeq)
+	}
+}

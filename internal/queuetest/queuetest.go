@@ -350,11 +350,124 @@ func ModelSequential(t *testing.T, mk Maker) {
 	}
 }
 
+// UnboundedNoErrFull floods an unbounded queue from concurrent
+// producers with no consumer draining it, far enough to straddle at
+// least three segments of a segmented implementation, and requires
+// that no enqueue ever sheds with ErrFull. It then drains on a single
+// session and verifies conservation plus per-producer FIFO order (the
+// order each producer's values must keep across segment boundaries).
+func UnboundedNoErrFull(t *testing.T, mk Maker, segSize int) {
+	t.Helper()
+	q := mk(64)
+	if q.Capacity() != 0 {
+		t.Fatalf("unbounded conformance needs Capacity() == 0, got %d", q.Capacity())
+	}
+	if segSize <= 0 {
+		segSize = 256
+	}
+	const producers = 4
+	// Enough that the backlog alone spans > 3 segments even if one
+	// segment were to absorb rounding slack.
+	perProducer := (3*segSize)/producers + segSize
+	total := producers * perProducer
+	var wg sync.WaitGroup
+	start := xsync.NewBarrier(producers)
+	var shed atomic.Int64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			start.Wait()
+			for i := 0; i < perProducer; i++ {
+				if err := s.Enqueue(val(p*perProducer + i)); err != nil {
+					shed.Add(1)
+					t.Errorf("producer %d enqueue %d: %v (unbounded queue must never shed)", p, i, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if shed.Load() > 0 {
+		return
+	}
+	s := q.Attach()
+	defer s.Detach()
+	lastSeen := make([]int, producers)
+	for p := range lastSeen {
+		lastSeen[p] = -1
+	}
+	for k := 0; k < total; k++ {
+		v, ok := s.Dequeue()
+		if !ok {
+			t.Fatalf("drain %d/%d reported empty", k, total)
+		}
+		idx := int(v>>1) - 1
+		if idx < 0 || idx >= total {
+			t.Fatalf("alien value %#x", v)
+		}
+		p, i := idx/perProducer, idx%perProducer
+		if i <= lastSeen[p] {
+			t.Fatalf("producer %d order violation: got seq %d after %d", p, i, lastSeen[p])
+		}
+		lastSeen[p] = i
+	}
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("leftover value %#x after full drain", v)
+	}
+	for p, last := range lastSeen {
+		if last != perProducer-1 {
+			t.Fatalf("producer %d: last value seen %d, want %d", p, last, perProducer-1)
+		}
+	}
+}
+
+// SegmentStraddleFIFO enqueues sequentially well past three segment
+// boundaries and requires exact global FIFO order back out — the
+// cross-segment ordering guarantee of a segmented queue.
+func SegmentStraddleFIFO(t *testing.T, mk Maker, segSize int) {
+	t.Helper()
+	if segSize <= 0 {
+		segSize = 256
+	}
+	q := mk(64)
+	s := q.Attach()
+	defer s.Detach()
+	n := 3*segSize + segSize/2 + 3
+	for i := 0; i < n; i++ {
+		if err := s.Enqueue(val(i)); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok := s.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d/%d reported empty", i, n)
+		}
+		if v != val(i) {
+			t.Fatalf("dequeue %d = %#x, want %#x (FIFO violation across segments)", i, v, val(i))
+		}
+	}
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("leftover value %#x", v)
+	}
+}
+
 // Opts tunes the conformance suite per algorithm.
 type Opts struct {
 	// SoftCapacity marks queues whose Capacity is a lower bound rather
 	// than exact (link-based queues bounded by their node arena).
 	SoftCapacity bool
+	// Unbounded enables the unbounded-conformance subtests: the queue
+	// must report Capacity() == 0 and never return ErrFull. Bounded
+	// boundary tests (FullEmpty) skip themselves on such queues.
+	Unbounded bool
+	// SegSize hints the segment size of a segmented queue so the
+	// unbounded tests can force enqueues straddling several segments.
+	// 0 assumes 256.
+	SegSize int
 }
 
 // RunAll executes the full conformance suite as subtests.
@@ -376,4 +489,8 @@ func RunAllWith(t *testing.T, mk Maker, o Opts) {
 	t.Run("Linearizable", func(t *testing.T) { Linearizable(t, mk, 4, 300) })
 	t.Run("ModelSequential", func(t *testing.T) { ModelSequential(t, mk) })
 	t.Run("DetachReattach", func(t *testing.T) { DetachReattach(t, mk) })
+	if o.Unbounded {
+		t.Run("UnboundedNoErrFull", func(t *testing.T) { UnboundedNoErrFull(t, mk, o.SegSize) })
+		t.Run("SegmentStraddleFIFO", func(t *testing.T) { SegmentStraddleFIFO(t, mk, o.SegSize) })
+	}
 }

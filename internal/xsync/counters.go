@@ -38,6 +38,15 @@ const (
 	// OpLeak counts sessions garbage collected without Detach (the
 	// finalizer safety net fired; see nbqueue.LeakedSessions).
 	OpLeak
+	// OpSegAlloc counts segment rings allocated fresh by the segmented
+	// queue (first use of a pool slot; later uses count as OpSegRecycle).
+	OpSegAlloc
+	// OpSegRecycle counts retired segment rings reset and relinked by the
+	// segmented queue instead of allocating fresh memory.
+	OpSegRecycle
+	// OpSegRetire counts drained segments handed to the hazard domain for
+	// reclamation by the segmented queue.
+	OpSegRetire
 
 	numOpKinds
 )
@@ -67,6 +76,12 @@ func (k OpKind) String() string {
 		return "scavenge"
 	case OpLeak:
 		return "leak"
+	case OpSegAlloc:
+		return "seg-alloc"
+	case OpSegRecycle:
+		return "seg-recycle"
+	case OpSegRetire:
+		return "seg-retire"
 	default:
 		return "unknown"
 	}

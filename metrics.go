@@ -70,6 +70,16 @@ type Snapshot struct {
 	// LeakedSessions counts sessions garbage collected without Detach
 	// (the finalizer safety net fired; always a caller bug).
 	LeakedSessions uint64
+	// SegmentAllocs, SegmentRecycles and SegmentRetires trace
+	// AlgorithmSegmented's ring lifecycle: rings allocated fresh from the
+	// pool, retired rings reset and relinked (the allocation-free steady
+	// state), and drained rings handed to the hazard domain. Zero for
+	// every other algorithm. A steady state where SegmentRecycles grows
+	// while SegmentAllocs stays flat means the free list is absorbing
+	// churn without allocating.
+	SegmentAllocs   uint64
+	SegmentRecycles uint64
+	SegmentRetires  uint64
 }
 
 // Snapshot returns the current totals.
@@ -86,6 +96,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Contended:        m.c.Total(xsync.OpContended),
 		OrphansScavenged: m.c.Total(xsync.OpScavenge),
 		LeakedSessions:   m.c.Total(xsync.OpLeak),
+		SegmentAllocs:    m.c.Total(xsync.OpSegAlloc),
+		SegmentRecycles:  m.c.Total(xsync.OpSegRecycle),
+		SegmentRetires:   m.c.Total(xsync.OpSegRetire),
 	}
 }
 
@@ -228,5 +241,8 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		Contended:        sub(s.Contended, prev.Contended),
 		OrphansScavenged: sub(s.OrphansScavenged, prev.OrphansScavenged),
 		LeakedSessions:   sub(s.LeakedSessions, prev.LeakedSessions),
+		SegmentAllocs:    sub(s.SegmentAllocs, prev.SegmentAllocs),
+		SegmentRecycles:  sub(s.SegmentRecycles, prev.SegmentRecycles),
+		SegmentRetires:   sub(s.SegmentRetires, prev.SegmentRetires),
 	}
 }

@@ -13,6 +13,12 @@
 //     FetchAndAdd. Threads reserve array slots by swapping in a tagged
 //     reference to a registered, reference-counted LLSCvar record.
 //
+// AlgorithmSegmented extends Algorithm 2 beyond its fixed bound: rings
+// become segments of a Michael–Scott-style linked list, appended under
+// burst and retired through hazard pointers when drained. With
+// WithUnbounded the queue never sheds for lack of space; with a plain
+// WithCapacity the bound becomes a high-water soft cap.
+//
 // Baselines: Michael–Scott link-based queues with hazard-pointer
 // reclamation (sorted and unsorted scans), the Doherty-style CAS-simulated
 // LL/SC variant, the Shann et al. counted-slot array queue, the
@@ -64,6 +70,14 @@ const (
 	// over CAS with simulated LL via registered LLSCvar records. This is
 	// the most portable choice and the package default.
 	AlgorithmCAS Algorithm = bench.KeyEvqCAS
+	// AlgorithmSegmented chains Algorithm 2 rings into a Michael–Scott
+	// linked list of segments with hazard-pointer segment reclamation:
+	// the elastic extension of the paper's bounded array. With
+	// WithUnbounded it absorbs arbitrary bursts (enqueues never shed
+	// with ErrFull); with WithCapacity alone the capacity acts as a
+	// high-water soft cap that still returns ErrFull. See WithUnbounded
+	// and WithSegmentSize.
+	AlgorithmSegmented Algorithm = bench.KeyEvqSeg
 	// AlgorithmMSHazard is the Michael–Scott lock-free linked queue with
 	// hazard-pointer reclamation, unsorted scans.
 	AlgorithmMSHazard Algorithm = bench.KeyMSHP
@@ -104,6 +118,8 @@ type config struct {
 	padded      bool
 	backoff     bool
 	retryBudget int
+	unbounded   bool
+	segSize     int
 	metrics     *Metrics
 	hook        func(Event)
 	yield       func()
@@ -141,6 +157,24 @@ func WithBackoff(on bool) Option { return func(c *config) { c.backoff = on } }
 // win, which is the paper's lock-free default. Ignored by the baseline
 // algorithms. n <= 0 disables the budget.
 func WithRetryBudget(n int) Option { return func(c *config) { c.retryBudget = n } }
+
+// WithUnbounded lifts the capacity bound of AlgorithmSegmented: the
+// queue grows by appending segments under burst and shrinks by retiring
+// drained ones, and Enqueue never returns ErrFull for lack of space
+// (only the segment-pool backstop, far past any configured capacity,
+// and payload-arena exhaustion on the generic Queue[T] — see New —
+// still shed). Mutually exclusive with WithCapacity: combine capacity
+// with AlgorithmSegmented *instead of* WithUnbounded to get a
+// high-water soft cap that still returns ErrFull at the configured
+// depth. Only valid with AlgorithmSegmented.
+func WithUnbounded() Option { return func(c *config) { c.unbounded = true } }
+
+// WithSegmentSize sets the per-segment ring size of AlgorithmSegmented
+// (rounded up to a power of two). Smaller segments track bursts more
+// tightly and reclaim memory sooner; larger segments amortize the
+// append/retire machinery further. Default: capacity/4 clamped to
+// [16, 1024]. Ignored by other algorithms.
+func WithSegmentSize(n int) Option { return func(c *config) { c.segSize = n } }
 
 // WithMetrics attaches an operation-counter sink; see Metrics.
 func WithMetrics(m *Metrics) Option { return func(c *config) { c.metrics = m } }
@@ -183,6 +217,9 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 	if c.capacity <= 0 {
 		return nil, c, fmt.Errorf("nbqueue: capacity %d must be positive", c.capacity)
 	}
+	if c.unbounded && c.algorithm != AlgorithmSegmented {
+		return nil, c, fmt.Errorf("nbqueue: WithUnbounded requires AlgorithmSegmented, not %q", c.algorithm)
+	}
 	algo, err := bench.Lookup(string(c.algorithm))
 	if err != nil {
 		return nil, c, fmt.Errorf("nbqueue: unknown algorithm %q", c.algorithm)
@@ -196,7 +233,7 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 		ctrs = c.metrics.counters()
 		hists = c.metrics.histograms()
 	}
-	return algo.New(bench.Config{
+	inner := algo.New(bench.Config{
 		Capacity:    c.capacity,
 		MaxThreads:  c.maxThreads,
 		Counters:    ctrs,
@@ -205,7 +242,19 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 		Backoff:     c.backoff,
 		RetryBudget: c.retryBudget,
 		Yield:       c.yield,
-	}), c, nil
+		Unbounded:   c.unbounded,
+		SegSize:     c.segSize,
+	})
+	if c.hook != nil {
+		if g, ok := inner.(interface{ SetGrowHook(func(int)) }); ok {
+			name := inner.Name()
+			hook := c.hook
+			g.SetGrowHook(func(live int) {
+				hook(Event{Kind: EventSegmentGrow, Algorithm: name, N: live})
+			})
+		}
+	}
+	return inner, c, nil
 }
 
 // New builds a queue of T.
@@ -215,8 +264,16 @@ func New[T any](opts ...Option) (*Queue[T], error) {
 		return nil, err
 	}
 	// The payload arena needs one node per queued value plus one
-	// in-flight node per attached session.
-	nodes := inner.Capacity() + c.maxThreads + 16
+	// in-flight node per attached session. An unbounded queue
+	// (Capacity() == 0) has no word-level bound to size from, so the
+	// arena becomes the generic layer's own backstop: 64Ki payload
+	// nodes, past which Enqueue sheds with ErrFull rather than growing
+	// without limit.
+	capHint := inner.Capacity()
+	if capHint == 0 {
+		capHint = 1 << 16
+	}
+	nodes := capHint + c.maxThreads + 16
 	a := arena.New(nodes)
 	q := &Queue[T]{
 		inner:  inner,
@@ -451,15 +508,33 @@ func (q *Queue[T]) Orphans() int {
 }
 
 // Len reports the queue's current depth for algorithms that can observe
-// it (the bounded array queues); ok is false when the algorithm cannot.
-// The value is approximate under concurrency and exact at quiescence —
-// an occupancy gauge, not a synchronization primitive.
+// it (the bounded array queues and AlgorithmSegmented); ok is false when
+// the algorithm cannot. For the bounded array queues the read is O(1);
+// for AlgorithmSegmented it walks the segment chain — O(segments) — and
+// sums per-segment occupancy, so concurrent appends and retires can skew
+// the estimate by up to a segment's worth of items. In all cases the
+// value is a snapshot that may be stale by the time the caller acts on
+// it: exact at quiescence, approximate under concurrency — an occupancy
+// gauge, not a synchronization primitive.
 func (q *Queue[T]) Len() (n int, ok bool) {
 	l, ok := q.inner.(interface{ Len() int })
 	if !ok {
 		return 0, false
 	}
 	return l.Len(), true
+}
+
+// Segments reports the number of live ring segments for
+// AlgorithmSegmented; ok is false for the single-array and link-based
+// algorithms. A bounded queue holds a steady 1; growth under burst and
+// shrinkage as drained segments retire are visible here and through the
+// EventSegmentGrow hook.
+func (q *Queue[T]) Segments() (n int, ok bool) {
+	sg, ok := q.inner.(interface{ Segments() int })
+	if !ok {
+		return 0, false
+	}
+	return sg.Segments(), true
 }
 
 // TryDrain dequeues up to max values (all available when max <= 0),

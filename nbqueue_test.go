@@ -15,6 +15,7 @@ import (
 var allAlgorithms = []nbqueue.Algorithm{
 	nbqueue.AlgorithmLLSC,
 	nbqueue.AlgorithmCAS,
+	nbqueue.AlgorithmSegmented,
 	nbqueue.AlgorithmMSHazard,
 	nbqueue.AlgorithmMSHazardSorted,
 	nbqueue.AlgorithmMSDoherty,
