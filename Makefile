@@ -22,13 +22,16 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Quick burst benchmark (bounded ring vs unbounded segmented) with JSON
-# output for trend tracking; CI uploads the result as an artifact.
+# Quick burst + batch benchmarks with JSON output for trend tracking;
+# CI uploads both results as artifacts.
 bench-smoke:
 	mkdir -p results
 	$(GO) run ./cmd/fifobench -experiment burst -iters 2000 -runs 1 \
 		-capacity 1024 -format json > results/BENCH_smoke.json
 	cat results/BENCH_smoke.json
+	$(GO) run ./cmd/fifobench -experiment batch -threads 8 -iters 2000 \
+		-format json > results/BENCH_batch.json
+	cat results/BENCH_batch.json
 
 # Regenerate every figure/table with scaled-down defaults (minutes).
 experiments:

@@ -311,6 +311,92 @@ func TestWaitPipelineThroughput(t *testing.T) {
 	wg.Wait()
 }
 
+// TestWaitSegmentedContext: the *Wait variants honor context
+// cancellation on AlgorithmSegmented, whose full/empty conditions go
+// through the high-water check and segment chain rather than a single
+// ring's indices.
+func TestWaitSegmentedContext(t *testing.T) {
+	q, err := nbqueue.New[int](
+		nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented),
+		nbqueue.WithCapacity(16),
+		nbqueue.WithSegmentSize(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.DequeueWait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DequeueWait on empty segmented = %v, want deadline exceeded", err)
+	}
+	// Fill past the high-water mark, then wait with a dead context.
+	n := 0
+	for s.Enqueue(n) == nil {
+		n++
+		if n > 10*q.Capacity() {
+			t.Fatal("high-water cap never produced ErrFull")
+		}
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := s.EnqueueWait(ctx2, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EnqueueWait on full segmented = %v, want canceled", err)
+	}
+	// The queue still works after both cancelled waits.
+	if v, ok := s.Dequeue(); !ok || v != 0 {
+		t.Fatalf("Dequeue after cancelled waits = %d,%v", v, ok)
+	}
+}
+
+// TestWaitSegmentedBudgetExhaustion: under a tight retry budget on
+// AlgorithmSegmented, budget exhaustion (ErrContended) must be treated
+// as transient by the *Wait variants — a contended pipeline completes
+// rather than surfacing the shed to callers.
+func TestWaitSegmentedBudgetExhaustion(t *testing.T) {
+	q, err := nbqueue.New[int](
+		nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented),
+		nbqueue.WithCapacity(8),
+		nbqueue.WithSegmentSize(8),
+		nbqueue.WithRetryBudget(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 1500
+	const pairs = 3
+	var wg sync.WaitGroup
+	var consumed atomic.Int64
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			for i := 0; i < items; i++ {
+				if err := s.EnqueueWait(context.Background(), p*items+i); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+		go func() {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			for consumed.Add(1) <= pairs*items {
+				if _, err := s.DequeueWait(context.Background()); err != nil {
+					t.Errorf("consumer: %v", err)
+					return
+				}
+			}
+			consumed.Add(-1)
+		}()
+	}
+	wg.Wait()
+}
+
 // TestWaitRetriesThroughContention: with a retry budget installed, the
 // *Wait variants treat ErrContended like ErrFull/empty — wait and retry —
 // so a budgeted pipeline completes instead of erroring out or

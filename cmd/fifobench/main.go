@@ -38,7 +38,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fifobench", flag.ContinueOnError)
 	fs.SetOutput(out) // keep usage/errors off stderr in tests
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: fig6a|fig6b|fig6c|fig6d|overhead|syncops|extended|space|related|burst|all")
+		experiment = fs.String("experiment", "all", "experiment to run: fig6a|fig6b|fig6c|fig6d|overhead|syncops|extended|space|related|burst|batch|all")
 		threads    = fs.String("threads", "", "comma-separated thread counts overriding the experiment default")
 		iters      = fs.Int("iters", 0, "iterations per thread per run (0 = default)")
 		runs       = fs.Int("runs", 0, "measurement runs per point (0 = default)")
@@ -177,6 +177,22 @@ func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, sy
 			return bench.WriteBurstJSON(out, rows)
 		}
 		return bench.WriteBurstTable(out, rows)
+	case bench.ExpBatch:
+		// A single -threads value selects the batch thread count
+		// (e.g. -experiment batch -threads 8); otherwise the syncops
+		// thread knob applies.
+		n := syncopsThreads
+		if len(p.Threads) == 1 {
+			n = p.Threads[0]
+		}
+		rows, err := bench.RunBatchSweep(n, p)
+		if err != nil {
+			return err
+		}
+		if format == "json" {
+			return bench.WriteBatchJSON(out, rows)
+		}
+		return bench.WriteBatchTable(out, rows)
 	case bench.ExpRelated:
 		series, err := bench.RunRelated([]int{16, 128, 1024, 8192}, p)
 		if err != nil {

@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		capacity = fs.Int("capacity", 256, "queue capacity")
 		audit    = fs.Duration("audit", 500*time.Millisecond, "interval between invariant audits")
 		rotate    = fs.Int("rotate", 200, "operations between session detach/reattach cycles")
+		batch     = fs.Int("batch", 1, "values per worker operation (>1 moves values through EnqueueBatch/DequeueBatch; 1 = single ops)")
 		crash     = fs.Bool("crash", false, "abandon sessions continuously (crash-recovery drill)")
 		statsaddr = fs.String("statsaddr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080)")
 		statstick = fs.Duration("statsevery", time.Second, "interval between one-line stats digests on stderr")
@@ -81,12 +82,15 @@ func run(args []string, out io.Writer) error {
 			bench.KeyMSDoherty, bench.KeyShann, bench.KeyTsigasZhang, bench.KeyTreiber,
 		}
 	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch %d must be at least 1", *batch)
+	}
 	for _, key := range keys {
 		var err error
 		if *crash {
-			err = soakCrash(out, st, key, *duration, *threads, *capacity, *audit)
+			err = soakCrash(out, st, key, *duration, *threads, *capacity, *audit, *batch)
 		} else {
-			err = soak(out, st, key, *duration, *threads, *capacity, *audit, *rotate)
+			err = soak(out, st, key, *duration, *threads, *capacity, *audit, *rotate, *batch)
 		}
 		if err != nil {
 			return err
@@ -120,8 +124,11 @@ func instrument(st *statsServer, key string, cfg *bench.Config) func(q queue.Que
 	}
 }
 
-// soak drives one algorithm and audits it until the deadline.
-func soak(out io.Writer, st *statsServer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration, rotate int) error {
+// soak drives one algorithm and audits it until the deadline. With
+// batch > 1 each worker operation moves up to batch values through
+// queue.EnqueueBatch/DequeueBatch (native on the Evequoz family,
+// fallback loop elsewhere).
+func soak(out io.Writer, st *statsServer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration, rotate, batch int) error {
 	entry, err := bench.Lookup(key)
 	if err != nil {
 		return err
@@ -130,7 +137,7 @@ func soak(out io.Writer, st *statsServer, key string, d time.Duration, threads, 
 	register := instrument(st, key, &cfg)
 	q := entry.New(cfg)
 	register(q)
-	a := arena.New(capacity + threads*8 + 64)
+	a := arena.New(capacity + threads*(8+batch) + 64)
 
 	var ops, rotations atomic.Int64
 	var produced, consumed atomic.Int64
@@ -149,6 +156,7 @@ func soak(out io.Writer, st *statsServer, key string, d time.Duration, threads, 
 			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
 				pprof.Labels("algorithm", key, "op", role)))
 			s := q.Attach()
+			buf := make([]uint64, batch)
 			sinceRotate := 0
 			for {
 				select {
@@ -159,7 +167,26 @@ func soak(out io.Writer, st *statsServer, key string, d time.Duration, threads, 
 				}
 				// Alternate roles by worker parity, with balancing
 				// dequeues so the queue cannot fill permanently.
-				if w%2 == 0 {
+				switch {
+				case w%2 == 0 && batch > 1:
+					k := 0
+					for k < batch {
+						h := a.Alloc()
+						if h == arena.Nil {
+							break
+						}
+						buf[k] = h
+						k++
+					}
+					n, _ := queue.EnqueueBatch(s, buf[:k])
+					for _, h := range buf[n:k] {
+						a.Free(h)
+					}
+					produced.Add(int64(n))
+					if n == 0 {
+						runtime.Gosched()
+					}
+				case w%2 == 0:
 					h := a.Alloc()
 					if h == arena.Nil {
 						runtime.Gosched()
@@ -171,7 +198,16 @@ func soak(out io.Writer, st *statsServer, key string, d time.Duration, threads, 
 					} else {
 						produced.Add(1)
 					}
-				} else {
+				case batch > 1:
+					n, _ := queue.DequeueBatch(s, buf)
+					for _, h := range buf[:n] {
+						a.Free(h)
+					}
+					consumed.Add(int64(n))
+					if n == 0 {
+						runtime.Gosched()
+					}
+				default:
 					if h, ok := s.Dequeue(); ok {
 						a.Free(h)
 						consumed.Add(1)
@@ -243,7 +279,7 @@ loop:
 // scavenging runs on every audit tick where supported. Conservation and
 // space audits are the relaxed crash versions: drift and leaks must stay
 // within the abandonment budget.
-func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration) error {
+func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration, batch int) error {
 	entry, err := bench.Lookup(key)
 	if err != nil {
 		return err
@@ -253,7 +289,7 @@ func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, thre
 	register := instrument(st, key, &cfg)
 	q := entry.New(cfg)
 	register(q)
-	a := arena.New(capacity + threads*8 + 4096)
+	a := arena.New(capacity + threads*(8+batch) + 4096)
 	sc, canScavenge := q.(queue.Scavenger)
 
 	// Queues that implement orphan scavenging reclaim corpses and can
@@ -286,6 +322,7 @@ func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, thre
 				detached := false
 				killed := chaos.Worker(func() {
 					s := q.Attach()
+					buf := make([]uint64, batch)
 					for i := 0; i < lifespan; i++ {
 						select {
 						case <-stop:
@@ -294,7 +331,26 @@ func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, thre
 							return
 						default:
 						}
-						if w%2 == 0 {
+						switch {
+						case w%2 == 0 && batch > 1:
+							k := 0
+							for k < batch {
+								h := a.Alloc()
+								if h == arena.Nil {
+									break
+								}
+								buf[k] = h
+								k++
+							}
+							n, _ := queue.EnqueueBatch(s, buf[:k])
+							for _, h := range buf[n:k] {
+								a.Free(h)
+							}
+							produced.Add(int64(n))
+							if n == 0 {
+								runtime.Gosched()
+							}
+						case w%2 == 0:
 							h := a.Alloc()
 							if h == arena.Nil {
 								runtime.Gosched()
@@ -306,7 +362,16 @@ func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, thre
 							} else {
 								produced.Add(1)
 							}
-						} else {
+						case batch > 1:
+							n, _ := queue.DequeueBatch(s, buf)
+							for _, h := range buf[:n] {
+								a.Free(h)
+							}
+							consumed.Add(int64(n))
+							if n == 0 {
+								runtime.Gosched()
+							}
+						default:
 							if h, ok := s.Dequeue(); ok {
 								a.Free(h)
 								consumed.Add(1)
@@ -400,12 +465,17 @@ loop:
 	}
 	s.Detach()
 
+	// A session killed mid-operation can strand up to one value in
+	// single-op mode and up to a whole in-flight batch in batch mode —
+	// allocated-but-uncommitted handles (arena leak) or removed-but-
+	// unrecorded values (conservation drift).
 	ab := abandoned.Load()
-	if leaked := int64(a.Live()); leaked > ab {
-		return fmt.Errorf("%s: %d arena nodes leaked after drain but only %d sessions were abandoned", key, leaked, ab)
+	abCap := ab * int64(batch)
+	if leaked := int64(a.Live()); leaked > abCap {
+		return fmt.Errorf("%s: %d arena nodes leaked after drain but the %d abandoned sessions can pin at most %d", key, leaked, ab, abCap)
 	}
-	if drift := produced.Load() - consumed.Load() - int64(drained); drift < -ab || drift > ab {
-		return fmt.Errorf("%s: conservation drift %d exceeds abandonment budget %d", key, drift, ab)
+	if drift := produced.Load() - consumed.Load() - int64(drained); drift < -abCap || drift > abCap {
+		return fmt.Errorf("%s: conservation drift %d exceeds abandonment budget %d", key, drift, abCap)
 	}
 	fmt.Fprintf(out, "%-18s ok (crash): ops=%d produced=%d consumed=%d drained=%d abandoned=%d scavenged=%d audits=%d\n",
 		key, ops.Load(), produced.Load(), consumed.Load(), drained, ab, scavenged.Load(), audits)

@@ -88,6 +88,105 @@ func ExampleSession_DequeueWait() {
 	// Output: work-item
 }
 
+// Moving values in bulk: a batch reserves its whole slot range with a
+// single tail CAS (Algorithm 2) or LL/SC pair (Algorithm 1) instead of
+// one per element. On ErrFull the first n elements went in and the rest
+// had no effect, so vs[n:] resumes the batch after room opens.
+func ExampleSession_EnqueueBatch() {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+
+	vs := []int{10, 20, 30, 40}
+	n, err := s.EnqueueBatch(vs)
+	fmt.Println(n, err)
+	// Output: 4 <nil>
+}
+
+// Draining in bulk: DequeueBatch fills dst from the head with one head
+// RMW for the whole range. A short count with a nil error means the
+// queue ran empty; dst[:n] is always valid.
+func ExampleSession_DequeueBatch() {
+	q, err := nbqueue.New[string](nbqueue.WithCapacity(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	if _, err := s.EnqueueBatch([]string{"a", "b", "c"}); err != nil {
+		log.Fatal(err)
+	}
+
+	dst := make([]string, 8) // oversized: short count signals empty
+	n, err := s.DequeueBatch(dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n, dst[:n])
+	// Output: 3 [a b c]
+}
+
+// Dequeue folds every non-success into ok=false: observed-empty and a
+// WithRetryBudget shed look the same. It is the right call when the
+// caller's reaction to both is identical (try again later).
+func ExampleSession_Dequeue() {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	_ = s.Enqueue(1)
+
+	for {
+		v, ok := s.Dequeue()
+		if !ok {
+			break // empty (or shed, under a retry budget)
+		}
+		fmt.Println(v)
+	}
+	// Output: 1
+}
+
+// TryDequeue keeps budget exhaustion visible: ok=false with a nil error
+// is a real empty, ok=false with ErrContended means the retry budget
+// ran out and the queue may still hold values.
+func ExampleSession_TryDequeue() {
+	q, err := nbqueue.New[int](
+		nbqueue.WithCapacity(8),
+		nbqueue.WithRetryBudget(100),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+
+	_, ok, err := s.TryDequeue()
+	fmt.Println(ok, err == nil) // uncontended empty: no error
+	// Output: false true
+}
+
+// Shutdown drains: TryDrain collects what is in the queue through
+// DequeueBatch chunks and stops at the first empty observation.
+func ExampleSession_TryDrain() {
+	q, err := nbqueue.New[int](nbqueue.WithCapacity(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := q.Attach()
+	defer s.Detach()
+	for i := 0; i < 5; i++ {
+		_ = s.Enqueue(i)
+	}
+
+	fmt.Println(s.TryDrain(0))
+	// Output: [0 1 2 3 4]
+}
+
 // Observing the synchronization cost profile the paper's §6 reports:
 // Algorithm 2 spends three successful CAS per queue operation.
 func ExampleMetrics() {

@@ -69,13 +69,14 @@ const (
 	ExpSpace    Experiment = "space"    // space adaptivity: records & parked nodes
 	ExpRelated  Experiment = "related"  // related-work cost scaling vs backlog
 	ExpBurst    Experiment = "burst"    // burst absorption: bounded ring vs segmented
+	ExpBatch    Experiment = "batch"    // batch amortization: one RMW per batch vs per element
 )
 
 // Experiments lists all runnable experiment names.
 func Experiments() []Experiment {
 	return []Experiment{
 		Fig6a, Fig6b, Fig6c, Fig6d,
-		ExpOverhead, ExpSyncOps, ExpExtended, ExpSpace, ExpRelated, ExpBurst,
+		ExpOverhead, ExpSyncOps, ExpExtended, ExpSpace, ExpRelated, ExpBurst, ExpBatch,
 	}
 }
 

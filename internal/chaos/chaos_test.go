@@ -5,6 +5,7 @@ import (
 
 	"nbqueue/internal/queue"
 	"nbqueue/internal/queues/evqcas"
+	"nbqueue/internal/queues/evqseg"
 	"nbqueue/internal/queues/msqueue"
 )
 
@@ -205,5 +206,64 @@ func TestPreemptAndDelayStorms(t *testing.T) {
 	}
 	if rep.Steps == 0 {
 		t.Fatal("storm hooks never fired")
+	}
+}
+
+// TestStormBatchEvqcas runs the kill storm with workers doing batch
+// operations, so abandonments land mid-batch: after some elements of a
+// batch committed and others not. The audit then has to account for
+// every element of a dead batch individually, and a session killed
+// mid-batch-dequeue may strand up to its dst length values.
+func TestStormBatchEvqcas(t *testing.T) {
+	var in Injector
+	q := evqcas.New(2048, evqcas.WithYield(in.Hook))
+	o := stormOpts(q, &in, true)
+	o.BatchMax = 8
+	o.OpsPerWorker = 60 // rounds; each moves up to BatchMax elements
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Abandoned == 0 {
+		t.Fatal("storm killed nobody; kill schedule is miscalibrated")
+	}
+	if rep.Lost > rep.AbandonedDeqCap {
+		t.Fatalf("lost %d values, cap %d", rep.Lost, rep.AbandonedDeqCap)
+	}
+}
+
+// TestStormBatchEvqseg runs the mid-batch kill storm against the
+// segmented queue, where a dying batch can additionally strand a
+// half-closed ring or an unlinked successor segment.
+func TestStormBatchEvqseg(t *testing.T) {
+	var in Injector
+	q := evqseg.New(64, evqseg.WithYield(in.Hook))
+	o := stormOpts(q, &in, true)
+	o.BatchMax = 8
+	o.OpsPerWorker = 60
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Abandoned == 0 {
+		t.Fatal("storm killed nobody; kill schedule is miscalibrated")
+	}
+}
+
+// TestStormBatchFallback runs the batch storm against a queue without a
+// native batch operation, exercising the queue.EnqueueBatch/DequeueBatch
+// fallback loops under kills.
+func TestStormBatchFallback(t *testing.T) {
+	var in Injector
+	q := msqueue.New(2048, false, msqueue.WithYield(in.Hook), msqueue.WithMaxThreads(64))
+	o := stormOpts(q, &in, true)
+	o.BatchMax = 8
+	o.OpsPerWorker = 60
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Abandoned == 0 {
+		t.Fatal("storm killed nobody; kill schedule is miscalibrated")
 	}
 }

@@ -33,6 +33,15 @@ type Options struct {
 	MinAge   uint64
 	// Seed makes kill timing and workloads reproducible.
 	Seed int64
+	// BatchMax > 1 switches workers to batch operations of random sizes
+	// in [1, BatchMax] (through queue.EnqueueBatch/DequeueBatch, so
+	// queues without a native batch operation run the fallback loop).
+	// Kills then land mid-batch, and the audit accounts for them
+	// element-wise: every value of an abandoned in-flight batch enqueue
+	// that is later observed counts as produced, and a session killed
+	// mid-batch-dequeue may lose up to its dst length values
+	// (AbandonedDeqCap replaces AbandonedDeq as the loss bound).
+	BatchMax int
 }
 
 // Report is what a storm observed and recovered.
@@ -44,10 +53,14 @@ type Report struct {
 	Produced, Consumed, Drained int
 	// Lost = Produced - Consumed - Drained: values removed from the
 	// queue by a worker that was killed mid-dequeue before it could
-	// record the result. Run fails unless Lost <= AbandonedDeq.
+	// record the result. Run fails unless Lost <= AbandonedDeqCap.
 	Lost int
 	// Abandoned counts killed sessions, split by what they were doing.
 	Abandoned, AbandonedEnq, AbandonedDeq, AbandonedIdle int
+	// AbandonedDeqCap is the maximum number of values the mid-dequeue
+	// kills can account for: the sum of the in-flight dst lengths (equal
+	// to AbandonedDeq when workers run single operations).
+	AbandonedDeqCap int
 	// Scavenged counts records reclaimed between waves; OrphansLeft is
 	// the orphan count after the last scavenge (or after the last wave
 	// when scavenging is off).
@@ -70,6 +83,10 @@ type inflightOp struct {
 	isEnq  bool
 	value  uint64
 	inv    int64
+	// batch is the value slice of an in-flight batch enqueue (nil for a
+	// single enqueue); deqCap the dst length of an in-flight dequeue.
+	batch  []uint64
+	deqCap int
 }
 
 // pendingEnq is an abandoned in-flight enqueue: if its value is later
@@ -108,7 +125,11 @@ func Run(o Options) (*Report, error) {
 	in := o.Injector
 	rep := &Report{}
 	total := o.Waves * o.Workers
-	rec := lincheck.NewRecorder(total+1, 2*o.OpsPerWorker+2)
+	bm := o.BatchMax
+	if bm < 1 {
+		bm = 1
+	}
+	rec := lincheck.NewRecorder(total+1, 2*o.OpsPerWorker*bm+2)
 	var (
 		mu      sync.Mutex
 		pending []pendingEnq
@@ -149,6 +170,36 @@ func Run(o Options) (*Report, error) {
 				var inflight inflightOp
 				killed := Worker(func() {
 					s := o.Queue.Attach()
+					if bm > 1 {
+						// Batch mode: every round pushes a random-size
+						// batch and maybe pulls one, so kills land at
+						// arbitrary points inside a batch.
+						next := tid * o.OpsPerWorker * bm
+						buf := make([]uint64, bm)
+						dst := make([]uint64, bm)
+						for i := 0; i < o.OpsPerWorker; i++ {
+							vs := buf[:1+rng.Intn(bm)]
+							for k := range vs {
+								vs[k] = uint64(next+1) * 2
+								next++
+							}
+							inv := log.Begin()
+							inflight = inflightOp{active: true, isEnq: true, batch: append([]uint64(nil), vs...), inv: inv}
+							n, _ := queue.EnqueueBatch(s, vs)
+							inflight.active = false
+							log.EnqBatch(inv, vs, n)
+							if rng.Intn(2) == 0 {
+								d := dst[:1+rng.Intn(bm)]
+								inv := log.Begin()
+								inflight = inflightOp{active: true, deqCap: len(d)}
+								n, _ := queue.DequeueBatch(s, d)
+								inflight.active = false
+								log.DeqBatch(inv, d, n)
+							}
+						}
+						s.Detach()
+						return
+					}
 					for i := 0; i < o.OpsPerWorker; i++ {
 						v := uint64(tid*o.OpsPerWorker+i+1) * 2
 						inv := log.Begin()
@@ -158,7 +209,7 @@ func Run(o Options) (*Report, error) {
 						log.Enq(inv, v, err == nil)
 						if rng.Intn(2) == 0 {
 							inv := log.Begin()
-							inflight = inflightOp{active: true}
+							inflight = inflightOp{active: true, deqCap: 1}
 							dv, ok := s.Dequeue()
 							inflight.active = false
 							if ok {
@@ -174,10 +225,20 @@ func Run(o Options) (*Report, error) {
 					switch {
 					case inflight.active && inflight.isEnq:
 						rep.AbandonedEnq++
-						pending = append(pending, pendingEnq{
-							value: inflight.value, inv: inflight.inv, ret: log.Begin()})
+						if inflight.batch != nil {
+							// Each element of the dead batch may or may not
+							// have been committed; audit them one by one.
+							for _, v := range inflight.batch {
+								pending = append(pending, pendingEnq{
+									value: v, inv: inflight.inv, ret: log.Begin()})
+							}
+						} else {
+							pending = append(pending, pendingEnq{
+								value: inflight.value, inv: inflight.inv, ret: log.Begin()})
+						}
 					case inflight.active:
 						rep.AbandonedDeq++
+						rep.AbandonedDeqCap += inflight.deqCap
 					default:
 						rep.AbandonedIdle++
 					}
@@ -262,10 +323,10 @@ func Run(o Options) (*Report, error) {
 	if rep.Lost < 0 {
 		return rep, fmt.Errorf("chaos: %d more values came out than went in", -rep.Lost)
 	}
-	if rep.Lost > rep.AbandonedDeq {
+	if rep.Lost > rep.AbandonedDeqCap {
 		return rep, fmt.Errorf(
-			"chaos: %d values lost but only %d sessions were killed mid-dequeue (conservation violated)",
-			rep.Lost, rep.AbandonedDeq)
+			"chaos: %d values lost but the %d sessions killed mid-dequeue can account for at most %d (conservation violated)",
+			rep.Lost, rep.AbandonedDeq, rep.AbandonedDeqCap)
 	}
 	return rep, nil
 }

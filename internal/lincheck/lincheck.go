@@ -89,6 +89,34 @@ func (l *ThreadLog) Deq(inv int64, v uint64, ok bool) {
 	l.ops = append(l.ops, Op{Kind: Deq, Value: v, OK: ok, Inv: inv, Ret: l.r.clock.Add(1), Thread: l.id})
 }
 
+// EnqBatch records a completed batch enqueue that began at inv as one Op
+// per element of vs, all sharing the invocation and return stamps: a
+// batch is not atomic, each element linearizes somewhere inside the
+// batch's interval. Elements at index < n were enqueued; the rest were
+// shed by a partial batch and recorded as failed enqueues. Note that the
+// recorder's opsPerThread budget counts elements, not batch calls.
+func (l *ThreadLog) EnqBatch(inv int64, vs []uint64, n int) {
+	ret := l.r.clock.Add(1)
+	for i, v := range vs {
+		l.ops = append(l.ops, Op{Kind: Enq, Value: v, OK: i < n, Inv: inv, Ret: ret, Thread: l.id})
+	}
+}
+
+// DeqBatch records a completed batch dequeue that began at inv as one Op
+// per element of dst[:n], sharing the invocation and return stamps. An
+// empty result (n == 0) records a single empty dequeue so exhaustive
+// checking can validate the emptiness claim.
+func (l *ThreadLog) DeqBatch(inv int64, dst []uint64, n int) {
+	ret := l.r.clock.Add(1)
+	if n == 0 {
+		l.ops = append(l.ops, Op{Kind: Deq, Inv: inv, Ret: ret, Thread: l.id})
+		return
+	}
+	for _, v := range dst[:n] {
+		l.ops = append(l.ops, Op{Kind: Deq, Value: v, OK: true, Inv: inv, Ret: ret, Thread: l.id})
+	}
+}
+
 // History merges all thread logs. Call only after all recording
 // goroutines have finished.
 func (r *Recorder) History() []Op {

@@ -81,6 +81,84 @@ type BudgetSession interface {
 	DequeueErr() (v uint64, ok bool, err error)
 }
 
+// BatchSession is the optional batch capability: sessions that can move
+// several values per shared-index RMW implement it, everyone else is
+// served by the EnqueueBatch/DequeueBatch package functions, which fall
+// back to a loop of single operations. Either way the semantics are
+// identical — a batch is NOT atomic; each element linearizes
+// individually at its slot commit, exactly as if the caller had looped,
+// and elements of one batch are delivered in slice order.
+//
+// The error contract is shared with the single operations:
+//
+//   - EnqueueBatch(vs) returns (n, nil) iff all len(vs) values were
+//     enqueued. A partial batch returns the count of values actually
+//     enqueued — a strict prefix of vs — with ErrFull (out of space) or
+//     ErrContended (retry budget exhausted). A contract violation in any
+//     element returns (0, ErrValue) before anything is enqueued.
+//   - DequeueBatch(dst) fills a prefix of dst and returns its length.
+//     err is nil both when dst was filled and when the queue was
+//     observed empty first; ErrContended reports a retry budget running
+//     out (the queue may be nonempty). Dequeued values are FIFO.
+type BatchSession interface {
+	Session
+	EnqueueBatch(vs []uint64) (n int, err error)
+	DequeueBatch(dst []uint64) (n int, err error)
+}
+
+// EnqueueBatch enqueues vs through s in order, using the session's
+// native batch operation when it has one and a loop of single enqueues
+// otherwise. See BatchSession for the contract.
+func EnqueueBatch(s Session, vs []uint64) (int, error) {
+	if b, ok := s.(BatchSession); ok {
+		return b.EnqueueBatch(vs)
+	}
+	// Pre-validate so a bad element cannot surface after a partial
+	// enqueue (native implementations give the same all-or-nothing
+	// ErrValue guarantee).
+	for _, v := range vs {
+		if err := CheckValue(v); err != nil {
+			return 0, err
+		}
+	}
+	for i, v := range vs {
+		if err := s.Enqueue(v); err != nil {
+			return i, err
+		}
+	}
+	return len(vs), nil
+}
+
+// DequeueBatch dequeues up to len(dst) values through s, using the
+// session's native batch operation when it has one and a loop of single
+// dequeues otherwise. See BatchSession for the contract.
+func DequeueBatch(s Session, dst []uint64) (int, error) {
+	if b, ok := s.(BatchSession); ok {
+		return b.DequeueBatch(dst)
+	}
+	if bs, ok := s.(BudgetSession); ok {
+		for i := range dst {
+			v, ok, err := bs.DequeueErr()
+			if err != nil {
+				return i, err
+			}
+			if !ok {
+				return i, nil
+			}
+			dst[i] = v
+		}
+		return len(dst), nil
+	}
+	for i := range dst {
+		v, ok := s.Dequeue()
+		if !ok {
+			return i, nil
+		}
+		dst[i] = v
+	}
+	return len(dst), nil
+}
+
 // Scavenger is implemented by queues whose per-thread records (LLSCvar or
 // hazard records) leak when a session is abandoned without Detach — the
 // crash mode the paper acknowledges ("a thread dying between register and

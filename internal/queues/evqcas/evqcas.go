@@ -286,6 +286,218 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 	}
 }
 
+// publishTail advances the published Tail to at least c with a single
+// CAS. Every index in [Tail, c) is committed and not yet dequeued — the
+// batch cursor only moves past slots it committed, observed committed,
+// or that the published Tail had already passed, and dequeuers never
+// touch indices at or above the published Tail — so the paper's
+// one-step-at-a-time help advance collapses into one jump. Tail only
+// moves forward, so a lost race re-reads and either finds the target
+// covered or retries from the new floor.
+func (s *Session) publishTail(c uint64) {
+	q := s.q
+	for {
+		q.fire()
+		cur := q.tail.Load()
+		if cur >= c {
+			return
+		}
+		if s.cas(q.tail.Ptr(), cur, c) {
+			return
+		}
+	}
+}
+
+// publishHead is publishTail for the Head index: every index in
+// [Head, c) is drained, and no enqueuer can refill those positions
+// while Head is at or below them (refilling position i for index
+// i+size requires Head > i first), so the jump publishes only
+// genuinely consumed indices.
+func (s *Session) publishHead(c uint64) {
+	q := s.q
+	for {
+		q.fire()
+		cur := q.head.Load()
+		if cur >= c {
+			return
+		}
+		if s.cas(q.head.Ptr(), cur, c) {
+			return
+		}
+	}
+}
+
+var _ queue.BatchSession = (*Session)(nil)
+
+// EnqueueBatch inserts the values of vs in order with a single Tail CAS
+// for the whole batch; see queue.BatchSession for the contract. The
+// batch walks a private cursor upward from the published Tail,
+// reserving and committing one slot at a time with the Figure 5
+// per-slot protocol but deferring the index advance: Tail is published
+// once at the end with one CAS jump over the committed run. Elements
+// linearize individually at their slot commits (a batch is not atomic);
+// until the final publish, committed elements are invisible to
+// dequeuers and to Len, except where concurrent enqueuers help Tail
+// over them.
+//
+// The retry budget counts consecutive fruitless iterations since the
+// last commit, giving per-element parity with single operations.
+func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
+	for _, v := range vs {
+		if err := queue.CheckValue(v); err != nil {
+			return 0, err
+		}
+	}
+	if len(vs) == 0 {
+		return 0, nil
+	}
+	s.prepare()
+	q := s.q
+	start := s.hist.StartEnq()
+	marker := tagptr.Tag(s.varH)
+	c := q.tail.Load()
+	filled := 0
+	waste, retries := 0, 0 // consecutive / total fruitless iterations
+	var err error
+	for filled < len(vs) {
+		if q.budget > 0 && waste >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			err = queue.ErrContended
+			break
+		}
+		q.fire()
+		if t := q.tail.Load(); t > c {
+			c = t // another thread published past the cursor
+		}
+		q.fire()
+		// The freshness of this check is load-bearing: installing at
+		// index c only when c < Head+size guarantees Head > c-size (and
+		// so Tail > c-size) strictly before the install, which keeps a
+		// lagging helper one lap below from reading the install as
+		// evidence for index c-size.
+		if c >= q.head.Load()+q.size {
+			err = queue.ErrFull
+			break
+		}
+		w := q.slot(c & q.mask)
+		slot := q.reg.LL(w, s.varH, s.ctr) // reserve: slot word now holds marker
+		q.fire()
+		if slot != 0 {
+			// Someone's item is already at the cursor: release the
+			// reservation and step over it (it is committed, so the
+			// final publish may pass it).
+			s.cas(w, marker, slot)
+			c++
+			waste++
+			retries++
+			continue
+		}
+		if t := q.tail.Load(); t > c {
+			// The ring lapped the cursor before our reservation (the
+			// empty slot belongs to a later index): release and restart
+			// from the published Tail. After this check, Tail cannot
+			// pass c again without displacing the reservation, so a
+			// successful commit below really is at index c.
+			s.cas(w, marker, 0)
+			c = t
+			waste++
+			retries++
+			continue
+		}
+		if s.cas(w, marker, vs[filled]) {
+			filled++
+			c++
+			waste = 0
+			s.bo.Reset()
+		} else {
+			waste++
+			retries++
+			s.bo.Fail()
+		}
+	}
+	s.publishTail(c)
+	if filled > 0 {
+		s.ctr.Add(xsync.OpEnqueue, uint64(filled))
+	}
+	s.hist.DoneEnqBatch(start, retries, filled)
+	return filled, err
+}
+
+// DequeueBatch removes up to len(dst) values with a single Head CAS for
+// the whole batch; see queue.BatchSession for the contract and
+// EnqueueBatch for the cursor discipline. err is nil both when dst was
+// filled and when the cursor reached the published Tail (observed
+// empty).
+func (s *Session) DequeueBatch(dst []uint64) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	s.prepare()
+	q := s.q
+	start := s.hist.StartDeq()
+	marker := tagptr.Tag(s.varH)
+	c := q.head.Load()
+	n := 0
+	waste, retries := 0, 0
+	var err error
+	for n < len(dst) {
+		if q.budget > 0 && waste >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			err = queue.ErrContended
+			break
+		}
+		q.fire()
+		if h := q.head.Load(); h > c {
+			c = h
+		}
+		q.fire()
+		if c >= q.tail.Load() {
+			break // observed empty at the cursor
+		}
+		w := q.slot(c & q.mask)
+		x := q.reg.LL(w, s.varH, s.ctr)
+		q.fire()
+		if x == 0 {
+			// Index c was drained by someone else with Head lagging:
+			// release and step over it.
+			s.cas(w, marker, 0)
+			c++
+			waste++
+			retries++
+			continue
+		}
+		if h := q.head.Load(); h > c {
+			// Head passed the cursor before our reservation, so x may
+			// belong to a later lap: restore it and restart from the
+			// published Head. After this check, Head cannot pass c
+			// again without displacing the reservation, so a successful
+			// commit below really drains index c.
+			s.cas(w, marker, x)
+			c = h
+			waste++
+			retries++
+			continue
+		}
+		if s.cas(w, marker, 0) {
+			dst[n] = x
+			n++
+			c++
+			waste = 0
+			s.bo.Reset()
+		} else {
+			waste++
+			retries++
+			s.bo.Fail()
+		}
+	}
+	s.publishHead(c)
+	if n > 0 {
+		s.ctr.Add(xsync.OpDequeue, uint64(n))
+	}
+	s.hist.DoneDeqBatch(start, retries, n)
+	return n, err
+}
+
 // Len reports the current number of queued items (approximate under
 // concurrency; exact when quiescent).
 func (q *Queue) Len() int { return int(q.tail.Load() - q.head.Load()) }

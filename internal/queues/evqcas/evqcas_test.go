@@ -169,3 +169,64 @@ func TestMarkerNeverEscapes(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestBatchRMWProfile pins the batch cost model: one Tail (or Head) CAS
+// per batch instead of one per element. Single-threaded a 64-element
+// batch costs exactly 129 successful CASes — 64 reservation swaps
+// (simulated LL), 64 installs, 1 index publish — where 64 singles cost
+// 192 (3 each, the §6 profile). The session is warmed first so
+// registration costs stay out of the measurement.
+func TestBatchRMWProfile(t *testing.T) {
+	ctrs := xsync.NewCounters()
+	q := evqcas.New(64, evqcas.WithCounters(ctrs))
+	s := q.Attach().(*evqcas.Session)
+	defer s.Detach()
+	if err := s.Enqueue(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Dequeue(); !ok {
+		t.Fatal("warmup dequeue empty")
+	}
+	vs := make([]uint64, 64)
+	for i := range vs {
+		vs[i] = uint64(i+1) << 1
+	}
+	dst := make([]uint64, 64)
+
+	ctrs.Reset()
+	if n, err := s.EnqueueBatch(vs); n != 64 || err != nil {
+		t.Fatalf("EnqueueBatch = (%d, %v), want (64, nil)", n, err)
+	}
+	if got := ctrs.Total(xsync.OpCASSuccess); got != 129 {
+		t.Errorf("batch enqueue CAS successes = %d, want 129 (64 LL + 64 install + 1 Tail)", got)
+	}
+	if got := ctrs.Total(xsync.OpCASAttempt); got != 129 {
+		t.Errorf("batch enqueue CAS attempts = %d, want 129 uncontended", got)
+	}
+	if got := ctrs.Total(xsync.OpFAA); got != 0 {
+		t.Errorf("batch enqueue FAA = %d, want 0 uncontended", got)
+	}
+
+	ctrs.Reset()
+	if n, err := s.DequeueBatch(dst); n != 64 || err != nil {
+		t.Fatalf("DequeueBatch = (%d, %v), want (64, nil)", n, err)
+	}
+	if got := ctrs.Total(xsync.OpCASSuccess); got != 129 {
+		t.Errorf("batch dequeue CAS successes = %d, want 129 (64 LL + 64 drain + 1 Head)", got)
+	}
+	for i := range dst {
+		if dst[i] != vs[i] {
+			t.Fatalf("dst[%d] = %#x, want %#x", i, dst[i], vs[i])
+		}
+	}
+
+	ctrs.Reset()
+	for _, v := range vs {
+		if err := s.Enqueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ctrs.Total(xsync.OpCASSuccess); got != 192 {
+		t.Errorf("64 single enqueues CAS successes = %d, want 192 (3 each)", got)
+	}
+}

@@ -256,6 +256,190 @@ func (s *Session) advance(word int, expect uint64) {
 	}
 }
 
+// publishIndex advances the index word to c with a single LL/SC pair:
+// every index between the published value and c has been committed
+// (Tail) or drained (Head) by the batch cursor, so the one-step advance
+// of lines E16/D16 collapses into one jump. A wrapped delta above size
+// means the word already moved past the target (only reachable across
+// an unrealistic 2^40-index horizon mid-call, the paper's own index-ABA
+// argument), so the jump is skipped.
+func (s *Session) publishIndex(word int, c uint64) {
+	for {
+		s.ctr.Inc(xsync.OpLL)
+		cur, res := s.q.idx.LL(word)
+		if d := indexDelta(c, cur); d == 0 || d > s.q.size {
+			return // already at or past the target
+		}
+		s.ctr.Inc(xsync.OpSCAttempt)
+		if s.q.idx.SC(word, res, c&queue.MaxValue) {
+			s.ctr.Inc(xsync.OpSCSuccess)
+			return
+		}
+	}
+}
+
+var _ queue.BatchSession = (*Session)(nil)
+
+// EnqueueBatch inserts the values of vs in order with a single Tail
+// LL/SC pair for the whole batch; see queue.BatchSession for the
+// contract. A private cursor walks upward from the published Tail,
+// committing one slot at a time with the Figure 3 per-slot LL/SC but
+// deferring the index advance; Tail is published once at the end. All
+// index comparisons run in the wrapped 40-bit domain: a cursor can
+// legitimately run up to size indices ahead of the published Tail
+// (delta <= size), while a cursor the indices have lapped shows an
+// astronomical delta, so delta > size detects staleness.
+//
+// The retry budget counts consecutive fruitless iterations since the
+// last commit, giving per-element parity with single operations.
+func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
+	for _, v := range vs {
+		if err := queue.CheckValue(v); err != nil {
+			return 0, err
+		}
+	}
+	if len(vs) == 0 {
+		return 0, nil
+	}
+	q := s.q
+	start := s.hist.StartEnq()
+	c := q.idx.Load(tailWord)
+	filled := 0
+	waste, retries := 0, 0 // consecutive / total fruitless iterations
+	var err error
+	for filled < len(vs) {
+		if q.budget > 0 && waste >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			err = queue.ErrContended
+			break
+		}
+		if t := q.idx.Load(tailWord); indexDelta(c, t) > q.size {
+			c = t // Tail passed the cursor
+		}
+		// Fresh full check before every install (see the evqcas batch
+		// for why freshness is load-bearing).
+		if indexDelta(c, q.idx.Load(headWord)) >= q.size {
+			err = queue.ErrFull
+			break
+		}
+		pos := int(c & q.mask)
+		s.ctr.Inc(xsync.OpLL)
+		slot, res := q.slots.LL(pos)
+		if slot != 0 {
+			// Someone's item is committed at the cursor: step over it.
+			c = (c + 1) & queue.MaxValue
+			waste++
+			retries++
+			continue
+		}
+		if t := q.idx.Load(tailWord); indexDelta(c, t) > q.size {
+			// The ring lapped the cursor before our reservation; after
+			// this check any index passing c writes the slot first,
+			// killing the reservation, so a successful SC really
+			// commits index c.
+			c = t
+			waste++
+			retries++
+			continue
+		}
+		s.ctr.Inc(xsync.OpSCAttempt)
+		if q.slots.SC(pos, res, vs[filled]) {
+			s.ctr.Inc(xsync.OpSCSuccess)
+			filled++
+			c = (c + 1) & queue.MaxValue
+			waste = 0
+			s.bo.Reset()
+		} else {
+			waste++
+			retries++
+			s.bo.Fail()
+		}
+	}
+	s.publishIndex(tailWord, c)
+	if filled > 0 {
+		s.ctr.Add(xsync.OpEnqueue, uint64(filled))
+	}
+	s.hist.DoneEnqBatch(start, retries, filled)
+	return filled, err
+}
+
+// DequeueBatch removes up to len(dst) values with a single Head LL/SC
+// pair for the whole batch; see queue.BatchSession for the contract and
+// EnqueueBatch for the cursor discipline. err is nil both when dst was
+// filled and when the cursor reached the published Tail (observed
+// empty). The empty check runs before the staleness resync: a cursor a
+// full ring ahead of the published Head (delta == size) has exactly
+// c == Tail, and must break as empty rather than resync and rescan its
+// own unpublished drains.
+func (s *Session) DequeueBatch(dst []uint64) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	q := s.q
+	start := s.hist.StartDeq()
+	c := q.idx.Load(headWord)
+	n := 0
+	waste, retries := 0, 0
+	var err error
+	for n < len(dst) {
+		if q.budget > 0 && waste >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			err = queue.ErrContended
+			break
+		}
+		if indexDelta(q.idx.Load(tailWord), c) == 0 {
+			break // observed empty at the cursor
+		}
+		if h := q.idx.Load(headWord); indexDelta(c, h) > q.size {
+			// Head passed the cursor. Re-run the empty check before
+			// touching a slot: falling through with c == Tail would skip
+			// the cursor past Tail, where the wrapped empty check (an
+			// exact-hit test) can never fire again and the scan cycles
+			// forever between resync and overshoot.
+			c = h
+			waste++
+			retries++
+			continue
+		}
+		pos := int(c & q.mask)
+		s.ctr.Inc(xsync.OpLL)
+		x, res := q.slots.LL(pos)
+		if x == 0 {
+			// Index c was drained by someone else with Head lagging:
+			// step over it.
+			c = (c + 1) & queue.MaxValue
+			waste++
+			retries++
+			continue
+		}
+		if h := q.idx.Load(headWord); indexDelta(c, h) > q.size {
+			c = h
+			waste++
+			retries++
+			continue
+		}
+		s.ctr.Inc(xsync.OpSCAttempt)
+		if q.slots.SC(pos, res, 0) {
+			s.ctr.Inc(xsync.OpSCSuccess)
+			dst[n] = x
+			n++
+			c = (c + 1) & queue.MaxValue
+			waste = 0
+			s.bo.Reset()
+		} else {
+			waste++
+			retries++
+			s.bo.Fail()
+		}
+	}
+	s.publishIndex(headWord, c)
+	if n > 0 {
+		s.ctr.Add(xsync.OpDequeue, uint64(n))
+	}
+	s.hist.DoneDeqBatch(start, retries, n)
+	return n, err
+}
+
 // Len reports the current number of queued items (approximate under
 // concurrency; exact when quiescent).
 func (q *Queue) Len() int {

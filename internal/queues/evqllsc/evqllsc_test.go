@@ -171,3 +171,59 @@ func TestParallelAttach(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestBatchRMWProfile pins the batch cost model that motivates the API:
+// one index LL/SC pair per batch instead of one per element. On strong
+// memory, single-threaded, a 64-element batch costs exactly 65
+// successful SCs (64 slot commits + 1 index publish) and 65 LLs, where
+// 64 singles cost 128 of each (every operation pays slot + index).
+func TestBatchRMWProfile(t *testing.T) {
+	ctrs := xsync.NewCounters()
+	q := evqllsc.New(64,
+		func(n int) llsc.Memory { return emul.New(n, false) },
+		evqllsc.WithCounters(ctrs))
+	s := q.Attach().(*evqllsc.Session)
+	defer s.Detach()
+	vs := make([]uint64, 64)
+	for i := range vs {
+		vs[i] = uint64(i+1) << 1
+	}
+	dst := make([]uint64, 64)
+
+	ctrs.Reset()
+	if n, err := s.EnqueueBatch(vs); n != 64 || err != nil {
+		t.Fatalf("EnqueueBatch = (%d, %v), want (64, nil)", n, err)
+	}
+	if got := ctrs.Total(xsync.OpLL); got != 65 {
+		t.Errorf("batch enqueue LL = %d, want 65 (64 slots + 1 Tail)", got)
+	}
+	if got := ctrs.Total(xsync.OpSCSuccess); got != 65 {
+		t.Errorf("batch enqueue SC = %d, want 65 (64 slots + 1 Tail)", got)
+	}
+
+	ctrs.Reset()
+	if n, err := s.DequeueBatch(dst); n != 64 || err != nil {
+		t.Fatalf("DequeueBatch = (%d, %v), want (64, nil)", n, err)
+	}
+	if got := ctrs.Total(xsync.OpLL); got != 65 {
+		t.Errorf("batch dequeue LL = %d, want 65 (64 slots + 1 Head)", got)
+	}
+	if got := ctrs.Total(xsync.OpSCSuccess); got != 65 {
+		t.Errorf("batch dequeue SC = %d, want 65 (64 slots + 1 Head)", got)
+	}
+	for i := range dst {
+		if dst[i] != vs[i] {
+			t.Fatalf("dst[%d] = %#x, want %#x", i, dst[i], vs[i])
+		}
+	}
+
+	ctrs.Reset()
+	for _, v := range vs {
+		if err := s.Enqueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ctrs.Total(xsync.OpSCSuccess); got != 128 {
+		t.Errorf("64 single enqueues SC = %d, want 128 (slot + index each)", got)
+	}
+}

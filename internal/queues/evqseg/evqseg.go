@@ -758,6 +758,353 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 	}
 }
 
+// batchCtr tracks a batch's retry accounting: waste is the consecutive
+// fruitless iterations since the last commit (the budget unit, giving
+// per-element parity with single operations); retries is the batch
+// total (the histogram observation).
+type batchCtr struct{ waste, retries int }
+
+func (b *batchCtr) fail() { b.waste++; b.retries++ }
+
+// publishTail advances the ring's published Tail to at least c with one
+// CAS; see the evqcas batch for why the jump is sound. A closed Tail is
+// left alone: closing proved every commit to be at or below the closed
+// position or reachable by the finalize walk.
+func (g *segment) publishTail(s *Session, c uint64) {
+	q := s.q
+	for {
+		q.fire()
+		cur := g.tail.Load()
+		if cur&closedBit != 0 || cur >= c {
+			return
+		}
+		if s.cas(g.tail.Ptr(), cur, c) {
+			return
+		}
+	}
+}
+
+// publishHead advances the ring's published Head to at least c with one
+// CAS.
+func (g *segment) publishHead(s *Session, c uint64) {
+	q := s.q
+	for {
+		q.fire()
+		cur := g.head.Load()
+		if cur >= c {
+			return
+		}
+		if s.cas(g.head.Ptr(), cur, c) {
+			return
+		}
+	}
+}
+
+// enqueueBatch runs the batch cursor loop of the evqcas EnqueueBatch
+// against one ring, with the closed bit threaded through. On a full
+// ring it publishes the cursor first and then closes at the published
+// position, so the close can strand at most the stragglers the
+// finalize walk in dequeue already consumes one by one. Returns with
+// *filled counting every element committed into this ring.
+func (g *segment) enqueueBatch(s *Session, vs []uint64, filled *int, b *batchCtr) segResult {
+	q := s.q
+	marker := tagptr.Tag(s.varH)
+	c := g.tail.Load()
+	if c&closedBit != 0 {
+		return segClosed
+	}
+	for *filled < len(vs) {
+		if q.budget > 0 && b.waste >= q.budget {
+			g.publishTail(s, c)
+			return segContended
+		}
+		q.fire()
+		t := g.tail.Load()
+		if t&closedBit != 0 {
+			return segClosed
+		}
+		if t > c {
+			c = t // another thread published past the cursor
+		}
+		q.fire()
+		if c >= g.head.Load()+q.size {
+			// Ring full at the cursor: publish the committed run, then
+			// close at the published position so producers move on.
+			g.publishTail(s, c)
+			q.fire()
+			if t := g.tail.Load(); t&closedBit == 0 {
+				s.cas(g.tail.Ptr(), t, t|closedBit)
+			}
+			b.fail()
+			continue
+		}
+		w := g.slot(q, c&q.mask)
+		slot := q.reg.LL(w, s.varH, s.ctr) // reserve: slot word now holds marker
+		q.fire()
+		if slot != 0 {
+			// Someone's item is committed at the cursor: step over it.
+			s.cas(w, marker, slot)
+			c++
+			b.fail()
+			continue
+		}
+		t2 := g.tail.Load()
+		if t2&closedBit != 0 {
+			s.cas(w, marker, 0)
+			return segClosed
+		}
+		if t2 > c {
+			// The ring lapped the cursor before our reservation; see the
+			// evqcas batch for why this check makes the commit decisive.
+			s.cas(w, marker, 0)
+			c = t2
+			b.fail()
+			continue
+		}
+		if s.cas(w, marker, vs[*filled]) {
+			*filled++
+			c++
+			b.waste = 0
+			s.bo.Reset()
+		} else {
+			b.fail()
+			s.bo.Fail()
+		}
+	}
+	g.publishTail(s, c)
+	return segOK
+}
+
+// dequeueBatch runs the batch cursor loop of the evqcas DequeueBatch
+// against one ring, extended with the closed-segment finalize step
+// (which here may walk over several stragglers: commits a concurrent
+// batch left above the close position).
+func (g *segment) dequeueBatch(s *Session, dst []uint64, n *int, b *batchCtr) segResult {
+	q := s.q
+	marker := tagptr.Tag(s.varH)
+	c := g.head.Load()
+	for *n < len(dst) {
+		if q.budget > 0 && b.waste >= q.budget {
+			g.publishHead(s, c)
+			return segContended
+		}
+		q.fire()
+		if h := g.head.Load(); h > c {
+			c = h
+		}
+		q.fire()
+		t := g.tail.Load()
+		closed := t&closedBit != 0
+		pos := t &^ closedBit
+		if c >= pos {
+			g.publishHead(s, c)
+			if !closed {
+				return segEmpty
+			}
+			// Finalize: the cursor caught the closed Tail. LL the slot
+			// Tail names, displacing any still-pending reservation, and
+			// either declare the ring drained or walk the closed Tail
+			// over a committed straggler.
+			w := g.slot(q, pos&q.mask)
+			x := q.reg.LL(w, s.varH, s.ctr)
+			s.cas(w, marker, x) // release our reservation, restoring x
+			if x == 0 {
+				return segDrained
+			}
+			s.cas(g.tail.Ptr(), t, (pos+1)|closedBit)
+			b.fail()
+			continue
+		}
+		w := g.slot(q, c&q.mask)
+		x := q.reg.LL(w, s.varH, s.ctr)
+		q.fire()
+		if x == 0 {
+			// Index c was drained by someone else with Head lagging:
+			// release and step over it.
+			s.cas(w, marker, 0)
+			c++
+			b.fail()
+			continue
+		}
+		if h := g.head.Load(); h > c {
+			// Head passed the cursor before our reservation: restore x
+			// and restart from the published Head.
+			s.cas(w, marker, x)
+			c = h
+			b.fail()
+			continue
+		}
+		if s.cas(w, marker, 0) {
+			dst[*n] = x
+			*n++
+			c++
+			b.waste = 0
+			s.bo.Reset()
+		} else {
+			b.fail()
+			s.bo.Fail()
+		}
+	}
+	g.publishHead(s, c)
+	return segOK
+}
+
+var _ queue.BatchSession = (*Session)(nil)
+
+// EnqueueBatch inserts the values of vs in order with one Tail CAS per
+// ring touched; see queue.BatchSession for the contract. A batch that
+// fills a ring closes it and continues in the successor (the straddling
+// case), reusing the single-operation append machinery. Under a
+// high-water cap each ring attempt is limited to the remaining room, so
+// an oversized batch sheds its excess with ErrFull instead of growing
+// past the cap.
+func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
+	for _, v := range vs {
+		if err := queue.CheckValue(v); err != nil {
+			return 0, err
+		}
+	}
+	if len(vs) == 0 {
+		return 0, nil
+	}
+	s.prepare()
+	q := s.q
+	start := s.hist.StartEnq()
+	filled := 0
+	var b batchCtr
+	var err error
+loop:
+	for filled < len(vs) {
+		if q.budget > 0 && b.waste >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			err = queue.ErrContended
+			break
+		}
+		limit := len(vs)
+		if q.high > 0 {
+			room := q.high - q.Len()
+			if room <= 0 {
+				err = queue.ErrFull
+				break
+			}
+			if m := filled + room; m < limit {
+				limit = m
+			}
+		}
+		ts := s.rec.Protect(hpSeg, q.tailSeg.Ptr())
+		g := q.seg(ts)
+		switch g.enqueueBatch(s, vs[:limit], &filled, &b) {
+		case segOK:
+			s.rec.Clear(hpSeg)
+			// Done unless the high-water cap limited this round; then
+			// re-evaluate the room and continue (or shed with ErrFull).
+		case segContended:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpContended)
+			err = queue.ErrContended
+			break loop
+		case segClosed:
+			q.fire()
+			next := g.next.Load()
+			if next == 0 {
+				nh := q.allocSegment(s)
+				if nh == 0 {
+					s.rec.Clear(hpSeg)
+					err = queue.ErrFull
+					break loop
+				}
+				q.fire()
+				if s.cas(&g.next, 0, nh) {
+					ng := q.seg(nh)
+					if ng.state.CompareAndSwap(segPreparing, segLive) {
+						live := q.liveSegs.Add(1)
+						if q.grow != nil {
+							q.grow(int(live))
+						}
+					}
+					next = nh
+				} else {
+					q.freeSegment(nh)
+					next = g.next.Load()
+				}
+			}
+			if next != 0 {
+				s.cas(q.tailSeg.Ptr(), ts, next)
+			}
+			b.fail()
+			s.bo.Fail()
+		}
+	}
+	if filled > 0 {
+		s.ctr.Add(xsync.OpEnqueue, uint64(filled))
+	}
+	s.hist.DoneEnqBatch(start, b.retries, filled)
+	return filled, err
+}
+
+// DequeueBatch removes up to len(dst) values with one Head CAS per ring
+// touched; see queue.BatchSession for the contract. A batch that drains
+// a closed ring unlinks it and continues in the successor, reusing the
+// single-operation retire machinery.
+func (s *Session) DequeueBatch(dst []uint64) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	s.prepare()
+	q := s.q
+	start := s.hist.StartDeq()
+	n := 0
+	var b batchCtr
+	var err error
+loop:
+	for n < len(dst) {
+		if q.budget > 0 && b.waste >= q.budget {
+			s.ctr.Inc(xsync.OpContended)
+			err = queue.ErrContended
+			break
+		}
+		hs := s.rec.Protect(hpSeg, q.headSeg.Ptr())
+		g := q.seg(hs)
+		switch g.dequeueBatch(s, dst, &n, &b) {
+		case segOK, segEmpty:
+			s.rec.Clear(hpSeg)
+			break loop
+		case segContended:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpContended)
+			err = queue.ErrContended
+			break loop
+		case segDrained:
+			q.fire()
+			next := g.next.Load()
+			if next == 0 {
+				s.rec.Clear(hpSeg)
+				break loop // closed, drained, last segment: queue empty
+			}
+			if q.tailSeg.Load() == hs {
+				s.cas(q.tailSeg.Ptr(), hs, next)
+			}
+			if s.cas(q.headSeg.Ptr(), hs, next) {
+				if g.state.CompareAndSwap(segLive, segRetired) {
+					q.liveSegs.Add(-1)
+				} else {
+					g.state.Store(segRetired)
+				}
+				s.ctr.Inc(xsync.OpSegRetire)
+				s.rec.Clear(hpSeg)
+				s.rec.Retire(hs)
+			}
+			b.fail()
+			s.bo.Fail()
+		}
+	}
+	if n > 0 {
+		s.ctr.Add(xsync.OpDequeue, uint64(n))
+	}
+	s.hist.DoneDeqBatch(start, b.retries, n)
+	return n, err
+}
+
 // dequeue attempts the Figure 5 Dequeue against one ring, extended with
 // the closed-segment finalize step.
 func (g *segment) dequeue(s *Session, attempts *int) (uint64, segResult) {

@@ -200,3 +200,65 @@ func TestGrowHook(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchStraddle drives one batch across many ring boundaries: a
+// 100-element batch over size-16 rings must close and chain six
+// segments while preserving exact FIFO order end to end, and a batch
+// dequeue must walk the drained rings back down.
+func TestBatchStraddle(t *testing.T) {
+	q := evqseg.New(16)
+	s := q.Attach().(*evqseg.Session)
+	defer s.Detach()
+	vs := make([]uint64, 100)
+	for i := range vs {
+		vs[i] = uint64(i+1) << 1
+	}
+	if n, err := s.EnqueueBatch(vs); n != 100 || err != nil {
+		t.Fatalf("EnqueueBatch = (%d, %v), want (100, nil)", n, err)
+	}
+	if got := q.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	dst := make([]uint64, 100)
+	if n, err := s.DequeueBatch(dst); n != 100 || err != nil {
+		t.Fatalf("DequeueBatch = (%d, %v), want (100, nil)", n, err)
+	}
+	for i := range dst {
+		if dst[i] != vs[i] {
+			t.Fatalf("dst[%d] = %#x, want %#x (FIFO across segments)", i, dst[i], vs[i])
+		}
+	}
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("leftover %#x", v)
+	}
+}
+
+// TestBatchHighWaterShed checks the room capping: under a soft capacity
+// of 20, an oversized batch enqueues exactly 20 elements and sheds the
+// rest with ErrFull, instead of growing segments past the cap.
+func TestBatchHighWaterShed(t *testing.T) {
+	q := evqseg.New(8, evqseg.WithHighWater(20))
+	s := q.Attach().(*evqseg.Session)
+	defer s.Detach()
+	vs := make([]uint64, 64)
+	for i := range vs {
+		vs[i] = uint64(i+1) << 1
+	}
+	n, err := s.EnqueueBatch(vs)
+	if err != queue.ErrFull {
+		t.Fatalf("EnqueueBatch over high water: err = %v, want ErrFull", err)
+	}
+	if n != 20 {
+		t.Fatalf("EnqueueBatch over high water: n = %d, want 20", n)
+	}
+	dst := make([]uint64, 64)
+	m, err := s.DequeueBatch(dst)
+	if m != 20 || err != nil {
+		t.Fatalf("drain = (%d, %v), want (20, nil)", m, err)
+	}
+	for i := 0; i < m; i++ {
+		if dst[i] != vs[i] {
+			t.Fatalf("dst[%d] = %#x, want %#x (shed must be a suffix)", i, dst[i], vs[i])
+		}
+	}
+}

@@ -455,6 +455,339 @@ func SegmentStraddleFIFO(t *testing.T, mk Maker, segSize int) {
 	}
 }
 
+// BatchSequential drives the batch entry points through a single session
+// against a slice model: slice order is FIFO order, empty batches are
+// no-ops, a bad element rejects the whole batch with no effect, and a
+// batch larger than the remaining room sheds exactly the suffix with
+// ErrFull. Runs through the queue.EnqueueBatch/DequeueBatch package
+// functions so queues without a native batch operation exercise the
+// fallback loop.
+func BatchSequential(t *testing.T, mk Maker, soft bool) {
+	t.Helper()
+	q := mk(16)
+	s := q.Attach()
+	defer s.Detach()
+
+	if n, err := queue.EnqueueBatch(s, nil); n != 0 || err != nil {
+		t.Fatalf("EnqueueBatch(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+	if n, err := queue.DequeueBatch(s, nil); n != 0 || err != nil {
+		t.Fatalf("DequeueBatch(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// Batch in, singles out: slice order is FIFO order.
+	vs := make([]uint64, 10)
+	for i := range vs {
+		vs[i] = val(i)
+	}
+	if n, err := queue.EnqueueBatch(s, vs); n != 10 || err != nil {
+		t.Fatalf("EnqueueBatch = (%d, %v), want (10, nil)", n, err)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := s.Dequeue()
+		if !ok || v != val(i) {
+			t.Fatalf("dequeue %d = (%#x, %v), want (%#x, true)", i, v, ok, val(i))
+		}
+	}
+
+	// Singles in, batch out; an oversized dst yields a partial fill with
+	// a nil error (empty is not an error for DequeueBatch).
+	for i := 10; i < 16; i++ {
+		if err := s.Enqueue(val(i)); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	dst := make([]uint64, 32)
+	n, err := queue.DequeueBatch(s, dst)
+	if n != 6 || err != nil {
+		t.Fatalf("DequeueBatch(oversized) = (%d, %v), want (6, nil)", n, err)
+	}
+	for i := 0; i < 6; i++ {
+		if dst[i] != val(10+i) {
+			t.Fatalf("dst[%d] = %#x, want %#x", i, dst[i], val(10+i))
+		}
+	}
+
+	// A bad element anywhere rejects the whole batch with no effect.
+	if n, err := queue.EnqueueBatch(s, []uint64{val(100), 3, val(101)}); n != 0 || err != queue.ErrValue {
+		t.Fatalf("EnqueueBatch(bad middle) = (%d, %v), want (0, ErrValue)", n, err)
+	}
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("ErrValue batch must have no effect, dequeued %#x", v)
+	}
+
+	// Full boundary: a batch larger than the room left enqueues exactly a
+	// capacity-sized prefix and sheds the rest with ErrFull.
+	if capacity := q.Capacity(); capacity > 0 && !soft {
+		big := make([]uint64, capacity+4)
+		for i := range big {
+			big[i] = val(200 + i)
+		}
+		n, err := queue.EnqueueBatch(s, big)
+		if err != queue.ErrFull {
+			t.Fatalf("EnqueueBatch over capacity: err = %v, want ErrFull", err)
+		}
+		if n != capacity {
+			t.Fatalf("EnqueueBatch over capacity: n = %d, want %d", n, capacity)
+		}
+		out := make([]uint64, capacity)
+		if m, err := queue.DequeueBatch(s, out); m != capacity || err != nil {
+			t.Fatalf("drain after full batch = (%d, %v), want (%d, nil)", m, err, capacity)
+		}
+		for i := range out {
+			if out[i] != val(200+i) {
+				t.Fatalf("drain[%d] = %#x, want %#x (prefix order)", i, out[i], val(200+i))
+			}
+		}
+	}
+
+	// Mixed batch sizes interleaved against the model, crossing
+	// wrap-around well beyond capacity.
+	var model []uint64
+	next := 1000
+	for round := 0; round < 40; round++ {
+		in := make([]uint64, round%4+1)
+		for i := range in {
+			in[i] = val(next)
+			next++
+		}
+		n, err := queue.EnqueueBatch(s, in)
+		if err != nil && err != queue.ErrFull {
+			t.Fatalf("round %d enqueue: %v", round, err)
+		}
+		model = append(model, in[:n]...)
+		out := make([]uint64, round%3+1)
+		m, err := queue.DequeueBatch(s, out)
+		if err != nil {
+			t.Fatalf("round %d dequeue: %v", round, err)
+		}
+		if m > len(model) {
+			t.Fatalf("round %d: dequeued %d with only %d queued", round, m, len(model))
+		}
+		for i := 0; i < m; i++ {
+			if out[i] != model[i] {
+				t.Fatalf("round %d: out[%d] = %#x, want %#x (FIFO violation)", round, i, out[i], model[i])
+			}
+		}
+		model = model[m:]
+	}
+	for len(model) > 0 {
+		step := len(model)
+		if step > 7 {
+			step = 7
+		}
+		out := make([]uint64, step)
+		m, err := queue.DequeueBatch(s, out)
+		if m != step || err != nil {
+			t.Fatalf("final drain = (%d, %v), want (%d, nil)", m, err, step)
+		}
+		for i := 0; i < m; i++ {
+			if out[i] != model[i] {
+				t.Fatalf("final drain[%d] = %#x, want %#x", i, out[i], model[i])
+			}
+		}
+		model = model[step:]
+	}
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("leftover value %#x", v)
+	}
+}
+
+// BatchMPMC exercises batch operations under contention in two phases.
+// Phase one: concurrent producers push mixed-size batches, then a single
+// session drains with batch dequeues and verifies conservation plus
+// per-producer FIFO order (the order a producer's elements must keep
+// both inside one batch and across its batches). Phase two: producers
+// and batch consumers run concurrently and every value must be consumed
+// exactly once.
+func BatchMPMC(t *testing.T, mk Maker, producers, perProducer int) {
+	t.Helper()
+	total := producers * perProducer
+	q := mk(total)
+
+	produce := func(p, base int) {
+		s := q.Attach()
+		defer s.Detach()
+		vals := make([]uint64, perProducer)
+		for i := range vals {
+			vals[i] = val(base + p*perProducer + i)
+		}
+		sent := 0
+		for sent < perProducer {
+			size := 1 + (sent+p)%7
+			if size > perProducer-sent {
+				size = perProducer - sent
+			}
+			n, err := queue.EnqueueBatch(s, vals[sent:sent+size])
+			sent += n
+			if err != nil {
+				runtime.Gosched()
+			}
+		}
+	}
+
+	// Phase one: produce concurrently, drain sequentially in order.
+	var wg sync.WaitGroup
+	start := xsync.NewBarrier(producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			start.Wait()
+			produce(p, 0)
+		}(p)
+	}
+	wg.Wait()
+	s := q.Attach()
+	lastSeen := make([]int, producers)
+	for p := range lastSeen {
+		lastSeen[p] = -1
+	}
+	dst := make([]uint64, 13)
+	for got := 0; got < total; {
+		n, err := queue.DequeueBatch(s, dst[:1+got%len(dst)])
+		if err != nil {
+			runtime.Gosched()
+		}
+		if n == 0 && err == nil {
+			t.Fatalf("queue empty after %d/%d values", got, total)
+		}
+		for _, v := range dst[:n] {
+			idx := int(v>>1) - 1
+			if idx < 0 || idx >= total {
+				t.Fatalf("alien value %#x", v)
+			}
+			p, i := idx/perProducer, idx%perProducer
+			if i <= lastSeen[p] {
+				t.Fatalf("producer %d order violation: got seq %d after %d", p, i, lastSeen[p])
+			}
+			lastSeen[p] = i
+		}
+		got += n
+	}
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("leftover value %#x after ordered drain", v)
+	}
+	s.Detach()
+
+	// Phase two: batch producers against batch consumers, conservation.
+	const base = 1 << 24 // distinct value space from phase one
+	seen := make([]atomic.Int32, total)
+	var remaining atomic.Int64
+	remaining.Store(int64(total))
+	consumers := producers
+	start = xsync.NewBarrier(producers + consumers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			start.Wait()
+			produce(p, base)
+		}(p)
+	}
+	var mu sync.Mutex
+	var errs []string
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			dst := make([]uint64, 11)
+			start.Wait()
+			for round := 0; remaining.Load() > 0; round++ {
+				n, _ := queue.DequeueBatch(s, dst[:1+(c+round)%len(dst)])
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				for _, v := range dst[:n] {
+					idx := int(v>>1) - 1 - base
+					if idx < 0 || idx >= total {
+						mu.Lock()
+						errs = append(errs, fmt.Sprintf("alien value %#x", v))
+						mu.Unlock()
+						continue
+					}
+					seen[idx].Add(1)
+				}
+				remaining.Add(-int64(n))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		t.Error(e)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("value %d consumed %d times, want exactly once", i, n)
+		}
+	}
+	s = q.Attach()
+	defer s.Detach()
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("leftover value %#x after balanced batch stress", v)
+	}
+}
+
+// BatchLinearizable records a history mixing batch and single operations
+// across threads — every batch element logged as its own operation
+// sharing the batch's interval — and validates it with the fast checker.
+func BatchLinearizable(t *testing.T, mk Maker, threads, rounds int) {
+	t.Helper()
+	const maxBatch = 5
+	q := mk(threads * rounds * maxBatch)
+	rec := lincheck.NewRecorder(threads, rounds*maxBatch)
+	var wg sync.WaitGroup
+	start := xsync.NewBarrier(threads)
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			log := rec.Log(th)
+			next := th * rounds * maxBatch
+			buf := make([]uint64, maxBatch)
+			start.Wait()
+			for i := 0; i < rounds; i++ {
+				size := 1 + (th+i)%maxBatch
+				switch (th + i) % 4 {
+				case 0:
+					vs := buf[:size]
+					for k := range vs {
+						vs[k] = val(next)
+						next++
+					}
+					inv := log.Begin()
+					n, _ := queue.EnqueueBatch(s, vs)
+					log.EnqBatch(inv, vs, n)
+				case 1:
+					v := val(next)
+					next++
+					inv := log.Begin()
+					err := s.Enqueue(v)
+					log.Enq(inv, v, err == nil)
+				case 2:
+					dst := buf[:size]
+					inv := log.Begin()
+					n, _ := queue.DequeueBatch(s, dst)
+					log.DeqBatch(inv, dst, n)
+				default:
+					inv := log.Begin()
+					v, ok := s.Dequeue()
+					log.Deq(inv, v, ok)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if err := lincheck.CheckFast(rec.History()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Opts tunes the conformance suite per algorithm.
 type Opts struct {
 	// SoftCapacity marks queues whose Capacity is a lower bound rather
@@ -487,6 +820,15 @@ func RunAllWith(t *testing.T, mk Maker, o Opts) {
 	})
 	t.Run("StressUnbalanced", func(t *testing.T) { StressMPMC(t, mk, 3, 5, 1000) })
 	t.Run("Linearizable", func(t *testing.T) { Linearizable(t, mk, 4, 300) })
+	t.Run("BatchSequential", func(t *testing.T) { BatchSequential(t, mk, o.SoftCapacity) })
+	t.Run("BatchMPMC", func(t *testing.T) {
+		if testing.Short() {
+			BatchMPMC(t, mk, 2, 300)
+			return
+		}
+		BatchMPMC(t, mk, 4, 600)
+	})
+	t.Run("BatchLinearizable", func(t *testing.T) { BatchLinearizable(t, mk, 4, 150) })
 	t.Run("ModelSequential", func(t *testing.T) { ModelSequential(t, mk) })
 	t.Run("DetachReattach", func(t *testing.T) { DetachReattach(t, mk) })
 	if o.Unbounded {

@@ -24,6 +24,12 @@ const (
 	HistEnqRetries
 	// HistDeqRetries counts failed retry-loop iterations per dequeue.
 	HistDeqRetries
+	// HistEnqBatch records the size of each EnqueueBatch call (the count
+	// of elements actually committed, including 0 for a batch that made
+	// no progress). Single enqueues are not recorded here.
+	HistEnqBatch
+	// HistDeqBatch records the size of each DequeueBatch call.
+	HistDeqBatch
 
 	numHistKinds
 )
@@ -39,6 +45,10 @@ func (k HistKind) String() string {
 		return "enqueue-retries"
 	case HistDeqRetries:
 		return "dequeue-retries"
+	case HistEnqBatch:
+		return "enqueue-batch-size"
+	case HistDeqBatch:
+		return "dequeue-batch-size"
 	default:
 		return "unknown"
 	}
@@ -269,6 +279,56 @@ func (h *HistHandle) doneSlowDeq(start time.Time, retries int) {
 	if !start.IsZero() {
 		h.s.h[HistDeqLatency].observe(uint64(time.Since(start)))
 	}
+}
+
+// DoneEnqBatch completes one EnqueueBatch of n committed elements: the
+// batch size and the retry count are recorded once per batch, and the
+// sampled latency is attributed per element (elapsed/n) so the latency
+// histogram stays in nanoseconds-per-element units comparable with
+// single operations. Batch completion skips the pend-counter fast path
+// — batches are rare relative to their element count, so the direct
+// atomic adds are cheap per element.
+func (h *HistHandle) DoneEnqBatch(start time.Time, retries, n int) {
+	if h.s == nil {
+		return
+	}
+	h.s.h[HistEnqBatch].observe(uint64(n))
+	h.s.h[HistEnqRetries].observe(uint64(retries))
+	if !start.IsZero() && n > 0 {
+		h.s.h[HistEnqLatency].observe(uint64(time.Since(start)) / uint64(n))
+	}
+}
+
+// DoneDeqBatch is DoneEnqBatch for the dequeue side.
+func (h *HistHandle) DoneDeqBatch(start time.Time, retries, n int) {
+	if h.s == nil {
+		return
+	}
+	h.s.h[HistDeqBatch].observe(uint64(n))
+	h.s.h[HistDeqRetries].observe(uint64(retries))
+	if !start.IsZero() && n > 0 {
+		h.s.h[HistDeqLatency].observe(uint64(time.Since(start)) / uint64(n))
+	}
+}
+
+// ObserveEnqBatchSize records just the size of one EnqueueBatch call.
+// The generic fallback layer uses it when the underlying session has no
+// native batch operation: the looped single operations already account
+// their own retries and latency, so only the batch-size distribution
+// would otherwise go missing.
+func (h *HistHandle) ObserveEnqBatchSize(n int) {
+	if h.s == nil {
+		return
+	}
+	h.s.h[HistEnqBatch].observe(uint64(n))
+}
+
+// ObserveDeqBatchSize is ObserveEnqBatchSize for DequeueBatch.
+func (h *HistHandle) ObserveDeqBatchSize(n int) {
+	if h.s == nil {
+		return
+	}
+	h.s.h[HistDeqBatch].observe(uint64(n))
 }
 
 // Flush publishes batched zero-retry observations. Sessions call it on

@@ -123,7 +123,10 @@ const (
 // with ErrContended; dequeues that merely observed an empty queue are
 // not recorded. Observations are sampled — one operation in
 // 2^xsync.SampleShift per session — so Count is the sample count, not
-// the operation count; quantiles and the mean are unaffected.
+// the operation count; quantiles and the mean are unaffected. Batch
+// operations attribute latency per element: a sampled n-element batch
+// records elapsed/n once, keeping the distribution comparable between
+// batched and single-op workloads.
 func (m *Metrics) Latencies(op Op) HistogramView {
 	kind := xsync.HistEnqLatency
 	if op == Dequeue {
@@ -134,11 +137,28 @@ func (m *Metrics) Latencies(op Op) HistogramView {
 
 // Retries returns the distribution of failed retry-loop iterations per
 // operation of op (0 = the operation won on its first attempt). Every
-// completed or shed operation is recorded.
+// completed or shed operation is recorded. A batch operation records
+// its retry total once for the whole batch.
 func (m *Metrics) Retries(op Op) HistogramView {
 	kind := xsync.HistEnqRetries
 	if op == Dequeue {
 		kind = xsync.HistDeqRetries
+	}
+	return HistogramView{v: m.histograms().View(kind)}
+}
+
+// BatchSizes returns the distribution of batch sizes observed by
+// EnqueueBatch (op == Enqueue) or DequeueBatch (op == Dequeue): one
+// observation per batch call, recording for enqueues the number of
+// elements that took effect and for dequeues the number drained
+// (including 0 for an empty result). Single-element Enqueue/Dequeue
+// calls do not appear here, so Count is the number of batch calls and
+// Mean the effective batch size — the amortization factor actually
+// achieved over the single head/tail RMW each batch spends.
+func (m *Metrics) BatchSizes(op Op) HistogramView {
+	kind := xsync.HistEnqBatch
+	if op == Dequeue {
+		kind = xsync.HistDeqBatch
 	}
 	return HistogramView{v: m.histograms().View(kind)}
 }

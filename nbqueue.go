@@ -43,6 +43,13 @@
 // explicitly blocking two-lock and channel baselines). Enqueue on a full
 // bounded queue fails fast with ErrFull; Dequeue on an empty queue
 // returns ok=false. Neither ever blocks.
+//
+// Batch variants — Session.EnqueueBatch, Session.DequeueBatch and the
+// TryDrain convenience built on them — move many values per call. On the
+// Evequoz-family algorithms a batch reserves its whole slot range with a
+// single head/tail synchronization operation, amortizing the paper's
+// per-operation RMW cost across the batch; see EnqueueBatch for the
+// partial-batch semantics.
 package nbqueue
 
 import (
@@ -114,11 +121,13 @@ var (
 type config struct {
 	algorithm   Algorithm
 	capacity    int
+	capSet      bool
 	maxThreads  int
 	padded      bool
 	backoff     bool
 	retryBudget int
 	unbounded   bool
+	segSet      bool
 	segSize     int
 	metrics     *Metrics
 	hook        func(Event)
@@ -132,14 +141,20 @@ type Option func(*config)
 func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
 
 // WithCapacity bounds the queue; array algorithms round up to a power of
-// two. Default 1024.
-func WithCapacity(n int) Option { return func(c *config) { c.capacity = n } }
+// two. Default 1024. Mutually exclusive with WithUnbounded; New rejects
+// the combination.
+func WithCapacity(n int) Option {
+	return func(c *config) {
+		c.capacity = n
+		c.capSet = true
+	}
+}
 
 // WithMaxThreads hints the peak number of concurrently attached sessions,
 // sizing reclamation headroom for the hazard-pointer algorithms and the
 // payload arena for all of them. Exceeding the hint is safe for the array
 // algorithms (they are population-oblivious) but may surface as early
-// ErrFull on the link-based ones. Default 128.
+// ErrFull on the link-based ones. Default 128; New rejects n <= 0.
 func WithMaxThreads(n int) Option { return func(c *config) { c.maxThreads = n } }
 
 // WithPaddedSlots spreads array-queue slots across cache lines, trading
@@ -155,7 +170,8 @@ func WithBackoff(on bool) Option { return func(c *config) { c.backoff = on } }
 // the *Wait variants surface ErrContended (and TryDequeue reports it) so
 // the caller can shed load; without a budget the loops retry until they
 // win, which is the paper's lock-free default. Ignored by the baseline
-// algorithms. n <= 0 disables the budget.
+// algorithms. n == 0 disables the budget (the default); New rejects a
+// negative n rather than guessing whether it meant "disabled".
 func WithRetryBudget(n int) Option { return func(c *config) { c.retryBudget = n } }
 
 // WithUnbounded lifts the capacity bound of AlgorithmSegmented: the
@@ -173,8 +189,14 @@ func WithUnbounded() Option { return func(c *config) { c.unbounded = true } }
 // (rounded up to a power of two). Smaller segments track bursts more
 // tightly and reclaim memory sooner; larger segments amortize the
 // append/retire machinery further. Default: capacity/4 clamped to
-// [16, 1024]. Ignored by other algorithms.
-func WithSegmentSize(n int) Option { return func(c *config) { c.segSize = n } }
+// [16, 1024]. New rejects n <= 0 and any use with an algorithm other
+// than AlgorithmSegmented (the knob would be silently meaningless).
+func WithSegmentSize(n int) Option {
+	return func(c *config) {
+		c.segSize = n
+		c.segSet = true
+	}
+}
 
 // WithMetrics attaches an operation-counter sink; see Metrics.
 func WithMetrics(m *Metrics) Option { return func(c *config) { c.metrics = m } }
@@ -189,6 +211,10 @@ type Queue[T any] struct {
 	// mctr records lifecycle events (scavenges, leaks) into the
 	// WithMetrics counter bank; a zero handle when metrics are off.
 	mctr xsync.Handle
+	// hists backs the per-session batch-size fallback recording for
+	// algorithms without a native batch operation; nil when metrics are
+	// off.
+	hists *xsync.Histograms
 	// hook is the WithEventHook observer; nil when unset.
 	hook func(Event)
 }
@@ -217,8 +243,23 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 	if c.capacity <= 0 {
 		return nil, c, fmt.Errorf("nbqueue: capacity %d must be positive", c.capacity)
 	}
+	if c.maxThreads <= 0 {
+		return nil, c, fmt.Errorf("nbqueue: WithMaxThreads(%d) must be positive", c.maxThreads)
+	}
+	if c.retryBudget < 0 {
+		return nil, c, fmt.Errorf("nbqueue: WithRetryBudget(%d) is negative; use 0 to disable the budget", c.retryBudget)
+	}
 	if c.unbounded && c.algorithm != AlgorithmSegmented {
 		return nil, c, fmt.Errorf("nbqueue: WithUnbounded requires AlgorithmSegmented, not %q", c.algorithm)
+	}
+	if c.unbounded && c.capSet {
+		return nil, c, fmt.Errorf("nbqueue: WithUnbounded and WithCapacity(%d) are mutually exclusive; use WithCapacity alone for a high-water soft cap", c.capacity)
+	}
+	if c.segSet && c.algorithm != AlgorithmSegmented {
+		return nil, c, fmt.Errorf("nbqueue: WithSegmentSize requires AlgorithmSegmented, not %q", c.algorithm)
+	}
+	if c.segSet && c.segSize <= 0 {
+		return nil, c, fmt.Errorf("nbqueue: WithSegmentSize(%d) must be positive", c.segSize)
 	}
 	algo, err := bench.Lookup(string(c.algorithm))
 	if err != nil {
@@ -283,6 +324,7 @@ func New[T any](opts ...Option) (*Queue[T], error) {
 	}
 	if c.metrics != nil {
 		q.mctr = c.metrics.counters().Handle()
+		q.hists = c.metrics.histograms()
 	}
 	return q, nil
 }
@@ -301,6 +343,14 @@ func (q *Queue[T]) Algorithm() string { return q.inner.Name() }
 type Session[T any] struct {
 	q     *Queue[T]
 	inner queue.Session
+	// batchBuf is per-session scratch for mapping batch payloads to
+	// queue words; sessions are single-goroutine, so reuse is safe.
+	batchBuf []uint64
+	// bhist records batch sizes for sessions whose algorithm has no
+	// native batch operation (native ones record inside the word-level
+	// call); a zero handle when metrics are off or the session is
+	// batch-native.
+	bhist xsync.HistHandle
 }
 
 // leakHandler, when set, observes garbage-collected undetached sessions.
@@ -336,6 +386,9 @@ func (q *Queue[T]) LeakedSessions() uint64 { return q.leaked.Load() }
 // production attach/detach cycle, so treat any leak report as a bug.
 func (q *Queue[T]) Attach() *Session[T] {
 	s := &Session[T]{q: q, inner: q.inner.Attach()}
+	if _, native := s.inner.(queue.BatchSession); !native {
+		s.bhist = q.hists.Handle()
+	}
 	runtime.SetFinalizer(s, func(dead *Session[T]) {
 		if dead.inner == nil {
 			return
@@ -388,6 +441,16 @@ func (s *Session[T]) use() queue.Session {
 
 // Enqueue inserts v at the tail, returning ErrFull when the queue is at
 // capacity, or ErrContended when a WithRetryBudget budget ran out.
+//
+// The operation family shares one error contract. Enqueue, EnqueueBatch
+// and DequeueBatch report conditions through the single error result:
+// nil on success, ErrFull for a queue (or payload arena) at capacity,
+// ErrContended for a retry budget that ran out; the batch forms pair it
+// with a count of elements that took effect before the condition.
+// Dequeue and TryDequeue report emptiness through ok=false instead —
+// Dequeue folds budget exhaustion into the same ok=false, TryDequeue
+// keeps it visible as an error. TryDrain is the loop-free bulk form of
+// Dequeue, built on DequeueBatch.
 func (s *Session[T]) Enqueue(v T) error {
 	inner := s.use()
 	h := s.q.arena.Alloc()
@@ -420,9 +483,10 @@ func (s *Session[T]) take(h uint64) T {
 }
 
 // Dequeue removes and returns the value at the head; ok is false when the
-// queue was observed empty. Under WithRetryBudget, a contended attempt
-// whose budget ran out also reports ok=false; use TryDequeue to tell the
-// two apart.
+// queue was observed empty. Dequeue is exactly TryDequeue with the error
+// coerced away: under WithRetryBudget, a contended attempt whose budget
+// ran out also reports ok=false, indistinguishable from empty. Use
+// TryDequeue when shedding and emptiness must be told apart.
 func (s *Session[T]) Dequeue() (v T, ok bool) {
 	inner := s.use()
 	if s.q.hook != nil {
@@ -446,8 +510,8 @@ func (s *Session[T]) Dequeue() (v T, ok bool) {
 	return s.take(h), true
 }
 
-// TryDequeue is Dequeue with a contention signal: ok=false with a nil
-// error means the queue was observed empty, while ok=false with
+// TryDequeue is the ErrContended-aware variant of Dequeue: ok=false with
+// a nil error means the queue was observed empty, while ok=false with
 // ErrContended means the WithRetryBudget attempt budget ran out while
 // the queue was contended (it may be nonempty). Without a retry budget
 // it behaves exactly like Dequeue.
@@ -466,6 +530,86 @@ func (s *Session[T]) TryDequeue() (v T, ok bool, err error) {
 		return v, false, err
 	}
 	return s.take(h), true, nil
+}
+
+// words returns a scratch word slice of length n, reused across this
+// session's batch calls.
+func (s *Session[T]) words(n int) []uint64 {
+	if cap(s.batchBuf) < n {
+		s.batchBuf = make([]uint64, n)
+	}
+	return s.batchBuf[:n]
+}
+
+// EnqueueBatch inserts the values of vs, in order, at the tail,
+// returning how many took effect. On the Evequoz-family algorithms
+// (AlgorithmLLSC, AlgorithmCAS, AlgorithmSegmented) the whole batch is
+// reserved with a single tail RMW — one LL/SC pair or one CAS instead
+// of one per element — which is where the batch speedup comes from; the
+// baseline algorithms fall back to an internal loop of single enqueues.
+//
+// A batch is not atomic: each element becomes visible individually, in
+// order, and consumers can observe a half-delivered batch. On ErrFull
+// or ErrContended the first n elements were enqueued and the rest had
+// no effect; retry with vs[n:] to continue. n < len(vs) with a nil
+// error does not occur. An empty vs returns (0, nil) without touching
+// the queue.
+func (s *Session[T]) EnqueueBatch(vs []T) (int, error) {
+	inner := s.use()
+	if len(vs) == 0 {
+		return 0, nil
+	}
+	// Map payloads into arena nodes first; a short allocation is arena
+	// pressure, reported as ErrFull after the words that did fit go in.
+	buf := s.words(len(vs))
+	filled := 0
+	for _, v := range vs {
+		h := s.q.arena.Alloc()
+		if h == arena.Nil {
+			break
+		}
+		s.q.values[h>>1] = v
+		buf[filled] = h
+		filled++
+	}
+	n, err := queue.EnqueueBatch(inner, buf[:filled])
+	s.bhist.ObserveEnqBatchSize(n)
+	var zero T
+	for _, h := range buf[n:filled] {
+		s.q.values[h>>1] = zero
+		s.q.arena.Free(h)
+	}
+	if err == nil && filled < len(vs) {
+		err = ErrFull
+	}
+	if err == ErrContended {
+		s.q.emit(Event{Kind: EventContentionShed, Op: "enqueue"})
+	}
+	return n, err
+}
+
+// DequeueBatch removes up to len(dst) values from the head into dst,
+// returning how many it filled. Like EnqueueBatch, the Evequoz-family
+// algorithms reserve the whole range with a single head RMW; baselines
+// loop. n < len(dst) with a nil error means the queue was observed
+// empty after n elements; ErrContended means a WithRetryBudget budget
+// ran out with n elements already drained (those are kept — dst[:n] is
+// always valid). An empty dst returns (0, nil).
+func (s *Session[T]) DequeueBatch(dst []T) (int, error) {
+	inner := s.use()
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	buf := s.words(len(dst))
+	n, err := queue.DequeueBatch(inner, buf)
+	s.bhist.ObserveDeqBatchSize(n)
+	for i := 0; i < n; i++ {
+		dst[i] = s.take(buf[i])
+	}
+	if err == ErrContended {
+		s.q.emit(Event{Kind: EventContentionShed, Op: "dequeue"})
+	}
+	return n, err
 }
 
 // ScavengeOrphans advances the queue's orphan-detection epoch and
@@ -514,8 +658,12 @@ func (q *Queue[T]) Orphans() int {
 // sums per-segment occupancy, so concurrent appends and retires can skew
 // the estimate by up to a segment's worth of items. In all cases the
 // value is a snapshot that may be stale by the time the caller acts on
-// it: exact at quiescence, approximate under concurrency — an occupancy
-// gauge, not a synchronization primitive.
+// it: exact at quiescence, approximate under concurrency — and batch
+// operations widen the window, since a single concurrent EnqueueBatch
+// or DequeueBatch moves the depth by up to its whole batch length while
+// Len reads. The result is always within [0, capacity] for bounded
+// queues; treat it as an occupancy gauge, not a synchronization
+// primitive.
 func (q *Queue[T]) Len() (n int, ok bool) {
 	l, ok := q.inner.(interface{ Len() int })
 	if !ok {
@@ -538,15 +686,25 @@ func (q *Queue[T]) Segments() (n int, ok bool) {
 }
 
 // TryDrain dequeues up to max values (all available when max <= 0),
-// returning them in FIFO order. Convenience for shutdown paths.
+// returning them in FIFO order. Convenience for shutdown paths. It
+// drains through DequeueBatch in chunks of 64, so on the batch-capable
+// algorithms a drain of n items costs ~n/64 head RMWs instead of n.
+// Like Dequeue, it folds ErrContended away: budget exhaustion ends the
+// drain early with whatever had been collected.
 func (s *Session[T]) TryDrain(max int) []T {
+	const chunkSize = 64
 	var out []T
+	chunk := make([]T, chunkSize)
 	for max <= 0 || len(out) < max {
-		v, ok := s.Dequeue()
-		if !ok {
+		c := chunk
+		if max > 0 && max-len(out) < chunkSize {
+			c = chunk[:max-len(out)]
+		}
+		n, err := s.DequeueBatch(c)
+		out = append(out, c[:n]...)
+		if err != nil || n < len(c) {
 			break
 		}
-		out = append(out, v)
 	}
 	return out
 }

@@ -23,6 +23,28 @@ const RawMaxValue = queue.MaxValue
 // ErrRawValue reports a raw value outside the word contract.
 var ErrRawValue = queue.ErrValue
 
+// RawBatchSession is implemented by sessions with native batch
+// operations — the Evequoz-family algorithms, which reserve a whole
+// range of slots with a single head/tail RMW per batch. Use the
+// RawEnqueueBatch/RawDequeueBatch helpers to get the native path when
+// present and a single-op loop otherwise.
+type RawBatchSession = queue.BatchSession
+
+// RawEnqueueBatch enqueues the values of vs in order through s, using
+// the native batch operation when s implements RawBatchSession and a
+// loop of single enqueues otherwise. Partial-batch semantics match
+// Session.EnqueueBatch: on error the first n values went in, the rest
+// had no effect.
+func RawEnqueueBatch(s RawSession, vs []uint64) (int, error) {
+	return queue.EnqueueBatch(s, vs)
+}
+
+// RawDequeueBatch dequeues up to len(dst) values through s into dst,
+// native when available. dst[:n] is valid even alongside ErrContended.
+func RawDequeueBatch(s RawSession, dst []uint64) (int, error) {
+	return queue.DequeueBatch(s, dst)
+}
+
 // NewRaw builds a word-level queue with the same options as New. The
 // payload arena and values table of Queue[T] are skipped entirely; each
 // enqueue/dequeue moves exactly one machine word.
