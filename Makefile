@@ -32,6 +32,9 @@ bench-smoke:
 	$(GO) run ./cmd/fifobench -experiment batch -threads 8 -iters 2000 \
 		-format json > results/BENCH_batch.json
 	cat results/BENCH_batch.json
+	$(GO) run ./cmd/fifobench -experiment overload \
+		-format csv > results/BENCH_overload.csv
+	cat results/BENCH_overload.csv
 
 # Regenerate every figure/table with scaled-down defaults (minutes).
 experiments:

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"runtime"
 	"time"
+
+	"nbqueue/internal/queue"
 )
 
 // Blocking operations adapt the non-blocking queue to callers that want
@@ -12,24 +14,29 @@ import (
 // algorithms have no wait queues (that is the point of being
 // non-blocking), so waiting is implemented as bounded-backoff polling:
 // spin briefly with scheduler yields, then sleep with exponential backoff
-// capped at waitSleepMax. This keeps the worst-case added latency small
-// while idle waiting costs no CPU to speak of, and — unlike a
+// capped at the sleep ceiling. This keeps the worst-case added latency
+// small while idle waiting costs no CPU to speak of, and — unlike a
 // condition-variable wrapper — it cannot reintroduce the
 // preemption-sensitivity the paper's algorithms eliminate.
+//
+// The spin count and sleep bounds come from the queue's WithBackoffPolicy
+// policy when one is installed (WaitSpins, SleepMin, SleepMax), and from
+// the package defaults otherwise, so a single policy tunes both the
+// retry loops and the waits.
+//
+// A context deadline is propagated into the word-level operation on the
+// algorithms that support it (see Session.SetDeadline): an attempt that
+// is mid-retry-loop when the deadline passes aborts with ErrDeadline
+// instead of spinning on, and the wait surfaces context.DeadlineExceeded.
 
-const (
-	// waitSpins is how many yield-retries precede any sleeping.
-	waitSpins = 64
-	// waitSleepMin/Max bound the sleep backoff.
-	waitSleepMin = 10 * time.Microsecond
-	waitSleepMax = time.Millisecond
-)
-
-// retryable reports whether err is a transient full/contended condition
-// worth waiting out, as opposed to a permanent error (e.g. ErrRawValue)
-// that no amount of waiting will fix.
+// retryable reports whether err is a transient condition worth waiting
+// out — full, contended, or shed by watermark admission control (the
+// queue re-admits once it drains below the low watermark) — as opposed
+// to a permanent error (e.g. ErrRawValue) or a deadline abort that no
+// amount of waiting will fix.
 func retryable(err error) bool {
-	return errors.Is(err, ErrFull) || errors.Is(err, ErrContended)
+	return errors.Is(err, ErrFull) || errors.Is(err, ErrContended) ||
+		errors.Is(err, ErrOverloaded)
 }
 
 // sleeper owns the single reusable timer of a wait loop, so that waking
@@ -68,30 +75,72 @@ func (sl *sleeper) stop() {
 	}
 }
 
-// EnqueueWait inserts v, waiting while the queue is full (or, under
-// WithRetryBudget, contended) until the context is done. Returns
-// ctx.Err() on cancellation; non-transient errors are returned
-// immediately.
+// armDeadline propagates ctx's deadline into the word-level session when
+// both sides support it, returning a disarm func (a no-op when nothing
+// was armed). While armed, word-level retry loops abort with ErrDeadline
+// once the deadline passes instead of burning the sleep-loop interval.
+func (s *Session[T]) armDeadline(ctx context.Context) func() {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return func() {}
+	}
+	ds, ok := s.use().(queue.DeadlineSession)
+	if !ok {
+		return func() {}
+	}
+	ds.SetDeadline(d)
+	return func() { ds.SetDeadline(time.Time{}) }
+}
+
+// ctxDeadlineErr maps a word-level ErrDeadline surfaced under an armed
+// context deadline back to the context error the *Wait contract promises.
+func ctxDeadlineErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// The word-level clock fired marginally before the context's; the
+	// deadline is the same instant, so report it as such.
+	return context.DeadlineExceeded
+}
+
+// EnqueueWait inserts v, waiting while the queue is full, contended, or
+// shedding under watermark admission control, until the context is done.
+// Returns ctx.Err() on cancellation or deadline expiry; non-transient
+// errors are returned immediately.
 func (s *Session[T]) EnqueueWait(ctx context.Context, v T) error {
-	for spin := 0; spin < waitSpins; spin++ {
+	disarm := s.armDeadline(ctx)
+	defer disarm()
+	for spin := 0; spin < s.q.waitSpins; spin++ {
 		err := s.Enqueue(v)
-		if err == nil || !retryable(err) {
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrDeadline) {
+			return ctxDeadlineErr(ctx)
+		}
+		if !retryable(err) {
 			return err
 		}
 		runtime.Gosched()
 	}
 	var sl sleeper
 	defer sl.stop()
-	sleep := waitSleepMin
+	sleep := s.q.sleepMin
 	for {
 		err := s.Enqueue(v)
-		if err == nil || !retryable(err) {
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrDeadline) {
+			return ctxDeadlineErr(ctx)
+		}
+		if !retryable(err) {
 			return err
 		}
 		if sl.wait(ctx, sleep) {
 			return ctx.Err()
 		}
-		if sleep < waitSleepMax {
+		if sleep < s.q.sleepMax {
 			sleep *= 2
 		}
 	}
@@ -99,26 +148,114 @@ func (s *Session[T]) EnqueueWait(ctx context.Context, v T) error {
 
 // DequeueWait removes the head value, waiting while the queue is empty
 // (or, under WithRetryBudget, contended) until the context is done.
-// Returns ctx.Err() on cancellation.
+// Returns ctx.Err() on cancellation or deadline expiry.
 func (s *Session[T]) DequeueWait(ctx context.Context) (T, error) {
-	for spin := 0; spin < waitSpins; spin++ {
-		if v, ok := s.Dequeue(); ok {
+	var zero T
+	disarm := s.armDeadline(ctx)
+	defer disarm()
+	for spin := 0; spin < s.q.waitSpins; spin++ {
+		v, ok, err := s.TryDequeue()
+		if ok {
 			return v, nil
+		}
+		if errors.Is(err, ErrDeadline) {
+			return zero, ctxDeadlineErr(ctx)
 		}
 		runtime.Gosched()
 	}
 	var sl sleeper
 	defer sl.stop()
-	sleep := waitSleepMin
+	sleep := s.q.sleepMin
 	for {
-		if v, ok := s.Dequeue(); ok {
+		v, ok, err := s.TryDequeue()
+		if ok {
 			return v, nil
 		}
+		if errors.Is(err, ErrDeadline) {
+			return zero, ctxDeadlineErr(ctx)
+		}
 		if sl.wait(ctx, sleep) {
-			var zero T
 			return zero, ctx.Err()
 		}
-		if sleep < waitSleepMax {
+		if sleep < s.q.sleepMax {
+			sleep *= 2
+		}
+	}
+}
+
+// EnqueueBatchWait inserts all of vs, in order, waiting out transient
+// conditions between partial deliveries until the context is done. It
+// returns how many elements went in; n < len(vs) only alongside a
+// non-nil error (ctx.Err() on cancellation or deadline expiry, or the
+// first non-transient queue error). Elements already delivered when the
+// wait ends stay delivered — the batch is not atomic, exactly as in
+// EnqueueBatch.
+func (s *Session[T]) EnqueueBatchWait(ctx context.Context, vs []T) (int, error) {
+	disarm := s.armDeadline(ctx)
+	defer disarm()
+	done := 0
+	var sl sleeper
+	defer sl.stop()
+	sleep := s.q.sleepMin
+	for spin := 0; ; spin++ {
+		n, err := s.EnqueueBatch(vs[done:])
+		done += n
+		if done == len(vs) {
+			return done, nil
+		}
+		if errors.Is(err, ErrDeadline) {
+			return done, ctxDeadlineErr(ctx)
+		}
+		if err != nil && !retryable(err) {
+			return done, err
+		}
+		if n > 0 {
+			// Progress: restart the backoff ladder.
+			spin, sleep = 0, s.q.sleepMin
+		}
+		if spin < s.q.waitSpins {
+			runtime.Gosched()
+			continue
+		}
+		if sl.wait(ctx, sleep) {
+			return done, ctx.Err()
+		}
+		if sleep < s.q.sleepMax {
+			sleep *= 2
+		}
+	}
+}
+
+// DequeueBatchWait fills dst with up to len(dst) values, waiting until
+// at least one is available (or the context is done). It drains what the
+// queue has at that moment rather than waiting for a full batch, so n is
+// in [1, len(dst)] on success. Returns (0, ctx.Err()) on cancellation or
+// deadline expiry; (0, nil) only for an empty dst.
+func (s *Session[T]) DequeueBatchWait(ctx context.Context, dst []T) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	disarm := s.armDeadline(ctx)
+	defer disarm()
+	var sl sleeper
+	defer sl.stop()
+	sleep := s.q.sleepMin
+	for spin := 0; ; spin++ {
+		n, err := s.DequeueBatch(dst)
+		if n > 0 {
+			return n, nil
+		}
+		if errors.Is(err, ErrDeadline) {
+			return 0, ctxDeadlineErr(ctx)
+		}
+		if spin < s.q.waitSpins {
+			runtime.Gosched()
+			continue
+		}
+		if sl.wait(ctx, sleep) {
+			return 0, ctx.Err()
+		}
+		if sleep < s.q.sleepMax {
 			sleep *= 2
 		}
 	}

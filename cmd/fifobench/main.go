@@ -38,7 +38,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fifobench", flag.ContinueOnError)
 	fs.SetOutput(out) // keep usage/errors off stderr in tests
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: fig6a|fig6b|fig6c|fig6d|overhead|syncops|extended|space|related|burst|batch|all")
+		experiment = fs.String("experiment", "all", "experiment to run: fig6a|fig6b|fig6c|fig6d|overhead|syncops|extended|space|related|burst|batch|overload|all")
 		threads    = fs.String("threads", "", "comma-separated thread counts overriding the experiment default")
 		iters      = fs.Int("iters", 0, "iterations per thread per run (0 = default)")
 		runs       = fs.Int("runs", 0, "measurement runs per point (0 = default)")
@@ -193,6 +193,8 @@ func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, sy
 			return bench.WriteBatchJSON(out, rows)
 		}
 		return bench.WriteBatchTable(out, rows)
+	case bench.ExpOverload:
+		return runOverload(out, format, p)
 	case bench.ExpRelated:
 		series, err := bench.RunRelated([]int{16, 128, 1024, 8192}, p)
 		if err != nil {

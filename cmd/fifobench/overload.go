@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"nbqueue"
+	"nbqueue/internal/bench"
+)
+
+// The overload experiment measures what watermark admission control buys
+// under sustained excess offered load: producers at roughly 4x the drain
+// rate against a watermarked queue must be shed with ErrOverloaded while
+// the enqueues that ARE admitted keep near-uncontended tail latency,
+// because the shed keeps the ring shallow and the slot protocol short.
+// Each algorithm reports its uncontended single-thread enqueue p99.9 as
+// the baseline, then the admitted-enqueue p99.9 under overload and the
+// ratio between the two.
+
+// overloadProducers fixes the offered-load multiple: this many producers
+// against one yield-paced consumer.
+const overloadProducers = 4
+
+// overloadRow is one algorithm's overload measurement.
+type overloadRow struct {
+	key, label string
+	baseP999   float64 // uncontended enqueue p99.9, ns
+	overP999   float64 // admitted-enqueue p99.9 under overload, ns
+	admitted   int64   // enqueues admitted during the overload phase
+	sheds      uint64  // enqueues refused with ErrOverloaded
+	cycles     int64   // hysteresis enter events (≈ exit events)
+	wall       time.Duration
+}
+
+// overloadAlgos lists the algorithms with a depth probe under the
+// generic layer (watermarks require Len).
+func overloadAlgos() []string {
+	return []string{bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyEvqSeg}
+}
+
+// runOverloadExperiment measures one algorithm: an uncontended baseline
+// pass, then a watermarked overload pass.
+func runOverloadExperiment(key string, p bench.Params, d time.Duration) (overloadRow, error) {
+	row := overloadRow{key: key}
+
+	build := func(m *nbqueue.Metrics, watermarked bool, hook func(nbqueue.Event)) (*nbqueue.Queue[uint64], error) {
+		opts := []nbqueue.Option{
+			nbqueue.WithAlgorithm(nbqueue.Algorithm(key)),
+			nbqueue.WithMaxThreads(overloadProducers + 4),
+			nbqueue.WithMetrics(m),
+		}
+		if key == bench.KeyEvqSeg {
+			opts = append(opts, nbqueue.WithUnbounded())
+		} else {
+			opts = append(opts, nbqueue.WithCapacity(p.Capacity))
+		}
+		if watermarked {
+			opts = append(opts, nbqueue.WithWatermarks(p.Capacity/4, p.Capacity/2))
+		}
+		if hook != nil {
+			opts = append(opts, nbqueue.WithEventHook(hook))
+		}
+		return nbqueue.New[uint64](opts...)
+	}
+
+	// Baseline: one thread, queue kept shallow, no admission control.
+	m0 := nbqueue.NewMetrics()
+	q0, err := build(m0, false, nil)
+	if err != nil {
+		return row, err
+	}
+	row.label = q0.Algorithm()
+	s := q0.Attach()
+	iters := p.Iterations * 25 // enough ops for stable sampled p99.9
+	if iters < 20000 {
+		iters = 20000
+	}
+	for i := 0; i < iters; i++ {
+		if err := s.Enqueue(uint64(i + 1)); err != nil {
+			return row, fmt.Errorf("%s: baseline enqueue: %w", key, err)
+		}
+		s.Dequeue()
+	}
+	s.Detach()
+	row.baseP999 = m0.Latencies(nbqueue.Enqueue).Quantile(0.999)
+
+	// Overload: producers flat out, one yield-paced consumer.
+	var cycles atomic.Int64
+	m1 := nbqueue.NewMetrics()
+	q1, err := build(m1, true, func(e nbqueue.Event) {
+		if e.Kind == nbqueue.EventOverloadEnter {
+			cycles.Add(1)
+		}
+	})
+	if err != nil {
+		return row, err
+	}
+	var admitted atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < overloadProducers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps := q1.Attach()
+			defer ps.Detach()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch ps.Enqueue(uint64(w + 1)) {
+				case nil:
+					admitted.Add(1)
+				default:
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cs := q1.Attach()
+		defer cs.Detach()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cs.TryDequeue()
+			runtime.Gosched()
+			runtime.Gosched()
+		}
+	}()
+	start := time.Now()
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	row.wall = time.Since(start)
+
+	snap := m1.Snapshot()
+	row.overP999 = m1.Latencies(nbqueue.Enqueue).Quantile(0.999)
+	row.admitted = admitted.Load()
+	row.sheds = snap.OverloadSheds
+	row.cycles = cycles.Load()
+	if row.sheds == 0 {
+		return row, fmt.Errorf("%s: overload run never shed; offered load did not exceed the high watermark", key)
+	}
+	return row, nil
+}
+
+// runOverload runs the experiment for every watermark-capable algorithm
+// and writes the report.
+func runOverload(out io.Writer, format string, p bench.Params) error {
+	const phase = 600 * time.Millisecond
+	rows := make([]overloadRow, 0, 3)
+	for _, key := range overloadAlgos() {
+		row, err := runOverloadExperiment(key, p, phase)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	us := func(ns float64) float64 { return ns / float64(time.Microsecond) }
+	if format == "csv" {
+		fmt.Fprintln(out, "algorithm,base_p999_us,overload_p999_us,ratio,admitted_per_sec,sheds_per_sec,hysteresis_cycles")
+		for _, r := range rows {
+			secs := r.wall.Seconds()
+			fmt.Fprintf(out, "%s,%.3f,%.3f,%.2f,%.0f,%.0f,%d\n",
+				r.key, us(r.baseP999), us(r.overP999), r.overP999/r.baseP999,
+				float64(r.admitted)/secs, float64(r.sheds)/secs, r.cycles)
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "== Overload shedding: %d producers vs 1 paced consumer, watermarks (cap/4, cap/2), capacity %d ==\n",
+		overloadProducers, p.Capacity)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tbase p99.9 (µs)\toverload p99.9 (µs)\tratio\tadmitted/s\tsheds/s\thysteresis cycles")
+	for _, r := range rows {
+		secs := r.wall.Seconds()
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2fx\t%.3g\t%.3g\t%d\n",
+			r.label, us(r.baseP999), us(r.overP999), r.overP999/r.baseP999,
+			float64(r.admitted)/secs, float64(r.sheds)/secs, r.cycles)
+	}
+	return tw.Flush()
+}

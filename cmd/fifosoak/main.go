@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nbqueue"
 	"nbqueue/internal/arena"
 	"nbqueue/internal/bench"
 	"nbqueue/internal/chaos"
@@ -52,14 +53,15 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fifosoak", flag.ContinueOnError)
 	fs.SetOutput(out) // keep usage/errors off stderr in tests
 	var (
-		algo     = fs.String("algo", "evq-cas", "algorithm key, or 'all'")
-		duration = fs.Duration("duration", 2*time.Second, "soak duration per algorithm")
-		threads  = fs.Int("threads", 6, "worker goroutines")
-		capacity = fs.Int("capacity", 256, "queue capacity")
-		audit    = fs.Duration("audit", 500*time.Millisecond, "interval between invariant audits")
+		algo      = fs.String("algo", "evq-cas", "algorithm key, or 'all'")
+		duration  = fs.Duration("duration", 2*time.Second, "soak duration per algorithm")
+		threads   = fs.Int("threads", 6, "worker goroutines")
+		capacity  = fs.Int("capacity", 256, "queue capacity")
+		audit     = fs.Duration("audit", 500*time.Millisecond, "interval between invariant audits")
 		rotate    = fs.Int("rotate", 200, "operations between session detach/reattach cycles")
 		batch     = fs.Int("batch", 1, "values per worker operation (>1 moves values through EnqueueBatch/DequeueBatch; 1 = single ops)")
 		crash     = fs.Bool("crash", false, "abandon sessions continuously (crash-recovery drill)")
+		overload  = fs.Bool("overload", false, "watermark admission-control drill: producers outrun one slow consumer; the queue must shed with ErrOverloaded, cycle the hysteresis band, bound its depth, and conserve values")
 		statsaddr = fs.String("statsaddr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080)")
 		statstick = fs.Duration("statsevery", time.Second, "interval between one-line stats digests on stderr")
 	)
@@ -74,6 +76,9 @@ func run(args []string, out io.Writer) error {
 		}
 		defer st.close()
 	}
+	if *crash && *overload {
+		return fmt.Errorf("-crash and -overload are separate drills; pick one")
+	}
 	keys := []string{*algo}
 	if *algo == "all" {
 		keys = []string{
@@ -81,21 +86,177 @@ func run(args []string, out io.Writer) error {
 			bench.KeyMSHP, bench.KeyMSHPSorted,
 			bench.KeyMSDoherty, bench.KeyShann, bench.KeyTsigasZhang, bench.KeyTreiber,
 		}
+		if *overload {
+			// Admission control needs a depth probe (Len), which only the
+			// Evequoz family guarantees under the generic layer.
+			keys = []string{bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyEvqSeg}
+		}
 	}
 	if *batch < 1 {
 		return fmt.Errorf("-batch %d must be at least 1", *batch)
 	}
 	for _, key := range keys {
 		var err error
-		if *crash {
+		switch {
+		case *overload:
+			err = soakOverload(out, key, *duration, *threads, *capacity, *audit)
+		case *crash:
 			err = soakCrash(out, st, key, *duration, *threads, *capacity, *audit, *batch)
-		} else {
+		default:
 			err = soak(out, st, key, *duration, *threads, *capacity, *audit, *rotate, *batch)
 		}
 		if err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// soakOverload drives the watermark admission-control drill against the
+// public layer: threads-1 producers enqueue flat out while one
+// deliberately slow consumer drains, so depth climbs through the high
+// watermark and admission control must engage. The drill fails unless
+// the queue shed load (ErrOverloaded observed), the hysteresis band
+// cycled (both enter and exit events fired), sampled depth stayed
+// bounded near the high watermark, and every admitted value was
+// conserved through the final drain.
+func soakOverload(out io.Writer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration) error {
+	if threads < 2 {
+		threads = 2
+	}
+	low, high := capacity/4, capacity/2
+	if low < 1 {
+		low = 1
+	}
+	if high <= low {
+		high = low + 1
+	}
+	var enters, exits atomic.Int64
+	m := nbqueue.NewMetrics()
+	opts := []nbqueue.Option{
+		nbqueue.WithAlgorithm(nbqueue.Algorithm(key)),
+		nbqueue.WithMaxThreads(threads + 8),
+		nbqueue.WithWatermarks(low, high),
+		nbqueue.WithMetrics(m),
+		nbqueue.WithEventHook(func(e nbqueue.Event) {
+			switch e.Kind {
+			case nbqueue.EventOverloadEnter:
+				enters.Add(1)
+			case nbqueue.EventOverloadExit:
+				exits.Add(1)
+			}
+		}),
+	}
+	if key == bench.KeyEvqSeg {
+		opts = append(opts, nbqueue.WithUnbounded())
+	} else {
+		opts = append(opts, nbqueue.WithCapacity(capacity))
+	}
+	q, err := nbqueue.New[uint64](opts...)
+	if err != nil {
+		return fmt.Errorf("%s: %w", key, err)
+	}
+
+	var produced, consumed, sheds atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < threads-1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := q.Attach()
+			defer s.Detach()
+			v := uint64(w + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch err := s.Enqueue(v); err {
+				case nil:
+					produced.Add(1)
+				case nbqueue.ErrOverloaded:
+					sheds.Add(1)
+					runtime.Gosched()
+				default:
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := q.Attach()
+		defer s.Detach()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok, _ := s.TryDequeue(); ok {
+				consumed.Add(1)
+			}
+			// The consumer is the bottleneck by construction: yielding
+			// after every attempt keeps its drain rate a fraction of the
+			// producers' aggregate offered load.
+			runtime.Gosched()
+			runtime.Gosched()
+		}
+	}()
+
+	deadline := time.After(d)
+	ticker := time.NewTicker(auditEvery)
+	defer ticker.Stop()
+	audits, maxDepth := 0, 0
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			if n, ok := q.Len(); ok {
+				if n > maxDepth {
+					maxDepth = n
+				}
+				// Depth may overshoot the high watermark by the admitted
+				// enqueues already in flight, but never unboundedly.
+				if n > high+2*threads {
+					close(stop)
+					wg.Wait()
+					return fmt.Errorf("%s: depth %d escaped admission control (high watermark %d)", key, n, high)
+				}
+			}
+			audits++
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	s := q.Attach()
+	drained := 0
+	for {
+		if _, ok := s.Dequeue(); !ok {
+			break
+		}
+		drained++
+	}
+	s.Detach()
+
+	snap := m.Snapshot()
+	if sheds.Load() == 0 || snap.OverloadSheds == 0 {
+		return fmt.Errorf("%s: overload drill never shed (produced=%d consumed=%d)", key, produced.Load(), consumed.Load())
+	}
+	if enters.Load() == 0 || exits.Load() == 0 {
+		return fmt.Errorf("%s: hysteresis did not cycle: %d enters, %d exits", key, enters.Load(), exits.Load())
+	}
+	if got := produced.Load() - consumed.Load() - int64(drained); got != 0 {
+		return fmt.Errorf("%s: conservation broken: produced-consumed-drained = %d", key, got)
+	}
+	fmt.Fprintf(out, "%-18s ok (overload): produced=%d consumed=%d drained=%d sheds=%d enters=%d exits=%d maxdepth=%d (high=%d) audits=%d\n",
+		key, produced.Load(), consumed.Load(), drained, snap.OverloadSheds, enters.Load(), exits.Load(), maxDepth, high, audits)
 	return nil
 }
 

@@ -25,6 +25,16 @@ const (
 	// goroutine that won the append race — a burst absorbed rather
 	// than shed.
 	EventSegmentGrow
+	// EventOverloadEnter reports watermark admission control engaging:
+	// the observed depth reached the WithWatermarks high threshold and
+	// enqueues are now refused with ErrOverloaded. Event.N is the depth
+	// observed at the transition. Fires once per overload episode, from
+	// the enqueuing goroutine that crossed the threshold.
+	EventOverloadEnter
+	// EventOverloadExit reports the queue draining to the low watermark:
+	// enqueues are admitted again. Event.N is the depth observed at the
+	// transition. Fires from the first admitted enqueuer's goroutine.
+	EventOverloadExit
 )
 
 // String returns the label used in logs and metric names.
@@ -40,6 +50,10 @@ func (k EventKind) String() string {
 		return "session-leaked"
 	case EventSegmentGrow:
 		return "segment-grow"
+	case EventOverloadEnter:
+		return "overload-enter"
+	case EventOverloadExit:
+		return "overload-exit"
 	default:
 		return "unknown"
 	}

@@ -75,7 +75,18 @@ type Arena struct {
 	frees  pad.Uint64
 	failed pad.Uint64
 	debug  bool
+	// fault, when non-nil, is consulted by Alloc before touching the free
+	// list; a true return makes the allocation fail as if the arena were
+	// exhausted. Fault-injection drills use it to prove allocation
+	// failure surfaces as clean back-pressure, never corruption.
+	fault func() bool
 }
+
+// SetFaultHook installs f as the allocation-fault hook (nil removes it).
+// Install before the arena is shared between goroutines; the hook itself
+// must be safe for concurrent use (gate on internal atomics for armed
+// injection).
+func (a *Arena) SetFaultHook(f func() bool) { a.fault = f }
 
 // New returns an arena with capacity nodes, all initially free. Capacity
 // must be positive and at most MaxCapacity.
@@ -117,6 +128,10 @@ func (a *Arena) Capacity() int { return len(a.nodes) - 1 }
 // that care must initialize them (queue code always stores Value before
 // publishing the handle).
 func (a *Arena) Alloc() Handle {
+	if a.fault != nil && a.fault() {
+		a.failed.Add(1)
+		return Nil
+	}
 	for {
 		head := a.head.Load()
 		idx, _ := tagptr.UnpackVer(head)

@@ -41,6 +41,16 @@ type Config struct {
 	PaddedSlots bool
 	// Backoff enables exponential backoff in the Evequoz queues.
 	Backoff bool
+	// Policy, when non-nil, installs the shared adaptive-backoff
+	// controller on the Evequoz queues, superseding Backoff: session spin
+	// ceilings then follow the AIMD controller instead of the fixed
+	// bounds. Ignored by the baseline algorithms.
+	Policy *xsync.BackoffPolicy
+	// StarvationBound publishes an operation that has lost more than this
+	// many retry rounds to the announce array so winning sessions complete
+	// it cooperatively (evq-llsc and evq-cas); 0 disables helping. Ignored
+	// elsewhere.
+	StarvationBound int
 	// RetryBudget bounds retry-loop iterations per operation in the two
 	// Evequoz queues, surfacing queue.ErrContended when exhausted; 0
 	// keeps the loops unbounded.
@@ -95,7 +105,7 @@ const (
 	// KeyEvqSeg is the segmented composition of the evq-cas ring: an
 	// unbounded MPMC queue chaining Algorithm 2 rings Michael–Scott-style
 	// with hazard-pointer segment reclamation.
-	KeyEvqSeg = "evq-seg"
+	KeyEvqSeg      = "evq-seg"
 	KeyMSHP        = "ms-hp"
 	KeyMSHPSorted  = "ms-hp-sorted"
 	KeyMSDoherty   = "ms-doherty"
@@ -125,6 +135,8 @@ var catalog = map[string]Algo{
 			return evqllsc.New(c.Capacity, mem,
 				evqllsc.WithCounters(c.Counters), evqllsc.WithHistograms(c.Hists),
 				evqllsc.WithBackoff(c.Backoff),
+				evqllsc.WithBackoffPolicy(c.Policy),
+				evqllsc.WithStarvationBound(c.StarvationBound),
 				evqllsc.WithRetryBudget(c.RetryBudget))
 		},
 	},
@@ -147,6 +159,8 @@ var catalog = map[string]Algo{
 			return evqcas.New(c.Capacity,
 				evqcas.WithCounters(c.Counters), evqcas.WithHistograms(c.Hists),
 				evqcas.WithBackoff(c.Backoff),
+				evqcas.WithBackoffPolicy(c.Policy),
+				evqcas.WithStarvationBound(c.StarvationBound),
 				evqcas.WithPaddedSlots(c.PaddedSlots),
 				evqcas.WithRetryBudget(c.RetryBudget), evqcas.WithYield(c.Yield))
 		},
@@ -173,6 +187,7 @@ var catalog = map[string]Algo{
 				evqseg.WithHighWater(high),
 				evqseg.WithCounters(c.Counters), evqseg.WithHistograms(c.Hists),
 				evqseg.WithBackoff(c.Backoff),
+				evqseg.WithBackoffPolicy(c.Policy),
 				evqseg.WithPaddedSlots(c.PaddedSlots),
 				evqseg.WithRetryBudget(c.RetryBudget), evqseg.WithYield(c.Yield))
 		},

@@ -70,6 +70,12 @@ const (
 	ExpRelated  Experiment = "related"  // related-work cost scaling vs backlog
 	ExpBurst    Experiment = "burst"    // burst absorption: bounded ring vs segmented
 	ExpBatch    Experiment = "batch"    // batch amortization: one RMW per batch vs per element
+	// ExpOverload is the watermark admission-control experiment: producers
+	// at a multiple of the drain rate against a watermarked queue, with
+	// admitted-enqueue tail latency compared to an uncontended baseline.
+	// It exercises the public layer (watermarks live above the word-level
+	// queues), so its runner lives in cmd/fifobench rather than here.
+	ExpOverload Experiment = "overload"
 )
 
 // Experiments lists all runnable experiment names.
@@ -77,6 +83,7 @@ func Experiments() []Experiment {
 	return []Experiment{
 		Fig6a, Fig6b, Fig6c, Fig6d,
 		ExpOverhead, ExpSyncOps, ExpExtended, ExpSpace, ExpRelated, ExpBurst, ExpBatch,
+		ExpOverload,
 	}
 }
 

@@ -86,6 +86,22 @@ var sink atomic.Int64
 func (in *Injector) Arm()    { in.armed.Store(true) }
 func (in *Injector) Disarm() { in.armed.Store(false) }
 
+// AllocFault returns an allocation-fault hook suitable for
+// arena.SetFaultHook or evqseg.WithAppendFault: while the injector is
+// armed, every n-th consult reports a failure (every == 0 never fails).
+// Each returned hook counts its consults independently, so one injector
+// can drive the payload arena and the segment pool at different
+// cadences; disarming silences them all at once.
+func (in *Injector) AllocFault(every uint64) func() bool {
+	var n atomic.Uint64
+	return func() bool {
+		if every == 0 || !in.armed.Load() {
+			return false
+		}
+		return n.Add(1)%every == 0
+	}
+}
+
 // Step returns the number of hooked atomic steps executed so far.
 func (in *Injector) Step() uint64 { return in.step.Load() }
 

@@ -12,6 +12,7 @@ package queue
 
 import (
 	"errors"
+	"time"
 )
 
 // ErrFull is returned by Enqueue on a bounded queue at capacity — the
@@ -28,6 +29,24 @@ var ErrValue = errors.New("queue: value must be even, nonzero and below 2^40")
 // load. Distinct from ErrFull: the queue may well have room (or items),
 // the thread just kept losing CAS races for it.
 var ErrContended = errors.New("queue: retry budget exhausted under contention")
+
+// ErrDeadline is returned by operations on sessions with a deadline set
+// (see DeadlineSession) when the deadline passes mid-retry-loop before
+// the operation can complete. Like ErrContended, the operation had no
+// effect and the queue state says nothing about why: the thread ran out
+// of time, not necessarily out of room or items. Distinct from
+// ErrContended so callers can tell "my time budget expired" from "my
+// attempt budget expired" — a deadline abort should not be retried, a
+// contention abort may be.
+var ErrDeadline = errors.New("queue: deadline exceeded mid-operation")
+
+// ErrOverloaded is returned by enqueues rejected by admission control: a
+// high-watermark policy (see nbqueue.WithWatermarks) observed the queue
+// depth above its configured bound and shed the operation before any
+// slot-protocol work. Distinct from ErrFull: the queue has physical room
+// — the policy chose not to use it — and re-admission happens only once
+// the depth drains below the low watermark (hysteresis).
+var ErrOverloaded = errors.New("queue: shed by admission control above high watermark")
 
 // MaxValue is the largest enqueueable value.
 const MaxValue = (uint64(1) << 40) - 1
@@ -68,6 +87,23 @@ type Session interface {
 	// Detach releases per-thread resources (LLSCvar records, hazard
 	// records). The session must not be used afterwards.
 	Detach()
+}
+
+// DeadlineSession is the optional mid-operation-abort capability:
+// sessions whose retry loops can observe a wall-clock deadline implement
+// it (the Evequoz-family algorithms). A deadline set with SetDeadline
+// applies to every subsequent operation on the session until cleared
+// with the zero Time: an operation that is still losing its CAS/SC races
+// when the deadline passes aborts with ErrDeadline (batch forms return
+// the positional partial (n, ErrDeadline)). The check is throttled to
+// one clock read per handful of failed iterations, so an uncontended
+// operation pays nothing and an abort may overshoot the deadline by a
+// few retry iterations. Callers that want context plumbing set the
+// deadline from ctx before the operation and clear it after; the
+// blocking wait layer does exactly that.
+type DeadlineSession interface {
+	Session
+	SetDeadline(t time.Time)
 }
 
 // BudgetSession is implemented by sessions of queues constructed with a

@@ -28,6 +28,7 @@ package evqcas
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"nbqueue/internal/llsc/registry"
 	"nbqueue/internal/pad"
@@ -49,6 +50,9 @@ type Queue struct {
 	hists  *xsync.Histograms
 	useBO  bool
 	budget int
+	pol    *xsync.BackoffPolicy
+	ann    *xsync.Announce
+	starve int
 	yield  func()
 }
 
@@ -76,6 +80,31 @@ func WithRetryBudget(n int) Option { return func(q *Queue) { q.budget = n } }
 // access (queue words and registry state), enabling systematic
 // interleaving exploration via internal/explore. Nil in production.
 func WithYield(f func()) Option { return func(q *Queue) { q.yield = f } }
+
+// WithBackoffPolicy attaches a shared adaptive backoff policy: sessions
+// grow their spin interval toward the policy's live ceiling (which moves
+// with the observed failure rate) instead of a fixed maximum. Implies
+// backoff. The policy must be normalized (see xsync.NewBackoffPolicy).
+func WithBackoffPolicy(p *xsync.BackoffPolicy) Option { return func(q *Queue) { q.pol = p } }
+
+// WithStarvationBound enables cooperative helping: an operation still
+// unperformed after n fruitless retry rounds is published to the queue's
+// announce array, where sessions completing operations of their own
+// execute it on the victim's behalf (see xsync.Announce). Lock-freedom
+// only promises system-wide progress; the bound adds a per-operation
+// one — under any schedule where the queue as a whole completes
+// operations, a starved thread's operation completes too. n <= 0
+// disables helping (the paper's plain loops).
+func WithStarvationBound(n int) Option {
+	return func(q *Queue) {
+		q.starve = n
+		if n > 0 {
+			q.ann = xsync.NewAnnounce()
+		} else {
+			q.ann = nil
+		}
+	}
+}
 
 // WithPaddedSlots spreads slots across cache-line pairs.
 func WithPaddedSlots(on bool) Option {
@@ -131,17 +160,21 @@ func (q *Queue) slot(i uint64) *atomic.Uint64 { return &q.slots[int(i)*q.stride]
 
 // Session carries the goroutine's registered LLSCvar.
 type Session struct {
-	q      *Queue
-	varH   registry.Handle
-	varGen uint64
-	ctr    xsync.Handle
-	hist   xsync.HistHandle
-	bo     xsync.Backoff
+	q        *Queue
+	varH     registry.Handle
+	varGen   uint64
+	ctr      xsync.Handle
+	hist     xsync.HistHandle
+	bo       xsync.Backoff
+	deadline int64 // unixnano; 0 = none
+	yield    func()
 }
 
 var (
-	_ queue.Session       = (*Session)(nil)
-	_ queue.BudgetSession = (*Session)(nil)
+	_ queue.Session         = (*Session)(nil)
+	_ queue.BudgetSession   = (*Session)(nil)
+	_ queue.DeadlineSession = (*Session)(nil)
+	_ xsync.AnnounceExec    = (*Session)(nil)
 )
 
 // Attach registers the calling goroutine with the queue's LLSCvar
@@ -150,10 +183,64 @@ func (q *Queue) Attach() queue.Session {
 	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
 	s.varH = q.reg.Register(s.ctr)
 	s.varGen = q.reg.Gen(s.varH)
-	if q.useBO {
+	if q.pol != nil {
+		s.bo = xsync.NewAdaptiveBackoff(q.pol)
+	} else if q.useBO {
 		s.bo = xsync.NewBackoff(0, 0)
 	}
 	return s
+}
+
+// SetDeadline arms (or, with the zero Time, clears) the session
+// deadline; see queue.DeadlineSession for the abort contract.
+func (s *Session) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		s.deadline = 0
+	} else {
+		s.deadline = t.UnixNano()
+	}
+}
+
+// deadlineCheckMask throttles deadline polling: the clock is read once
+// per deadlineCheckMask+1 fruitless retry iterations, so uncontended
+// operations never touch it and an abort overshoots by at most a
+// handful of iterations.
+const deadlineCheckMask = 31
+
+// expired reports whether the armed deadline has passed, polling the
+// clock only on throttle boundaries of the fruitless-iteration count n.
+func (s *Session) expired(n int) bool {
+	return s.deadline != 0 && n&deadlineCheckMask == deadlineCheckMask &&
+		time.Now().UnixNano() > s.deadline
+}
+
+// SetYield installs a per-session hook fired between a slot reservation
+// (simulated LL) and its commit attempt — the window in which other
+// sessions can displace the reservation. The chaos starvation drills
+// use it to delay one session specifically; unlike the queue-level
+// WithYield it does not instrument the registry. Nil in production.
+func (s *Session) SetYield(f func()) { s.yield = f }
+
+func (s *Session) fireYield() {
+	if s.yield != nil {
+		s.yield()
+	}
+}
+
+// Self-run and helper attempt budgets for announced operations: small
+// enough that a claim never becomes a new stall, large enough to beat
+// the per-round cost of the claim CAS.
+const (
+	annSelfBudget = 8
+	annHelpBudget = 8
+)
+
+// help executes at most one announced operation after completing one of
+// our own; with nothing announced it costs a single atomic load.
+func (s *Session) help() {
+	if s.q.ann != nil && s.q.ann.HelpOne(s, annHelpBudget) {
+		s.ctr.Inc(xsync.OpRescue)
+	}
 }
 
 // Detach deregisters the goroutine's LLSCvar so it can be recycled.
@@ -189,6 +276,45 @@ func (s *Session) cas(w *atomic.Uint64, old, new uint64) bool {
 	return false
 }
 
+// enqueueRound runs one attempt round of Figure 5 Enqueue. done=false
+// means the round was fruitless (lost a race, or helped advance a
+// lagging Tail); full (with done) means the queue was observed full.
+// The round records only primitive counters — completed operations and
+// latency are accounted by the caller, so rounds can run on a victim's
+// behalf without double counting. The marker is recomputed per round
+// because prepare (run between operations, including announced ones)
+// may have swapped the LLSCvar.
+func (s *Session) enqueueRound(v uint64) (done, full bool) {
+	q := s.q
+	marker := tagptr.Tag(s.varH)
+	q.fire()
+	t := q.tail.Load()
+	q.fire()
+	if t == q.head.Load()+q.size {
+		return true, true
+	}
+	tail := t & q.mask
+	w := q.slot(tail)
+	slot := q.reg.LL(w, s.varH, s.ctr) // reserve: slot word now holds marker
+	s.fireYield()
+	q.fire()
+	if t == q.tail.Load() {
+		if slot != 0 {
+			// A delayed enqueuer's item is already here; release the
+			// reservation and help advance Tail.
+			s.cas(w, marker, slot)
+			s.cas(q.tail.Ptr(), t, t+1)
+		} else if s.cas(w, marker, v) {
+			s.cas(q.tail.Ptr(), t, t+1)
+			return true, false
+		}
+	} else {
+		// Tail moved under us: release the reservation and retry.
+		s.cas(w, marker, slot)
+	}
+	return false, false
+}
+
 // Enqueue inserts v at the tail; Figure 5 Enqueue.
 func (s *Session) Enqueue(v uint64) error {
 	if err := queue.CheckValue(v); err != nil {
@@ -197,39 +323,45 @@ func (s *Session) Enqueue(v uint64) error {
 	s.prepare()
 	q := s.q
 	start := s.hist.StartEnq()
-	marker := tagptr.Tag(s.varH)
 	for attempt := 0; ; attempt++ {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneEnq(start, attempt)
 			return queue.ErrContended
 		}
-		q.fire()
-		t := q.tail.Load()
-		q.fire()
-		if t == q.head.Load()+q.size {
-			return queue.ErrFull
+		if s.expired(attempt) {
+			s.ctr.Inc(xsync.OpDeadline)
+			s.hist.DoneEnq(start, attempt)
+			return queue.ErrDeadline
 		}
-		tail := t & q.mask
-		w := q.slot(tail)
-		slot := q.reg.LL(w, s.varH, s.ctr) // reserve: slot word now holds marker
-		q.fire()
-		if t == q.tail.Load() {
-			if slot != 0 {
-				// A delayed enqueuer's item is already here; release the
-				// reservation and help advance Tail.
-				s.cas(w, marker, slot)
-				s.cas(q.tail.Ptr(), t, t+1)
-			} else if s.cas(w, marker, v) {
-				s.cas(q.tail.Ptr(), t, t+1)
+		if q.ann != nil && attempt >= q.starve {
+			// Starved past the bound: announce the operation so winning
+			// sessions complete it for us. AnnNoCell (array busy) falls
+			// back to one more plain round and re-announces next time.
+			switch q.ann.RunEnqueue(v, s, annSelfBudget, s.deadline) {
+			case xsync.AnnOK:
 				s.ctr.Inc(xsync.OpEnqueue)
 				s.hist.DoneEnq(start, attempt)
 				s.bo.Reset()
 				return nil
+			case xsync.AnnFull:
+				return queue.ErrFull
+			case xsync.AnnDeadline:
+				s.ctr.Inc(xsync.OpDeadline)
+				s.hist.DoneEnq(start, attempt)
+				return queue.ErrDeadline
 			}
-		} else {
-			// Tail moved under us: release the reservation and retry.
-			s.cas(w, marker, slot)
+		}
+		done, full := s.enqueueRound(v)
+		if done {
+			if full {
+				return queue.ErrFull
+			}
+			s.ctr.Inc(xsync.OpEnqueue)
+			s.hist.DoneEnq(start, attempt)
+			s.bo.Reset()
+			s.help()
+			return nil
 		}
 		s.bo.Fail()
 	}
@@ -250,40 +382,106 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 	s.prepare()
 	q := s.q
 	start := s.hist.StartDeq()
-	marker := tagptr.Tag(s.varH)
 	for attempt := 0; ; attempt++ {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneDeq(start, attempt)
 			return 0, false, queue.ErrContended
 		}
-		q.fire()
-		h := q.head.Load()
-		q.fire()
-		if h == q.tail.Load() {
-			return 0, false, nil
+		if s.expired(attempt) {
+			s.ctr.Inc(xsync.OpDeadline)
+			s.hist.DoneDeq(start, attempt)
+			return 0, false, queue.ErrDeadline
 		}
-		head := h & q.mask
-		w := q.slot(head)
-		slot := q.reg.LL(w, s.varH, s.ctr)
-		q.fire()
-		if h == q.head.Load() {
-			if slot == 0 {
-				// Head is lagging; release the reservation and help.
-				s.cas(w, marker, slot)
-				s.cas(q.head.Ptr(), h, h+1)
-			} else if s.cas(w, marker, 0) {
-				s.cas(q.head.Ptr(), h, h+1)
+		if q.ann != nil && attempt >= q.starve {
+			v, res := q.ann.RunDequeue(s, annSelfBudget, s.deadline)
+			switch res {
+			case xsync.AnnOK:
 				s.ctr.Inc(xsync.OpDequeue)
 				s.hist.DoneDeq(start, attempt)
 				s.bo.Reset()
-				return slot, true, nil
+				return v, true, nil
+			case xsync.AnnEmpty:
+				return 0, false, nil
+			case xsync.AnnDeadline:
+				s.ctr.Inc(xsync.OpDeadline)
+				s.hist.DoneDeq(start, attempt)
+				return 0, false, queue.ErrDeadline
 			}
-		} else {
-			s.cas(w, marker, slot)
+		}
+		v, empty, done := s.dequeueRound()
+		if done {
+			if empty {
+				return 0, false, nil
+			}
+			s.ctr.Inc(xsync.OpDequeue)
+			s.hist.DoneDeq(start, attempt)
+			s.bo.Reset()
+			s.help()
+			return v, true, nil
 		}
 		s.bo.Fail()
 	}
+}
+
+// dequeueRound runs one attempt round of Figure 5 Dequeue; see
+// enqueueRound for the round contract.
+func (s *Session) dequeueRound() (v uint64, empty, done bool) {
+	q := s.q
+	marker := tagptr.Tag(s.varH)
+	q.fire()
+	h := q.head.Load()
+	q.fire()
+	if h == q.tail.Load() {
+		return 0, true, true
+	}
+	head := h & q.mask
+	w := q.slot(head)
+	slot := q.reg.LL(w, s.varH, s.ctr)
+	s.fireYield()
+	q.fire()
+	if h == q.head.Load() {
+		if slot == 0 {
+			// Head is lagging; release the reservation and help.
+			s.cas(w, marker, slot)
+			s.cas(q.head.Ptr(), h, h+1)
+		} else if s.cas(w, marker, 0) {
+			s.cas(q.head.Ptr(), h, h+1)
+			return slot, false, true
+		}
+	} else {
+		s.cas(w, marker, slot)
+	}
+	return 0, false, false
+}
+
+// ExecEnqueue and ExecDequeue run bounded attempt rounds on behalf of an
+// announced (starved) operation; see xsync.AnnounceExec. Each call runs
+// the between-operations protocol first — a helper executes the
+// victim's operation with its *own* LLSCvar, so the §5 recycled-record
+// defence applies unchanged. They never announce or help in turn, so
+// helping cannot recurse.
+
+// ExecEnqueue implements xsync.AnnounceExec.
+func (s *Session) ExecEnqueue(v uint64, budget int) (done, full bool) {
+	s.prepare()
+	for i := 0; i < budget; i++ {
+		if done, full = s.enqueueRound(v); done {
+			return done, full
+		}
+	}
+	return false, false
+}
+
+// ExecDequeue implements xsync.AnnounceExec.
+func (s *Session) ExecDequeue(budget int) (v uint64, empty, done bool) {
+	s.prepare()
+	for i := 0; i < budget; i++ {
+		if v, empty, done = s.dequeueRound(); done {
+			return v, empty, done
+		}
+	}
+	return 0, false, false
 }
 
 // publishTail advances the published Tail to at least c with a single
@@ -365,6 +563,11 @@ func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
 			err = queue.ErrContended
 			break
 		}
+		if s.expired(waste) {
+			s.ctr.Inc(xsync.OpDeadline)
+			err = queue.ErrDeadline
+			break
+		}
 		q.fire()
 		if t := q.tail.Load(); t > c {
 			c = t // another thread published past the cursor
@@ -418,6 +621,7 @@ func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
 	s.publishTail(c)
 	if filled > 0 {
 		s.ctr.Add(xsync.OpEnqueue, uint64(filled))
+		s.help()
 	}
 	s.hist.DoneEnqBatch(start, retries, filled)
 	return filled, err
@@ -444,6 +648,11 @@ func (s *Session) DequeueBatch(dst []uint64) (int, error) {
 		if q.budget > 0 && waste >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
 			err = queue.ErrContended
+			break
+		}
+		if s.expired(waste) {
+			s.ctr.Inc(xsync.OpDeadline)
+			err = queue.ErrDeadline
 			break
 		}
 		q.fire()
@@ -493,6 +702,7 @@ func (s *Session) DequeueBatch(dst []uint64) (int, error) {
 	s.publishHead(c)
 	if n > 0 {
 		s.ctr.Add(xsync.OpDequeue, uint64(n))
+		s.help()
 	}
 	s.hist.DoneDeqBatch(start, retries, n)
 	return n, err

@@ -26,6 +26,7 @@ package evqllsc
 
 import (
 	"fmt"
+	"time"
 
 	"nbqueue/internal/llsc"
 	"nbqueue/internal/queue"
@@ -34,14 +35,17 @@ import (
 
 // Queue is the Figure 3 LL/SC array queue. Create with New.
 type Queue struct {
-	slots llsc.Memory
-	idx   llsc.Memory // word 0 = Head, word 1 = Tail
+	slots  llsc.Memory
+	idx    llsc.Memory // word 0 = Head, word 1 = Tail
 	mask   uint64
 	size   uint64
 	ctrs   *xsync.Counters
 	hists  *xsync.Histograms
 	useBO  bool
 	budget int
+	pol    *xsync.BackoffPolicy
+	ann    *xsync.Announce
+	starve int
 	name   string
 }
 
@@ -69,6 +73,31 @@ func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
 // callers can shed load instead of spinning. n <= 0 keeps the loops
 // unbounded.
 func WithRetryBudget(n int) Option { return func(q *Queue) { q.budget = n } }
+
+// WithBackoffPolicy attaches a shared adaptive backoff policy: sessions
+// grow their spin interval toward the policy's live ceiling (which moves
+// with the observed failure rate) instead of a fixed maximum. Implies
+// backoff. The policy must be normalized (see xsync.NewBackoffPolicy).
+func WithBackoffPolicy(p *xsync.BackoffPolicy) Option { return func(q *Queue) { q.pol = p } }
+
+// WithStarvationBound enables cooperative helping: an operation still
+// unperformed after n fruitless retry rounds is published to the queue's
+// announce array, where sessions completing operations of their own
+// execute it on the victim's behalf (see xsync.Announce). Lock-freedom
+// only promises system-wide progress; the bound adds a per-operation
+// one — under any schedule where the queue as a whole completes
+// operations, a starved thread's operation completes too. n <= 0
+// disables helping (the paper's plain loops).
+func WithStarvationBound(n int) Option {
+	return func(q *Queue) {
+		q.starve = n
+		if n > 0 {
+			q.ann = xsync.NewAnnounce()
+		} else {
+			q.ann = nil
+		}
+	}
+}
 
 // WithName overrides the display name (used by the weak-LL/SC ablation to
 // distinguish configurations).
@@ -113,21 +142,27 @@ func (q *Queue) Name() string { return q.name }
 // Session is a stateless per-goroutine handle (Algorithm 1 needs no
 // registration).
 type Session struct {
-	q    *Queue
-	ctr  xsync.Handle
-	hist xsync.HistHandle
-	bo   xsync.Backoff
+	q        *Queue
+	ctr      xsync.Handle
+	hist     xsync.HistHandle
+	bo       xsync.Backoff
+	deadline int64 // unixnano; 0 = none
+	yield    func()
 }
 
 var (
-	_ queue.Session       = (*Session)(nil)
-	_ queue.BudgetSession = (*Session)(nil)
+	_ queue.Session         = (*Session)(nil)
+	_ queue.BudgetSession   = (*Session)(nil)
+	_ queue.DeadlineSession = (*Session)(nil)
+	_ xsync.AnnounceExec    = (*Session)(nil)
 )
 
 // Attach returns a session for the calling goroutine.
 func (q *Queue) Attach() queue.Session {
 	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
-	if q.useBO {
+	if q.pol != nil {
+		s.bo = xsync.NewAdaptiveBackoff(q.pol)
+	} else if q.useBO {
 		s.bo = xsync.NewBackoff(0, 0)
 	}
 	return s
@@ -136,10 +171,95 @@ func (q *Queue) Attach() queue.Session {
 // Detach releases the session (a no-op for this algorithm).
 func (s *Session) Detach() { s.hist.Flush() }
 
+// SetDeadline arms (or, with the zero Time, clears) the session
+// deadline; see queue.DeadlineSession for the abort contract.
+func (s *Session) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		s.deadline = 0
+	} else {
+		s.deadline = t.UnixNano()
+	}
+}
+
+// deadlineCheckMask throttles deadline polling: the clock is read once
+// per deadlineCheckMask+1 fruitless retry iterations, so uncontended
+// operations never touch it and an abort overshoots by at most a
+// handful of iterations.
+const deadlineCheckMask = 31
+
+// expired reports whether the armed deadline has passed, polling the
+// clock only on throttle boundaries of the fruitless-iteration count n.
+func (s *Session) expired(n int) bool {
+	return s.deadline != 0 && n&deadlineCheckMask == deadlineCheckMask &&
+		time.Now().UnixNano() > s.deadline
+}
+
+// SetYield installs a per-session hook fired between a slot reservation
+// (LL) and its commit attempt — the window in which other sessions can
+// displace the reservation. The chaos starvation drills use it to delay
+// one session specifically. Nil in production.
+func (s *Session) SetYield(f func()) { s.yield = f }
+
+func (s *Session) fireYield() {
+	if s.yield != nil {
+		s.yield()
+	}
+}
+
+// Self-run and helper attempt budgets for announced operations: small
+// enough that a claim never becomes a new stall, large enough to beat
+// the per-round cost of the claim CAS.
+const (
+	annSelfBudget = 8
+	annHelpBudget = 8
+)
+
+// help executes at most one announced operation after completing one of
+// our own; with nothing announced it costs a single atomic load.
+func (s *Session) help() {
+	if s.q.ann != nil && s.q.ann.HelpOne(s, annHelpBudget) {
+		s.ctr.Inc(xsync.OpRescue)
+	}
+}
+
 // indexDelta returns (t - h) in the wrapped index domain. Index words
 // live in the 40-bit value field of the LL/SC memory and the queue size
 // divides 2^40, so wrapped subtraction stays exact.
 func indexDelta(t, h uint64) uint64 { return (t - h) & queue.MaxValue }
+
+// enqueueRound runs one attempt round of Figure 3 lines E5–E17.
+// done=false means the round was fruitless (lost a race, or helped
+// advance a lagging index); full (with done) means the queue was
+// observed full. The round records only primitive counters — completed
+// operations and latency are accounted by the caller, so rounds can run
+// on a victim's behalf without double counting.
+func (s *Session) enqueueRound(v uint64) (done, full bool) {
+	q := s.q
+	t := q.idx.Load(tailWord) // E5
+	// E6: exact equality, as in the paper. Head is read after Tail,
+	// so it can only be newer (larger); a wrapped delta above size
+	// would mean an inconsistent snapshot, which equality rejects.
+	if indexDelta(t, q.idx.Load(headWord)) == q.size {
+		return true, true
+	}
+	tail := int(t & q.mask) // E8
+	s.ctr.Inc(xsync.OpLL)
+	slot, res := q.slots.LL(tail) // E9
+	s.fireYield()
+	if t == q.idx.Load(tailWord) { // E10
+		if slot != 0 { // E11: a delayed enqueuer filled the slot; help advance Tail.
+			s.advance(tailWord, t)
+		} else {
+			s.ctr.Inc(xsync.OpSCAttempt)
+			if q.slots.SC(tail, res, v) { // E15
+				s.ctr.Inc(xsync.OpSCSuccess)
+				s.advance(tailWord, t) // E16–E17
+				return true, false
+			}
+		}
+	}
+	return false, false
+}
 
 // Enqueue inserts v at the tail; Figure 3 lines E1–E21.
 func (s *Session) Enqueue(v uint64) error {
@@ -154,30 +274,39 @@ func (s *Session) Enqueue(v uint64) error {
 			s.hist.DoneEnq(start, attempt)
 			return queue.ErrContended
 		}
-		t := q.idx.Load(tailWord) // E5
-		// E6: exact equality, as in the paper. Head is read after Tail,
-		// so it can only be newer (larger); a wrapped delta above size
-		// would mean an inconsistent snapshot, which equality rejects.
-		if indexDelta(t, q.idx.Load(headWord)) == q.size {
-			return queue.ErrFull
+		if s.expired(attempt) {
+			s.ctr.Inc(xsync.OpDeadline)
+			s.hist.DoneEnq(start, attempt)
+			return queue.ErrDeadline
 		}
-		tail := int(t & q.mask) // E8
-		s.ctr.Inc(xsync.OpLL)
-		slot, res := q.slots.LL(tail)  // E9
-		if t == q.idx.Load(tailWord) { // E10
-			if slot != 0 { // E11: a delayed enqueuer filled the slot; help advance Tail.
-				s.advance(tailWord, t)
-			} else {
-				s.ctr.Inc(xsync.OpSCAttempt)
-				if q.slots.SC(tail, res, v) { // E15
-					s.ctr.Inc(xsync.OpSCSuccess)
-					s.advance(tailWord, t) // E16–E17
-					s.ctr.Inc(xsync.OpEnqueue)
-					s.hist.DoneEnq(start, attempt)
-					s.bo.Reset()
-					return nil
-				}
+		if q.ann != nil && attempt >= q.starve {
+			// Starved past the bound: announce the operation so winning
+			// sessions complete it for us. AnnNoCell (array busy) falls
+			// back to one more plain round and re-announces next time.
+			switch q.ann.RunEnqueue(v, s, annSelfBudget, s.deadline) {
+			case xsync.AnnOK:
+				s.ctr.Inc(xsync.OpEnqueue)
+				s.hist.DoneEnq(start, attempt)
+				s.bo.Reset()
+				return nil
+			case xsync.AnnFull:
+				return queue.ErrFull
+			case xsync.AnnDeadline:
+				s.ctr.Inc(xsync.OpDeadline)
+				s.hist.DoneEnq(start, attempt)
+				return queue.ErrDeadline
 			}
+		}
+		done, full := s.enqueueRound(v)
+		if done {
+			if full {
+				return queue.ErrFull
+			}
+			s.ctr.Inc(xsync.OpEnqueue)
+			s.hist.DoneEnq(start, attempt)
+			s.bo.Reset()
+			s.help()
+			return nil
 		}
 		s.bo.Fail()
 	}
@@ -203,30 +332,91 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			s.hist.DoneDeq(start, attempt)
 			return 0, false, queue.ErrContended
 		}
-		h := q.idx.Load(headWord)      // D5
-		if h == q.idx.Load(tailWord) { // D6
-			return 0, false, nil
+		if s.expired(attempt) {
+			s.ctr.Inc(xsync.OpDeadline)
+			s.hist.DoneDeq(start, attempt)
+			return 0, false, queue.ErrDeadline
 		}
-		head := int(h & q.mask) // D8
-		s.ctr.Inc(xsync.OpLL)
-		slot, res := q.slots.LL(head)  // D9
-		if h == q.idx.Load(headWord) { // D10
-			if slot == 0 { // D11: Head is falling behind; help advance it.
-				s.advance(headWord, h)
-			} else {
-				s.ctr.Inc(xsync.OpSCAttempt)
-				if q.slots.SC(head, res, 0) { // D15
-					s.ctr.Inc(xsync.OpSCSuccess)
-					s.advance(headWord, h) // D16–D17
-					s.ctr.Inc(xsync.OpDequeue)
-					s.hist.DoneDeq(start, attempt)
-					s.bo.Reset()
-					return slot, true, nil
-				}
+		if q.ann != nil && attempt >= q.starve {
+			v, res := q.ann.RunDequeue(s, annSelfBudget, s.deadline)
+			switch res {
+			case xsync.AnnOK:
+				s.ctr.Inc(xsync.OpDequeue)
+				s.hist.DoneDeq(start, attempt)
+				s.bo.Reset()
+				return v, true, nil
+			case xsync.AnnEmpty:
+				return 0, false, nil
+			case xsync.AnnDeadline:
+				s.ctr.Inc(xsync.OpDeadline)
+				s.hist.DoneDeq(start, attempt)
+				return 0, false, queue.ErrDeadline
 			}
+		}
+		v, empty, done := s.dequeueRound()
+		if done {
+			if empty {
+				return 0, false, nil
+			}
+			s.ctr.Inc(xsync.OpDequeue)
+			s.hist.DoneDeq(start, attempt)
+			s.bo.Reset()
+			s.help()
+			return v, true, nil
 		}
 		s.bo.Fail()
 	}
+}
+
+// dequeueRound runs one attempt round of Figure 3 lines D5–D17; see
+// enqueueRound for the round contract.
+func (s *Session) dequeueRound() (v uint64, empty, done bool) {
+	q := s.q
+	h := q.idx.Load(headWord)      // D5
+	if h == q.idx.Load(tailWord) { // D6
+		return 0, true, true
+	}
+	head := int(h & q.mask) // D8
+	s.ctr.Inc(xsync.OpLL)
+	slot, res := q.slots.LL(head) // D9
+	s.fireYield()
+	if h == q.idx.Load(headWord) { // D10
+		if slot == 0 { // D11: Head is falling behind; help advance it.
+			s.advance(headWord, h)
+		} else {
+			s.ctr.Inc(xsync.OpSCAttempt)
+			if q.slots.SC(head, res, 0) { // D15
+				s.ctr.Inc(xsync.OpSCSuccess)
+				s.advance(headWord, h) // D16–D17
+				return slot, false, true
+			}
+		}
+	}
+	return 0, false, false
+}
+
+// ExecEnqueue and ExecDequeue run bounded attempt rounds on behalf of an
+// announced (starved) operation; see xsync.AnnounceExec. They never
+// announce or help in turn, so helping cannot recurse.
+
+// ExecEnqueue implements xsync.AnnounceExec.
+func (s *Session) ExecEnqueue(v uint64, budget int) (done, full bool) {
+	for i := 0; i < budget; i++ {
+		if done, full = s.enqueueRound(v); done {
+			return done, full
+		}
+	}
+	return false, false
+}
+
+// ExecDequeue implements xsync.AnnounceExec.
+func (s *Session) ExecDequeue(budget int) (v uint64, empty, done bool) {
+	for i := 0; i < budget; i++ {
+		if v, empty, done = s.dequeueRound(); done {
+			return v, empty, done
+		}
+	}
+	return 0, false, false
 }
 
 // advance performs the index-update idiom of lines E12–E13 / D12–D13: LL
@@ -313,6 +503,11 @@ func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
 			err = queue.ErrContended
 			break
 		}
+		if s.expired(waste) {
+			s.ctr.Inc(xsync.OpDeadline)
+			err = queue.ErrDeadline
+			break
+		}
 		if t := q.idx.Load(tailWord); indexDelta(c, t) > q.size {
 			c = t // Tail passed the cursor
 		}
@@ -358,6 +553,7 @@ func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
 	s.publishIndex(tailWord, c)
 	if filled > 0 {
 		s.ctr.Add(xsync.OpEnqueue, uint64(filled))
+		s.help()
 	}
 	s.hist.DoneEnqBatch(start, retries, filled)
 	return filled, err
@@ -385,6 +581,11 @@ func (s *Session) DequeueBatch(dst []uint64) (int, error) {
 		if q.budget > 0 && waste >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
 			err = queue.ErrContended
+			break
+		}
+		if s.expired(waste) {
+			s.ctr.Inc(xsync.OpDeadline)
+			err = queue.ErrDeadline
 			break
 		}
 		if indexDelta(q.idx.Load(tailWord), c) == 0 {
@@ -435,6 +636,7 @@ func (s *Session) DequeueBatch(dst []uint64) (int, error) {
 	s.publishIndex(headWord, c)
 	if n > 0 {
 		s.ctr.Add(xsync.OpDequeue, uint64(n))
+		s.help()
 	}
 	s.hist.DoneDeqBatch(start, retries, n)
 	return n, err

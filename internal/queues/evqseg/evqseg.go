@@ -72,6 +72,7 @@ package evqseg
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"nbqueue/internal/arena"
 	"nbqueue/internal/hazard"
@@ -142,12 +143,14 @@ type Queue struct {
 	liveSegs atomic.Int64
 	epoch    atomic.Uint64 // append-orphan scavenge clock
 
-	ctrs   *xsync.Counters
-	hists  *xsync.Histograms
-	useBO  bool
-	budget int
-	yield  func()
-	grow   func(liveSegments int)
+	ctrs        *xsync.Counters
+	hists       *xsync.Histograms
+	useBO       bool
+	budget      int
+	pol         *xsync.BackoffPolicy
+	yield       func()
+	grow        func(liveSegments int)
+	appendFault func() bool
 }
 
 // Option configures a Queue.
@@ -196,6 +199,19 @@ func WithHighWater(n int) Option { return func(q *Queue) { q.high = n } }
 // that need a new segment return queue.ErrFull — the hard backstop
 // behind the "unbounded" queue, sized generously by default.
 func WithMaxSegments(n int) Option { return func(q *Queue) { q.maxSegs = n } }
+
+// WithBackoffPolicy attaches a shared adaptive backoff policy: sessions
+// grow their spin interval toward the policy's live ceiling (which
+// moves with the observed failure rate) instead of a fixed maximum.
+// Implies backoff. The policy must be normalized.
+func WithBackoffPolicy(p *xsync.BackoffPolicy) Option { return func(q *Queue) { q.pol = p } }
+
+// WithAppendFault installs a fault hook consulted each time a producer
+// needs a fresh segment: a true return makes the allocation fail as if
+// the pool were exhausted, so the enqueue surfaces queue.ErrFull. The
+// chaos drills use it to prove growth failure cannot corrupt the rings.
+// Nil in production.
+func WithAppendFault(f func() bool) Option { return func(q *Queue) { q.appendFault = f } }
 
 // defaultMaxSegments backs an unbounded queue when the caller gives no
 // bound: 16k segments of the default 256 slots is ~4M in-flight items.
@@ -343,6 +359,9 @@ func (q *Queue) SessionRecordCost() int { return 2 }
 // chance to be reclaimed.
 func (q *Queue) allocSegment(s *Session) uint64 {
 	q.fire()
+	if q.appendFault != nil && q.appendFault() {
+		return 0
+	}
 	h := q.pool.Alloc()
 	if h == arena.Nil {
 		s.rec.Scan()
@@ -481,19 +500,21 @@ func (q *Queue) scavengeAppends(minAge uint64) int {
 // Session carries the goroutine's LLSCvar (slot reservation) and hazard
 // record (segment protection).
 type Session struct {
-	q      *Queue
-	varH   registry.Handle
-	varGen uint64
-	rec    *hazard.Record
-	hpGen  uint64
-	ctr    xsync.Handle
-	hist   xsync.HistHandle
-	bo     xsync.Backoff
+	q        *Queue
+	varH     registry.Handle
+	varGen   uint64
+	rec      *hazard.Record
+	hpGen    uint64
+	ctr      xsync.Handle
+	hist     xsync.HistHandle
+	bo       xsync.Backoff
+	deadline int64 // unixnano; 0 = none
 }
 
 var (
-	_ queue.Session       = (*Session)(nil)
-	_ queue.BudgetSession = (*Session)(nil)
+	_ queue.Session         = (*Session)(nil)
+	_ queue.BudgetSession   = (*Session)(nil)
+	_ queue.DeadlineSession = (*Session)(nil)
 )
 
 // Attach registers the calling goroutine with the shared registry and
@@ -504,10 +525,35 @@ func (q *Queue) Attach() queue.Session {
 	s.varGen = q.reg.Gen(s.varH)
 	s.rec = q.dom.Acquire()
 	s.hpGen = s.rec.Gen()
-	if q.useBO {
+	if q.pol != nil {
+		s.bo = xsync.NewAdaptiveBackoff(q.pol)
+	} else if q.useBO {
 		s.bo = xsync.NewBackoff(0, 0)
 	}
 	return s
+}
+
+// SetDeadline arms (or, with the zero Time, clears) the session
+// deadline; see queue.DeadlineSession for the abort contract.
+func (s *Session) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		s.deadline = 0
+	} else {
+		s.deadline = t.UnixNano()
+	}
+}
+
+// deadlineCheckMask throttles deadline polling: the clock is read once
+// per deadlineCheckMask+1 fruitless retry iterations, so uncontended
+// operations never touch it and an abort overshoots by at most a
+// handful of iterations.
+const deadlineCheckMask = 31
+
+// expired reports whether the armed deadline has passed, polling the
+// clock only on throttle boundaries of the fruitless-iteration count n.
+func (s *Session) expired(n int) bool {
+	return s.deadline != 0 && n&deadlineCheckMask == deadlineCheckMask &&
+		time.Now().UnixNano() > s.deadline
 }
 
 // Detach releases both records for recycling. Idempotent.
@@ -564,6 +610,7 @@ const (
 	segEmpty                      // ring open and empty (dequeue only)
 	segDrained                    // ring closed and finalized empty
 	segContended                  // retry budget exhausted
+	segDeadline                   // session deadline passed mid-loop
 )
 
 // Enqueue inserts v at the tail of the segment chain.
@@ -577,11 +624,22 @@ func (s *Session) Enqueue(v uint64) error {
 	attempts := 0
 	for {
 		if q.budget > 0 && attempts >= q.budget {
+			// Clear before every return: a hazard slot left published past
+			// the operation would pin its segment against reclamation until
+			// the session's next operation or Detach.
+			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneEnq(start, attempts)
 			return queue.ErrContended
 		}
+		if s.expired(attempts) {
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDeadline)
+			s.hist.DoneEnq(start, attempts)
+			return queue.ErrDeadline
+		}
 		if q.high > 0 && q.Len() >= q.high {
+			s.rec.Clear(hpSeg)
 			return queue.ErrFull
 		}
 		ts := s.rec.Protect(hpSeg, q.tailSeg.Ptr())
@@ -598,6 +656,11 @@ func (s *Session) Enqueue(v uint64) error {
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneEnq(start, attempts)
 			return queue.ErrContended
+		case segDeadline:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDeadline)
+			s.hist.DoneEnq(start, attempts)
+			return queue.ErrDeadline
 		case segClosed:
 			q.fire()
 			next := g.next.Load()
@@ -644,6 +707,9 @@ func (g *segment) enqueue(s *Session, v uint64, attempts *int) segResult {
 	for {
 		if q.budget > 0 && *attempts >= q.budget {
 			return segContended
+		}
+		if s.expired(*attempts) {
+			return segDeadline
 		}
 		q.fire()
 		t := g.tail.Load()
@@ -700,9 +766,17 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 	attempts := 0
 	for {
 		if q.budget > 0 && attempts >= q.budget {
+			// Clear before every return; see Enqueue.
+			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneDeq(start, attempts)
 			return 0, false, queue.ErrContended
+		}
+		if s.expired(attempts) {
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDeadline)
+			s.hist.DoneDeq(start, attempts)
+			return 0, false, queue.ErrDeadline
 		}
 		hs := s.rec.Protect(hpSeg, q.headSeg.Ptr())
 		g := q.seg(hs)
@@ -719,6 +793,11 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneDeq(start, attempts)
 			return 0, false, queue.ErrContended
+		case segDeadline:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDeadline)
+			s.hist.DoneDeq(start, attempts)
+			return 0, false, queue.ErrDeadline
 		case segEmpty:
 			s.rec.Clear(hpSeg)
 			return 0, false, nil
@@ -818,6 +897,10 @@ func (g *segment) enqueueBatch(s *Session, vs []uint64, filled *int, b *batchCtr
 			g.publishTail(s, c)
 			return segContended
 		}
+		if s.expired(b.waste) {
+			g.publishTail(s, c)
+			return segDeadline
+		}
 		q.fire()
 		t := g.tail.Load()
 		if t&closedBit != 0 {
@@ -887,6 +970,10 @@ func (g *segment) dequeueBatch(s *Session, dst []uint64, n *int, b *batchCtr) se
 		if q.budget > 0 && b.waste >= q.budget {
 			g.publishHead(s, c)
 			return segContended
+		}
+		if s.expired(b.waste) {
+			g.publishHead(s, c)
+			return segDeadline
 		}
 		q.fire()
 		if h := g.head.Load(); h > c {
@@ -976,14 +1063,23 @@ func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
 loop:
 	for filled < len(vs) {
 		if q.budget > 0 && b.waste >= q.budget {
+			// Clear before every exit; see Enqueue.
+			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			err = queue.ErrContended
+			break
+		}
+		if s.expired(b.waste) {
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDeadline)
+			err = queue.ErrDeadline
 			break
 		}
 		limit := len(vs)
 		if q.high > 0 {
 			room := q.high - q.Len()
 			if room <= 0 {
+				s.rec.Clear(hpSeg)
 				err = queue.ErrFull
 				break
 			}
@@ -1002,6 +1098,11 @@ loop:
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			err = queue.ErrContended
+			break loop
+		case segDeadline:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDeadline)
+			err = queue.ErrDeadline
 			break loop
 		case segClosed:
 			q.fire()
@@ -1059,8 +1160,16 @@ func (s *Session) DequeueBatch(dst []uint64) (int, error) {
 loop:
 	for n < len(dst) {
 		if q.budget > 0 && b.waste >= q.budget {
+			// Clear before every exit; see Enqueue.
+			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			err = queue.ErrContended
+			break
+		}
+		if s.expired(b.waste) {
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDeadline)
+			err = queue.ErrDeadline
 			break
 		}
 		hs := s.rec.Protect(hpSeg, q.headSeg.Ptr())
@@ -1073,6 +1182,11 @@ loop:
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			err = queue.ErrContended
+			break loop
+		case segDeadline:
+			s.rec.Clear(hpSeg)
+			s.ctr.Inc(xsync.OpDeadline)
+			err = queue.ErrDeadline
 			break loop
 		case segDrained:
 			q.fire()
@@ -1113,6 +1227,9 @@ func (g *segment) dequeue(s *Session, attempts *int) (uint64, segResult) {
 	for {
 		if q.budget > 0 && *attempts >= q.budget {
 			return 0, segContended
+		}
+		if s.expired(*attempts) {
+			return 0, segDeadline
 		}
 		q.fire()
 		h := g.head.Load()

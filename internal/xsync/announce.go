@@ -1,0 +1,297 @@
+package xsync
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Announce is the starvation-rescue substrate shared by the Evequoz
+// array queues: a small fixed array of help cells through which a
+// session that keeps losing its CAS/SC races publishes the stalled
+// operation so that winning sessions complete it on its behalf.
+//
+// Lock-freedom guarantees system-wide progress, not per-thread progress:
+// under an adversarial schedule one session's reservation can be
+// displaced forever while the others throughput along. The announce
+// protocol converts those winners into helpers — after each completed
+// operation of its own, a session checks (one atomic load when nothing
+// is announced) for a pending cell and executes it with a bounded
+// attempt budget. The victim meanwhile keeps executing its own operation
+// through the same cell, alternating bounded self-runs with observing
+// helper results, so the queue's lock-free progress guarantee is intact:
+// no session ever waits on a condition only another specific session can
+// establish, except while a claimer is inside its *bounded* run.
+//
+// Cell life cycle (state word = seq<<annPhaseBits | phase):
+//
+//	empty --CAS--> setup --Store--> pendEnq|pendDeq
+//	pend  --CAS--> run (claimed by victim or helper; exclusive)
+//	run   --Store--> done{OK,Full,Empty}   (claimer resolved it)
+//	run   --Store--> pend                  (claimer's budget ran out)
+//	done  --Store--> empty(seq+1)          (victim consumed the result)
+//	pend  --CAS--> empty(seq+1)            (victim retracted: deadline)
+//
+// The sequence number bumps only when the cell empties, so a stale claim
+// CAS from a previous occupancy can never land. Exactly-once execution
+// follows from the claim CAS: only the claimer runs the operation, and a
+// result is written before the cell can be claimed again.
+//
+// The documented limitation: a claimer that dies (not merely stalls)
+// inside run strands the cell and its victim — in-process Go helpers do
+// not die independently of the process, but the chaos crash drills
+// disable helping for exactly this reason.
+const AnnounceCells = 8
+
+// Cell phases.
+const (
+	annEmpty uint64 = iota
+	annSetup
+	annPendEnq
+	annPendDeq
+	annRunEnq
+	annRunDeq
+	annDoneOK
+	annDoneFull
+	annDoneEmpty
+)
+
+const (
+	annPhaseBits = 4
+	annPhaseMask = (1 << annPhaseBits) - 1
+)
+
+func annState(seq, phase uint64) uint64 { return seq<<annPhaseBits | phase }
+
+// annCell is one help cell, padded so concurrent cells do not share a
+// cache line.
+type annCell struct {
+	state atomic.Uint64
+	val   atomic.Uint64
+	_     [6]uint64
+}
+
+// Announce is a queue's announce array. A nil *Announce disables helping
+// (HelpOne is nil-safe); the Run* entry points are only reached when the
+// owning queue configured a starvation bound.
+type Announce struct {
+	cells [AnnounceCells]annCell
+	// pending counts published-but-unconsumed cells; the helpers' fast
+	// path is a single load of it.
+	pending atomic.Int64
+}
+
+// NewAnnounce returns an empty announce array.
+func NewAnnounce() *Announce { return &Announce{} }
+
+// Pending reports the number of currently announced operations.
+func (a *Announce) Pending() int {
+	if a == nil {
+		return 0
+	}
+	return int(a.pending.Load())
+}
+
+// AnnounceExec executes bounded runs of raw queue-operation attempts on
+// behalf of an announced operation. Implemented by the algorithm
+// sessions. Implementations must not recurse into the announce layer:
+// a helper executing a victim's operation runs the raw retry rounds
+// only, never announcing and never helping further.
+type AnnounceExec interface {
+	// ExecEnqueue attempts to enqueue v for at most budget retry rounds.
+	// done=false means the budget ran out with the operation not
+	// performed; full (with done) means the queue was observed full.
+	ExecEnqueue(v uint64, budget int) (done, full bool)
+	// ExecDequeue attempts to dequeue for at most budget rounds.
+	// empty (with done) means the queue was observed empty.
+	ExecDequeue(budget int) (v uint64, empty, done bool)
+}
+
+// AnnResult is the resolution of an announced operation.
+type AnnResult int
+
+const (
+	// AnnOK: the operation completed (by the victim or a helper).
+	AnnOK AnnResult = iota
+	// AnnFull: an announced enqueue resolved against a full queue.
+	AnnFull
+	// AnnEmpty: an announced dequeue resolved against an empty queue.
+	AnnEmpty
+	// AnnNoCell: every cell was busy; the operation was never announced
+	// and the caller should fall back to its plain retry loop.
+	AnnNoCell
+	// AnnDeadline: the session deadline passed while the operation was
+	// still pending; it was retracted unperformed.
+	AnnDeadline
+)
+
+// publish claims an empty cell and installs the pending operation.
+func (a *Announce) publish(kind, v uint64) (ci int, seq uint64, ok bool) {
+	for i := range a.cells {
+		c := &a.cells[i]
+		st := c.state.Load()
+		if st&annPhaseMask != annEmpty {
+			continue
+		}
+		s := st >> annPhaseBits
+		if !c.state.CompareAndSwap(st, annState(s, annSetup)) {
+			continue
+		}
+		// The cell is exclusively ours between setup and pend, so the
+		// value store cannot race another publisher.
+		c.val.Store(v)
+		c.state.Store(annState(s, kind))
+		a.pending.Add(1)
+		return i, s, true
+	}
+	return 0, 0, false
+}
+
+// consume empties a resolved (or self-run) cell. Victim-only.
+func (a *Announce) consume(c *annCell, seq uint64) {
+	c.state.Store(annState(seq+1, annEmpty))
+	a.pending.Add(-1)
+}
+
+// RunEnqueue publishes a stalled enqueue of v and drives it to
+// resolution. The victim alternates claiming the cell for bounded
+// self-execution with observing helper results; deadline (unixnano, 0 =
+// none) is honored only while the operation is provably unperformed — a
+// result produced by a helper after the deadline is still consumed and
+// reported, because the value is in the queue.
+func (a *Announce) RunEnqueue(v uint64, ex AnnounceExec, selfBudget int, deadline int64) AnnResult {
+	ci, seq, ok := a.publish(annPendEnq, v)
+	if !ok {
+		return AnnNoCell
+	}
+	c := &a.cells[ci]
+	for {
+		st := c.state.Load()
+		switch st & annPhaseMask {
+		case annPendEnq:
+			if deadline != 0 && time.Now().UnixNano() > deadline {
+				if c.state.CompareAndSwap(st, annState(seq+1, annEmpty)) {
+					a.pending.Add(-1)
+					return AnnDeadline
+				}
+				continue // a helper claimed it first; resolve that
+			}
+			if c.state.CompareAndSwap(st, annState(seq, annRunEnq)) {
+				done, full := ex.ExecEnqueue(v, selfBudget)
+				if !done {
+					c.state.Store(annState(seq, annPendEnq))
+					runtime.Gosched()
+					continue
+				}
+				a.consume(c, seq)
+				if full {
+					return AnnFull
+				}
+				return AnnOK
+			}
+		case annRunEnq:
+			runtime.Gosched() // a helper is inside its bounded run
+		case annDoneOK:
+			a.consume(c, seq)
+			return AnnOK
+		case annDoneFull:
+			a.consume(c, seq)
+			return AnnFull
+		}
+	}
+}
+
+// RunDequeue is RunEnqueue for the dequeue side; on AnnOK the dequeued
+// value is returned.
+func (a *Announce) RunDequeue(ex AnnounceExec, selfBudget int, deadline int64) (uint64, AnnResult) {
+	ci, seq, ok := a.publish(annPendDeq, 0)
+	if !ok {
+		return 0, AnnNoCell
+	}
+	c := &a.cells[ci]
+	for {
+		st := c.state.Load()
+		switch st & annPhaseMask {
+		case annPendDeq:
+			if deadline != 0 && time.Now().UnixNano() > deadline {
+				if c.state.CompareAndSwap(st, annState(seq+1, annEmpty)) {
+					a.pending.Add(-1)
+					return 0, AnnDeadline
+				}
+				continue
+			}
+			if c.state.CompareAndSwap(st, annState(seq, annRunDeq)) {
+				v, empty, done := ex.ExecDequeue(selfBudget)
+				if !done {
+					c.state.Store(annState(seq, annPendDeq))
+					runtime.Gosched()
+					continue
+				}
+				a.consume(c, seq)
+				if empty {
+					return 0, AnnEmpty
+				}
+				return v, AnnOK
+			}
+		case annRunDeq:
+			runtime.Gosched()
+		case annDoneOK:
+			v := c.val.Load()
+			a.consume(c, seq)
+			return v, AnnOK
+		case annDoneEmpty:
+			a.consume(c, seq)
+			return 0, AnnEmpty
+		}
+	}
+}
+
+// HelpOne scans for one pending announcement and executes it with the
+// given attempt budget, reporting whether it completed a stalled
+// operation (a rescue). Sessions call it from their own success paths;
+// with nothing announced it costs one atomic load. A helper whose budget
+// runs out hands the cell back to pending rather than blocking, so
+// helping never trades one stall for another.
+func (a *Announce) HelpOne(ex AnnounceExec, budget int) bool {
+	if a == nil || a.pending.Load() == 0 {
+		return false
+	}
+	for i := range a.cells {
+		c := &a.cells[i]
+		st := c.state.Load()
+		seq := st >> annPhaseBits
+		switch st & annPhaseMask {
+		case annPendEnq:
+			if !c.state.CompareAndSwap(st, annState(seq, annRunEnq)) {
+				continue
+			}
+			v := c.val.Load()
+			done, full := ex.ExecEnqueue(v, budget)
+			switch {
+			case !done:
+				c.state.Store(annState(seq, annPendEnq))
+			case full:
+				c.state.Store(annState(seq, annDoneFull))
+			default:
+				c.state.Store(annState(seq, annDoneOK))
+			}
+			return done
+		case annPendDeq:
+			if !c.state.CompareAndSwap(st, annState(seq, annRunDeq)) {
+				continue
+			}
+			v, empty, done := ex.ExecDequeue(budget)
+			switch {
+			case !done:
+				c.state.Store(annState(seq, annPendDeq))
+			case empty:
+				c.state.Store(annState(seq, annDoneEmpty))
+			default:
+				c.val.Store(v)
+				c.state.Store(annState(seq, annDoneOK))
+			}
+			return done
+		}
+	}
+	return false
+}

@@ -47,6 +47,16 @@ const (
 	// OpSegRetire counts drained segments handed to the hazard domain for
 	// reclamation by the segmented queue.
 	OpSegRetire
+	// OpRescue counts starved operations completed by a helping session:
+	// the victim published its stalled operation to the announce array and
+	// a winning thread executed it (see Announce).
+	OpRescue
+	// OpOverload counts enqueues shed with ErrOverloaded by watermark
+	// admission control before any slot-protocol work.
+	OpOverload
+	// OpDeadline counts operations aborted mid-retry-loop with
+	// ErrDeadline because their session deadline passed.
+	OpDeadline
 
 	numOpKinds
 )
@@ -82,6 +92,12 @@ func (k OpKind) String() string {
 		return "seg-recycle"
 	case OpSegRetire:
 		return "seg-retire"
+	case OpRescue:
+		return "rescue"
+	case OpOverload:
+		return "overload-shed"
+	case OpDeadline:
+		return "deadline-abort"
 	default:
 		return "unknown"
 	}

@@ -64,6 +64,15 @@ type Snapshot struct {
 	// Contended counts operations abandoned with ErrContended because
 	// their WithRetryBudget budget ran out — the load actually shed.
 	Contended uint64
+	// DeadlineAborts counts operations aborted with ErrDeadline because
+	// the session deadline passed mid-retry-loop.
+	DeadlineAborts uint64
+	// OverloadSheds counts enqueues refused with ErrOverloaded by
+	// watermark admission control (WithWatermarks).
+	OverloadSheds uint64
+	// StarvationRescues counts operations completed on a starved
+	// session's behalf by the WithStarvationBound helping protocol.
+	StarvationRescues uint64
 	// OrphansScavenged counts per-thread records reclaimed by
 	// ScavengeOrphans (sessions presumed dead without Detach).
 	OrphansScavenged uint64
@@ -85,20 +94,23 @@ type Snapshot struct {
 // Snapshot returns the current totals.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		Enqueues:         m.c.Total(xsync.OpEnqueue),
-		Dequeues:         m.c.Total(xsync.OpDequeue),
-		CASAttempts:      m.c.Total(xsync.OpCASAttempt),
-		CASSuccesses:     m.c.Total(xsync.OpCASSuccess),
-		FetchAndAdds:     m.c.Total(xsync.OpFAA),
-		LLs:              m.c.Total(xsync.OpLL),
-		SCAttempts:       m.c.Total(xsync.OpSCAttempt),
-		SCSuccesses:      m.c.Total(xsync.OpSCSuccess),
-		Contended:        m.c.Total(xsync.OpContended),
-		OrphansScavenged: m.c.Total(xsync.OpScavenge),
-		LeakedSessions:   m.c.Total(xsync.OpLeak),
-		SegmentAllocs:    m.c.Total(xsync.OpSegAlloc),
-		SegmentRecycles:  m.c.Total(xsync.OpSegRecycle),
-		SegmentRetires:   m.c.Total(xsync.OpSegRetire),
+		Enqueues:          m.c.Total(xsync.OpEnqueue),
+		Dequeues:          m.c.Total(xsync.OpDequeue),
+		CASAttempts:       m.c.Total(xsync.OpCASAttempt),
+		CASSuccesses:      m.c.Total(xsync.OpCASSuccess),
+		FetchAndAdds:      m.c.Total(xsync.OpFAA),
+		LLs:               m.c.Total(xsync.OpLL),
+		SCAttempts:        m.c.Total(xsync.OpSCAttempt),
+		SCSuccesses:       m.c.Total(xsync.OpSCSuccess),
+		Contended:         m.c.Total(xsync.OpContended),
+		DeadlineAborts:    m.c.Total(xsync.OpDeadline),
+		OverloadSheds:     m.c.Total(xsync.OpOverload),
+		StarvationRescues: m.c.Total(xsync.OpRescue),
+		OrphansScavenged:  m.c.Total(xsync.OpScavenge),
+		LeakedSessions:    m.c.Total(xsync.OpLeak),
+		SegmentAllocs:     m.c.Total(xsync.OpSegAlloc),
+		SegmentRecycles:   m.c.Total(xsync.OpSegRecycle),
+		SegmentRetires:    m.c.Total(xsync.OpSegRetire),
 	}
 }
 
@@ -250,19 +262,22 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		return a - b
 	}
 	return Snapshot{
-		Enqueues:         sub(s.Enqueues, prev.Enqueues),
-		Dequeues:         sub(s.Dequeues, prev.Dequeues),
-		CASAttempts:      sub(s.CASAttempts, prev.CASAttempts),
-		CASSuccesses:     sub(s.CASSuccesses, prev.CASSuccesses),
-		FetchAndAdds:     sub(s.FetchAndAdds, prev.FetchAndAdds),
-		LLs:              sub(s.LLs, prev.LLs),
-		SCAttempts:       sub(s.SCAttempts, prev.SCAttempts),
-		SCSuccesses:      sub(s.SCSuccesses, prev.SCSuccesses),
-		Contended:        sub(s.Contended, prev.Contended),
-		OrphansScavenged: sub(s.OrphansScavenged, prev.OrphansScavenged),
-		LeakedSessions:   sub(s.LeakedSessions, prev.LeakedSessions),
-		SegmentAllocs:    sub(s.SegmentAllocs, prev.SegmentAllocs),
-		SegmentRecycles:  sub(s.SegmentRecycles, prev.SegmentRecycles),
-		SegmentRetires:   sub(s.SegmentRetires, prev.SegmentRetires),
+		Enqueues:          sub(s.Enqueues, prev.Enqueues),
+		Dequeues:          sub(s.Dequeues, prev.Dequeues),
+		CASAttempts:       sub(s.CASAttempts, prev.CASAttempts),
+		CASSuccesses:      sub(s.CASSuccesses, prev.CASSuccesses),
+		FetchAndAdds:      sub(s.FetchAndAdds, prev.FetchAndAdds),
+		LLs:               sub(s.LLs, prev.LLs),
+		SCAttempts:        sub(s.SCAttempts, prev.SCAttempts),
+		SCSuccesses:       sub(s.SCSuccesses, prev.SCSuccesses),
+		Contended:         sub(s.Contended, prev.Contended),
+		DeadlineAborts:    sub(s.DeadlineAborts, prev.DeadlineAborts),
+		OverloadSheds:     sub(s.OverloadSheds, prev.OverloadSheds),
+		StarvationRescues: sub(s.StarvationRescues, prev.StarvationRescues),
+		OrphansScavenged:  sub(s.OrphansScavenged, prev.OrphansScavenged),
+		LeakedSessions:    sub(s.LeakedSessions, prev.LeakedSessions),
+		SegmentAllocs:     sub(s.SegmentAllocs, prev.SegmentAllocs),
+		SegmentRecycles:   sub(s.SegmentRecycles, prev.SegmentRecycles),
+		SegmentRetires:    sub(s.SegmentRetires, prev.SegmentRetires),
 	}
 }

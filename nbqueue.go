@@ -56,6 +56,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"nbqueue/internal/arena"
 	"nbqueue/internal/bench"
@@ -115,7 +116,32 @@ var (
 	// losing CAS races. The operation had no effect; the queue may have
 	// room (or items). Callers use it to shed load instead of spinning.
 	ErrContended = queue.ErrContended
+	// ErrDeadline reports an operation aborted because the session
+	// deadline (Session.SetDeadline, or the context deadline inside the
+	// *Wait variants) passed while the operation was still retrying. The
+	// operation had no effect. Distinct from ErrContended: the budget may
+	// have had iterations left; time ran out instead.
+	ErrDeadline = queue.ErrDeadline
+	// ErrOverloaded reports an enqueue refused by watermark admission
+	// control (WithWatermarks): the queue depth crossed the high
+	// watermark and new work is being shed until it drains below the low
+	// watermark. The operation had no effect and cost no slot-protocol
+	// work.
+	ErrOverloaded = queue.ErrOverloaded
 )
+
+// BackoffPolicy is the shared adaptive-backoff controller installed with
+// WithBackoffPolicy: one per queue, consulted by every session's retry
+// backoff and by the blocking wait layer. The controller applies AIMD to
+// retry aggressiveness — under a high CAS/SC failure rate the spin
+// ceiling doubles (decongesting the contended words), and once the
+// failure rate falls it decays additively back toward MinSpin. The
+// exported fields are configuration; zero values mean defaults. Mutate
+// them only before handing the policy to New.
+type BackoffPolicy = xsync.BackoffPolicy
+
+// NewBackoffPolicy returns a policy with every knob at its default.
+func NewBackoffPolicy() *BackoffPolicy { return xsync.NewBackoffPolicy() }
 
 // config collects option state.
 type config struct {
@@ -132,6 +158,11 @@ type config struct {
 	metrics     *Metrics
 	hook        func(Event)
 	yield       func()
+	policy      *BackoffPolicy
+	starve      int
+	lowWater    int
+	highWater   int
+	wmSet       bool
 }
 
 // Option configures New.
@@ -201,6 +232,49 @@ func WithSegmentSize(n int) Option {
 // WithMetrics attaches an operation-counter sink; see Metrics.
 func WithMetrics(m *Metrics) Option { return func(c *config) { c.metrics = m } }
 
+// WithBackoffPolicy installs a shared adaptive-backoff controller on the
+// Evequoz-family algorithms, superseding WithBackoff's fixed bounds: the
+// per-session spin ceiling follows the policy's AIMD controller, driven
+// by the live CAS/SC failure rate (read from the WithMetrics counters
+// when present). The same policy also tunes the blocking *Wait variants'
+// spin counts and sleep bounds. One policy per queue — sharing blends
+// unrelated contention signals. A nil p is ignored. Ignored by the
+// baseline algorithms (the wait-layer tuning still applies).
+func WithBackoffPolicy(p *BackoffPolicy) Option { return func(c *config) { c.policy = p } }
+
+// WithStarvationBound enables starvation detection with cooperative
+// helping on AlgorithmLLSC and AlgorithmCAS: an operation that has lost
+// more than n consecutive retry rounds is published to the queue's
+// announce array, where the sessions currently winning complete it on
+// the victim's behalf. Lock-freedom only promises system-wide progress;
+// the bound adds a per-operation one. Completed rescues are visible as
+// Metrics Snapshot.StarvationRescues. n == 0 disables helping (the
+// default); New rejects a negative n. Ignored by the other algorithms.
+func WithStarvationBound(n int) Option { return func(c *config) { c.starve = n } }
+
+// WithWatermarks enables admission control on the queue built by New:
+// once the observed depth reaches high, Enqueue and EnqueueBatch fail
+// fast with ErrOverloaded — before any arena allocation or slot-protocol
+// work — until the depth drains to low or below (hysteresis, so
+// admission does not flap at the boundary). Dequeues are never refused.
+// The overload transitions fire EventOverloadEnter/EventOverloadExit on
+// the WithEventHook observer and each refused enqueue counts toward
+// Snapshot.OverloadSheds.
+//
+// Requires 0 < low <= high and an algorithm whose depth is observable
+// (the bounded array queues and AlgorithmSegmented); New rejects
+// anything else, as does NewRaw (admission lives in the payload layer).
+// The depth read is a racy snapshot, so a burst of concurrent enqueues
+// can overshoot high by the number of in-flight operations; watermarks
+// bound steady-state depth, they are not a hard capacity.
+func WithWatermarks(low, high int) Option {
+	return func(c *config) {
+		c.lowWater = low
+		c.highWater = high
+		c.wmSet = true
+	}
+}
+
 // Queue is a bounded MPMC FIFO of T values. Create with New; operate
 // through per-goroutine Sessions.
 type Queue[T any] struct {
@@ -217,7 +291,55 @@ type Queue[T any] struct {
 	hists *xsync.Histograms
 	// hook is the WithEventHook observer; nil when unset.
 	hook func(Event)
+	// lowWater/highWater are the WithWatermarks thresholds; highWater 0
+	// means admission control is off. lenFn observes the inner depth.
+	lowWater  int
+	highWater int
+	lenFn     func() int
+	// overloaded is the admission hysteresis state: set when depth
+	// reached highWater, cleared when an enqueue probe sees depth at or
+	// below lowWater.
+	overloaded atomic.Bool
+	// waitSpins/sleepMin/sleepMax tune the blocking *Wait variants,
+	// from the WithBackoffPolicy policy or the package defaults.
+	waitSpins int
+	sleepMin  time.Duration
+	sleepMax  time.Duration
 }
+
+// admit is the watermark admission check, called by Enqueue and
+// EnqueueBatch before any allocation or slot-protocol work.
+func (q *Queue[T]) admit() error {
+	if q.highWater == 0 {
+		return nil
+	}
+	depth := q.lenFn()
+	if q.overloaded.Load() {
+		if depth > q.lowWater {
+			q.mctr.Inc(xsync.OpOverload)
+			return ErrOverloaded
+		}
+		// Drained below the low watermark: re-admit. CAS so exactly one
+		// of the racing probes emits the exit event.
+		if q.overloaded.CompareAndSwap(true, false) {
+			q.emit(Event{Kind: EventOverloadExit, N: depth})
+		}
+		return nil
+	}
+	if depth >= q.highWater {
+		if q.overloaded.CompareAndSwap(false, true) {
+			q.emit(Event{Kind: EventOverloadEnter, N: depth})
+		}
+		q.mctr.Inc(xsync.OpOverload)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// Overloaded reports whether watermark admission control is currently
+// shedding enqueues (depth crossed high and has not yet drained to low).
+// Always false without WithWatermarks. Exposed for gauges and tests.
+func (q *Queue[T]) Overloaded() bool { return q.overloaded.Load() }
 
 // emit delivers e to the event hook, stamping the algorithm name.
 // Callers only reach it from rare paths (sheds, scavenges, leaks).
@@ -249,6 +371,14 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 	if c.retryBudget < 0 {
 		return nil, c, fmt.Errorf("nbqueue: WithRetryBudget(%d) is negative; use 0 to disable the budget", c.retryBudget)
 	}
+	if c.starve < 0 {
+		return nil, c, fmt.Errorf("nbqueue: WithStarvationBound(%d) is negative; use 0 to disable helping", c.starve)
+	}
+	if c.wmSet {
+		if c.lowWater <= 0 || c.lowWater > c.highWater {
+			return nil, c, fmt.Errorf("nbqueue: WithWatermarks(%d, %d) needs 0 < low <= high", c.lowWater, c.highWater)
+		}
+	}
 	if c.unbounded && c.algorithm != AlgorithmSegmented {
 		return nil, c, fmt.Errorf("nbqueue: WithUnbounded requires AlgorithmSegmented, not %q", c.algorithm)
 	}
@@ -274,17 +404,27 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 		ctrs = c.metrics.counters()
 		hists = c.metrics.histograms()
 	}
+	if c.policy != nil {
+		// Fill defaults and, when counters exist, let the AIMD controller
+		// read the live CAS/SC failure rate from them.
+		c.policy.Normalize()
+		if ctrs != nil {
+			c.policy.Bind(ctrs)
+		}
+	}
 	inner := algo.New(bench.Config{
-		Capacity:    c.capacity,
-		MaxThreads:  c.maxThreads,
-		Counters:    ctrs,
-		Hists:       hists,
-		PaddedSlots: c.padded,
-		Backoff:     c.backoff,
-		RetryBudget: c.retryBudget,
-		Yield:       c.yield,
-		Unbounded:   c.unbounded,
-		SegSize:     c.segSize,
+		Capacity:        c.capacity,
+		MaxThreads:      c.maxThreads,
+		Counters:        ctrs,
+		Hists:           hists,
+		PaddedSlots:     c.padded,
+		Backoff:         c.backoff,
+		RetryBudget:     c.retryBudget,
+		Yield:           c.yield,
+		Unbounded:       c.unbounded,
+		SegSize:         c.segSize,
+		Policy:          c.policy,
+		StarvationBound: c.starve,
 	})
 	if c.hook != nil {
 		if g, ok := inner.(interface{ SetGrowHook(func(int)) }); ok {
@@ -317,10 +457,27 @@ func New[T any](opts ...Option) (*Queue[T], error) {
 	nodes := capHint + c.maxThreads + 16
 	a := arena.New(nodes)
 	q := &Queue[T]{
-		inner:  inner,
-		arena:  a,
-		values: make([]T, nodes+1),
-		hook:   c.hook,
+		inner:     inner,
+		arena:     a,
+		values:    make([]T, nodes+1),
+		hook:      c.hook,
+		waitSpins: xsync.DefaultWaitSpins,
+		sleepMin:  xsync.DefaultSleepMin,
+		sleepMax:  xsync.DefaultSleepMax,
+	}
+	if c.policy != nil {
+		q.waitSpins = c.policy.WaitSpins
+		q.sleepMin = c.policy.SleepMin
+		q.sleepMax = c.policy.SleepMax
+	}
+	if c.wmSet {
+		l, ok := inner.(interface{ Len() int })
+		if !ok {
+			return nil, fmt.Errorf("nbqueue: WithWatermarks requires an algorithm with an observable depth, not %q", c.algorithm)
+		}
+		q.lowWater = c.lowWater
+		q.highWater = c.highWater
+		q.lenFn = l.Len
 	}
 	if c.metrics != nil {
 		q.mctr = c.metrics.counters().Handle()
@@ -439,6 +596,23 @@ func (s *Session[T]) use() queue.Session {
 	return s.inner
 }
 
+// SetDeadline arms an absolute deadline on every subsequent operation of
+// this session: an operation still retrying when t passes aborts with
+// ErrDeadline (Dequeue folds the abort into ok=false; batch forms return
+// the positional partial). The zero time clears the deadline. Unlike a
+// retry budget — which bounds iterations — the deadline bounds wall
+// time, so a preempted or helped-along session still stops on schedule.
+// Supported by the Evequoz-family algorithms; ok is false (and the call
+// a no-op) elsewhere. The *Wait variants arm it automatically from their
+// context's deadline.
+func (s *Session[T]) SetDeadline(t time.Time) (ok bool) {
+	ds, ok := s.use().(queue.DeadlineSession)
+	if ok {
+		ds.SetDeadline(t)
+	}
+	return ok
+}
+
 // Enqueue inserts v at the tail, returning ErrFull when the queue is at
 // capacity, or ErrContended when a WithRetryBudget budget ran out.
 //
@@ -453,6 +627,9 @@ func (s *Session[T]) use() queue.Session {
 // Dequeue, built on DequeueBatch.
 func (s *Session[T]) Enqueue(v T) error {
 	inner := s.use()
+	if err := s.q.admit(); err != nil {
+		return err
+	}
 	h := s.q.arena.Alloc()
 	if h == arena.Nil {
 		// Arena pressure means capacity + in-flight slack is exhausted —
@@ -558,6 +735,9 @@ func (s *Session[T]) EnqueueBatch(vs []T) (int, error) {
 	inner := s.use()
 	if len(vs) == 0 {
 		return 0, nil
+	}
+	if err := s.q.admit(); err != nil {
+		return 0, err
 	}
 	// Map payloads into arena nodes first; a short allocation is arena
 	// pressure, reported as ErrFull after the words that did fit go in.

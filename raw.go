@@ -1,6 +1,8 @@
 package nbqueue
 
 import (
+	"fmt"
+
 	"nbqueue/internal/queue"
 )
 
@@ -47,8 +49,16 @@ func RawDequeueBatch(s RawSession, dst []uint64) (int, error) {
 
 // NewRaw builds a word-level queue with the same options as New. The
 // payload arena and values table of Queue[T] are skipped entirely; each
-// enqueue/dequeue moves exactly one machine word.
+// enqueue/dequeue moves exactly one machine word. WithWatermarks is not
+// supported here — admission control lives in the payload layer — and is
+// rejected rather than silently dropped.
 func NewRaw(opts ...Option) (RawQueue, error) {
-	inner, _, err := newInner(opts)
-	return inner, err
+	inner, c, err := newInner(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.wmSet {
+		return nil, fmt.Errorf("nbqueue: WithWatermarks requires the generic New layer; NewRaw has no admission hook")
+	}
+	return inner, nil
 }
