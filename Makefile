@@ -35,6 +35,9 @@ bench-smoke:
 	$(GO) run ./cmd/fifobench -experiment overload \
 		-format csv > results/BENCH_overload.csv
 	cat results/BENCH_overload.csv
+	$(GO) run ./cmd/fifobench -experiment overload \
+		-format json > results/BENCH_overload.json
+	cat results/BENCH_overload.json
 
 # Regenerate every figure/table with scaled-down defaults (minutes).
 experiments:

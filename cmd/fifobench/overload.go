@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -13,54 +14,83 @@ import (
 	"nbqueue/internal/bench"
 )
 
-// The overload experiment measures what watermark admission control buys
-// under sustained excess offered load: producers at roughly 4x the drain
-// rate against a watermarked queue must be shed with ErrOverloaded while
-// the enqueues that ARE admitted keep near-uncontended tail latency,
-// because the shed keeps the ring shallow and the slot protocol short.
-// Each algorithm reports its uncontended single-thread enqueue p99.9 as
-// the baseline, then the admitted-enqueue p99.9 under overload and the
-// ratio between the two.
+// The overload experiment measures what admission control buys under
+// sustained excess offered load: producers at roughly 4x the drain rate
+// against an admission-controlled queue must be shed with ErrOverloaded
+// while the enqueues that ARE admitted keep near-uncontended tail
+// latency, because the shed keeps the ring shallow and the slot
+// protocol short. Each algorithm reports its uncontended single-thread
+// enqueue p99.9 as the baseline, then the admitted-enqueue p99.9 under
+// overload and the ratio between the two.
+//
+// The bounded algorithms gate on depth watermarks. The segmented queue
+// instead runs its overload-hardening stack — pre-armed spare segments,
+// segment-count watermarks, off-path finalization — so the measured
+// admitted tail reflects what an unbounded queue can promise under
+// overload: boundary crossings pop a prepared ring instead of zeroing
+// one inline, and admission refuses before any grow work starts.
 
 // overloadProducers fixes the offered-load multiple: this many producers
 // against one yield-paced consumer.
 const overloadProducers = 4
 
-// overloadRow is one algorithm's overload measurement.
+// segment watermarks for the segmented overload pass: with the derived
+// segment size of capacity/4, the (2, 3) band holds the same backlog as
+// the depth band (capacity/4, capacity/2) the other algorithms run.
+const (
+	overloadSegLow  = 2
+	overloadSegHigh = 3
+)
+
+// overloadRow is one algorithm's overload measurement, shaped for both
+// the human table and the JSON artifact.
 type overloadRow struct {
-	key, label string
-	baseP999   float64 // uncontended enqueue p99.9, ns
-	overP999   float64 // admitted-enqueue p99.9 under overload, ns
-	admitted   int64   // enqueues admitted during the overload phase
-	sheds      uint64  // enqueues refused with ErrOverloaded
-	cycles     int64   // hysteresis enter events (≈ exit events)
-	wall       time.Duration
+	Key            string  `json:"key"`
+	Label          string  `json:"label"`
+	BaseP999Us     float64 `json:"base_p999_us"`
+	OverP999Us     float64 `json:"overload_p999_us"`
+	Ratio          float64 `json:"ratio"`
+	AdmittedPerSec float64 `json:"admitted_per_sec"`
+	ShedsPerSec    float64 `json:"sheds_per_sec"`
+	Cycles         int64   `json:"hysteresis_cycles"`
+	// SegmentSheds, SpareHits, SpareMisses and PeakSegments are zero for
+	// the non-segmented algorithms.
+	SegmentSheds uint64  `json:"segment_sheds"`
+	SpareHits    uint64  `json:"spare_hits"`
+	SpareMisses  uint64  `json:"spare_misses"`
+	PeakSegments int     `json:"peak_segments"`
+	WallSeconds  float64 `json:"wall_seconds"`
 }
 
-// overloadAlgos lists the algorithms with a depth probe under the
-// generic layer (watermarks require Len).
+// overloadAlgos lists the algorithms with an admission-control gate:
+// depth watermarks need a depth probe (Len), segment watermarks need
+// the segmented chain.
 func overloadAlgos() []string {
 	return []string{bench.KeyEvqLLSC, bench.KeyEvqCAS, bench.KeyEvqSeg}
 }
 
 // runOverloadExperiment measures one algorithm: an uncontended baseline
-// pass, then a watermarked overload pass.
+// pass, then an admission-controlled overload pass.
 func runOverloadExperiment(key string, p bench.Params, d time.Duration) (overloadRow, error) {
-	row := overloadRow{key: key}
+	row := overloadRow{Key: key}
+	segMode := key == bench.KeyEvqSeg
 
-	build := func(m *nbqueue.Metrics, watermarked bool, hook func(nbqueue.Event)) (*nbqueue.Queue[uint64], error) {
+	build := func(m *nbqueue.Metrics, gated bool, hook func(nbqueue.Event)) (*nbqueue.Queue[uint64], error) {
 		opts := []nbqueue.Option{
 			nbqueue.WithAlgorithm(nbqueue.Algorithm(key)),
 			nbqueue.WithMaxThreads(overloadProducers + 4),
 			nbqueue.WithMetrics(m),
 		}
-		if key == bench.KeyEvqSeg {
+		if segMode {
 			opts = append(opts, nbqueue.WithUnbounded())
+			if gated {
+				opts = append(opts, nbqueue.WithSegmentWatermarks(overloadSegLow, overloadSegHigh))
+			}
 		} else {
 			opts = append(opts, nbqueue.WithCapacity(p.Capacity))
-		}
-		if watermarked {
-			opts = append(opts, nbqueue.WithWatermarks(p.Capacity/4, p.Capacity/2))
+			if gated {
+				opts = append(opts, nbqueue.WithWatermarks(p.Capacity/4, p.Capacity/2))
+			}
 		}
 		if hook != nil {
 			opts = append(opts, nbqueue.WithEventHook(hook))
@@ -74,7 +104,7 @@ func runOverloadExperiment(key string, p bench.Params, d time.Duration) (overloa
 	if err != nil {
 		return row, err
 	}
-	row.label = q0.Algorithm()
+	row.Label = q0.Algorithm()
 	s := q0.Attach()
 	iters := p.Iterations * 25 // enough ops for stable sampled p99.9
 	if iters < 20000 {
@@ -87,7 +117,7 @@ func runOverloadExperiment(key string, p bench.Params, d time.Duration) (overloa
 		s.Dequeue()
 	}
 	s.Detach()
-	row.baseP999 = m0.Latencies(nbqueue.Enqueue).Quantile(0.999)
+	base := m0.Latencies(nbqueue.Enqueue).Quantile(0.999)
 
 	// Overload: producers flat out, one yield-paced consumer.
 	var cycles atomic.Int64
@@ -140,24 +170,53 @@ func runOverloadExperiment(key string, p bench.Params, d time.Duration) (overloa
 			runtime.Gosched()
 		}
 	}()
+	// Peak-segments sampler: the governed population (live + preparing
+	// + spare) the memory bound would cap, sampled through the run.
+	peakDone := make(chan struct{})
+	var peakSegs int
+	go func() {
+		defer close(peakDone)
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if n, ok := q1.MemorySegments(); ok && n > peakSegs {
+					peakSegs = n
+				}
+			}
+		}
+	}()
 	start := time.Now()
 	time.Sleep(d)
 	close(stop)
 	wg.Wait()
-	row.wall = time.Since(start)
+	<-peakDone
+	row.WallSeconds = time.Since(start).Seconds()
 
 	snap := m1.Snapshot()
-	row.overP999 = m1.Latencies(nbqueue.Enqueue).Quantile(0.999)
-	row.admitted = admitted.Load()
-	row.sheds = snap.OverloadSheds
-	row.cycles = cycles.Load()
-	if row.sheds == 0 {
-		return row, fmt.Errorf("%s: overload run never shed; offered load did not exceed the high watermark", key)
+	over := m1.Latencies(nbqueue.Enqueue).Quantile(0.999)
+	us := float64(time.Microsecond)
+	row.BaseP999Us = base / us
+	row.OverP999Us = over / us
+	row.Ratio = over / base
+	row.AdmittedPerSec = float64(admitted.Load()) / row.WallSeconds
+	sheds := snap.OverloadSheds + snap.SegmentSheds
+	row.ShedsPerSec = float64(sheds) / row.WallSeconds
+	row.Cycles = cycles.Load()
+	row.SegmentSheds = snap.SegmentSheds
+	row.SpareHits = snap.SpareSegmentHits
+	row.SpareMisses = snap.SpareSegmentMisses
+	row.PeakSegments = peakSegs
+	if sheds == 0 {
+		return row, fmt.Errorf("%s: overload run never shed; offered load did not exceed the admission gate", key)
 	}
 	return row, nil
 }
 
-// runOverload runs the experiment for every watermark-capable algorithm
+// runOverload runs the experiment for every admission-capable algorithm
 // and writes the report.
 func runOverload(out io.Writer, format string, p bench.Params) error {
 	const phase = 600 * time.Millisecond
@@ -169,26 +228,37 @@ func runOverload(out io.Writer, format string, p bench.Params) error {
 		}
 		rows = append(rows, row)
 	}
-	us := func(ns float64) float64 { return ns / float64(time.Microsecond) }
-	if format == "csv" {
-		fmt.Fprintln(out, "algorithm,base_p999_us,overload_p999_us,ratio,admitted_per_sec,sheds_per_sec,hysteresis_cycles")
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	case "csv":
+		fmt.Fprintln(out, "algorithm,base_p999_us,overload_p999_us,ratio,admitted_per_sec,sheds_per_sec,hysteresis_cycles,segment_sheds,spare_hits,spare_misses,peak_segments")
 		for _, r := range rows {
-			secs := r.wall.Seconds()
-			fmt.Fprintf(out, "%s,%.3f,%.3f,%.2f,%.0f,%.0f,%d\n",
-				r.key, us(r.baseP999), us(r.overP999), r.overP999/r.baseP999,
-				float64(r.admitted)/secs, float64(r.sheds)/secs, r.cycles)
+			fmt.Fprintf(out, "%s,%.3f,%.3f,%.2f,%.0f,%.0f,%d,%d,%d,%d,%d\n",
+				r.Key, r.BaseP999Us, r.OverP999Us, r.Ratio,
+				r.AdmittedPerSec, r.ShedsPerSec, r.Cycles,
+				r.SegmentSheds, r.SpareHits, r.SpareMisses, r.PeakSegments)
 		}
 		return nil
 	}
-	fmt.Fprintf(out, "== Overload shedding: %d producers vs 1 paced consumer, watermarks (cap/4, cap/2), capacity %d ==\n",
-		overloadProducers, p.Capacity)
+	fmt.Fprintf(out, "== Overload shedding: %d producers vs 1 paced consumer, depth watermarks (cap/4, cap/2) or segment watermarks (%d, %d), capacity %d ==\n",
+		overloadProducers, overloadSegLow, overloadSegHigh, p.Capacity)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "algorithm\tbase p99.9 (µs)\toverload p99.9 (µs)\tratio\tadmitted/s\tsheds/s\thysteresis cycles")
+	fmt.Fprintln(tw, "algorithm\tbase p99.9 (µs)\toverload p99.9 (µs)\tratio\tadmitted/s\tsheds/s\tcycles\tspare hit/miss\tpeak segs")
 	for _, r := range rows {
-		secs := r.wall.Seconds()
-		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2fx\t%.3g\t%.3g\t%d\n",
-			r.label, us(r.baseP999), us(r.overP999), r.overP999/r.baseP999,
-			float64(r.admitted)/secs, float64(r.sheds)/secs, r.cycles)
+		spare := "-"
+		if r.Key == bench.KeyEvqSeg {
+			spare = fmt.Sprintf("%d/%d", r.SpareHits, r.SpareMisses)
+		}
+		peak := "-"
+		if r.PeakSegments > 0 {
+			peak = fmt.Sprintf("%d", r.PeakSegments)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2fx\t%.3g\t%.3g\t%d\t%s\t%s\n",
+			r.Label, r.BaseP999Us, r.OverP999Us, r.Ratio,
+			r.AdmittedPerSec, r.ShedsPerSec, r.Cycles, spare, peak)
 	}
 	return tw.Flush()
 }

@@ -38,6 +38,7 @@ import (
 	"nbqueue/internal/arena"
 	"nbqueue/internal/bench"
 	"nbqueue/internal/chaos"
+	"nbqueue/internal/expose"
 	"nbqueue/internal/queue"
 	"nbqueue/internal/xsync"
 )
@@ -112,14 +113,22 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// soakOverload drives the watermark admission-control drill against the
-// public layer: threads-1 producers enqueue flat out while one
-// deliberately slow consumer drains, so depth climbs through the high
-// watermark and admission control must engage. The drill fails unless
-// the queue shed load (ErrOverloaded observed), the hysteresis band
-// cycled (both enter and exit events fired), sampled depth stayed
-// bounded near the high watermark, and every admitted value was
-// conserved through the final drain.
+// soakOverload drives the admission-control drill against the public
+// layer: threads-1 producers enqueue flat out while one deliberately
+// slow consumer drains, so pressure climbs through the high watermark
+// and admission control must engage. The drill fails unless the queue
+// shed load (ErrOverloaded observed), the hysteresis band cycled (both
+// enter and exit events fired), the sampled footprint stayed bounded,
+// and every admitted value was conserved through the final drain.
+//
+// The bounded algorithms run depth watermarks (WithWatermarks). The
+// segmented queue instead runs unbounded with the full overload-
+// hardening stack — spare pool, segment watermarks, memory bound — and
+// is additionally held to the segment-population ceilings: live +
+// preparing + pooled segments must never exceed WithMemoryBound, the
+// spare pool must never exceed its configured capacity, and at
+// quiescence every segment the pool ever handed out must be accounted
+// for (retired, freed, live, preparing, or pooled).
 func soakOverload(out io.Writer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration) error {
 	if threads < 2 {
 		threads = 2
@@ -131,26 +140,55 @@ func soakOverload(out io.Writer, key string, d time.Duration, threads, capacity 
 	if high <= low {
 		high = low + 1
 	}
-	var enters, exits atomic.Int64
+	// Segmented-drill geometry: small rings so segment churn (append,
+	// close, finalize, recycle) happens thousands of times per second,
+	// tight watermarks so admission engages, and a memory bound with
+	// real headroom above the watermark band so the two gates are
+	// exercised independently.
+	const (
+		segSize  = 32
+		segSpare = 2
+		segLow   = 2
+		segHigh  = 4
+		memBound = 16
+	)
+	segMode := key == bench.KeyEvqSeg
+	var enters, exits, segEnters, segExits atomic.Int64
 	m := nbqueue.NewMetrics()
 	opts := []nbqueue.Option{
 		nbqueue.WithAlgorithm(nbqueue.Algorithm(key)),
 		nbqueue.WithMaxThreads(threads + 8),
-		nbqueue.WithWatermarks(low, high),
 		nbqueue.WithMetrics(m),
 		nbqueue.WithEventHook(func(e nbqueue.Event) {
 			switch e.Kind {
 			case nbqueue.EventOverloadEnter:
-				enters.Add(1)
+				if e.Op == "segments" {
+					segEnters.Add(1)
+				} else {
+					enters.Add(1)
+				}
 			case nbqueue.EventOverloadExit:
-				exits.Add(1)
+				if e.Op == "segments" {
+					segExits.Add(1)
+				} else {
+					exits.Add(1)
+				}
 			}
 		}),
 	}
-	if key == bench.KeyEvqSeg {
-		opts = append(opts, nbqueue.WithUnbounded())
+	if segMode {
+		opts = append(opts,
+			nbqueue.WithUnbounded(),
+			nbqueue.WithSegmentSize(segSize),
+			nbqueue.WithSpareSegments(segSpare),
+			nbqueue.WithSegmentWatermarks(segLow, segHigh),
+			nbqueue.WithMemoryBound(memBound),
+		)
 	} else {
-		opts = append(opts, nbqueue.WithCapacity(capacity))
+		opts = append(opts,
+			nbqueue.WithCapacity(capacity),
+			nbqueue.WithWatermarks(low, high),
+		)
 	}
 	q, err := nbqueue.New[uint64](opts...)
 	if err != nil {
@@ -210,24 +248,51 @@ func soakOverload(out io.Writer, key string, d time.Duration, threads, capacity 
 	deadline := time.After(d)
 	ticker := time.NewTicker(auditEvery)
 	defer ticker.Stop()
-	audits, maxDepth := 0, 0
+	audits, maxDepth, peakMem := 0, 0, 0
+	fail := func(err error) error {
+		close(stop)
+		wg.Wait()
+		return err
+	}
 loop:
 	for {
 		select {
 		case <-deadline:
 			break loop
 		case <-ticker.C:
-			if n, ok := q.Len(); ok {
-				if n > maxDepth {
-					maxDepth = n
+			if n, ok := q.Len(); ok && n > maxDepth {
+				maxDepth = n
+			}
+			if segMode {
+				// The memory bound is hard: reserved atomically before
+				// any allocation, so even a mid-burst sample must never
+				// see the governed population above it.
+				if ms, ok := q.MemorySegments(); ok {
+					if ms > peakMem {
+						peakMem = ms
+					}
+					if ms > memBound {
+						return fail(fmt.Errorf("%s: %d live+preparing+spare segments escaped the memory bound %d", key, ms, memBound))
+					}
 				}
+				// Spare-pool conservation: replenishment must never
+				// overfill the ring past its configured capacity.
+				if sp, ok := q.SpareSegments(); ok && sp > segSpare {
+					return fail(fmt.Errorf("%s: spare pool holds %d segments, capacity %d", key, sp, segSpare))
+				}
+				// Segment-count ceiling: admission refuses at segHigh,
+				// so live+preparing can overshoot only by appends already
+				// admitted — one per in-flight operation, plus replenish
+				// preps — never unboundedly.
+				live, _ := q.Segments()
+				pend, _ := q.PendingSegments()
+				if ceil := segHigh + 2*threads; live+pend > ceil {
+					return fail(fmt.Errorf("%s: %d live+preparing segments escaped admission control (high watermark %d, ceiling %d)", key, live+pend, segHigh, ceil))
+				}
+			} else if n, ok := q.Len(); ok && n > high+2*threads {
 				// Depth may overshoot the high watermark by the admitted
 				// enqueues already in flight, but never unboundedly.
-				if n > high+2*threads {
-					close(stop)
-					wg.Wait()
-					return fmt.Errorf("%s: depth %d escaped admission control (high watermark %d)", key, n, high)
-				}
+				return fail(fmt.Errorf("%s: depth %d escaped admission control (high watermark %d)", key, n, high))
 			}
 			audits++
 		}
@@ -246,14 +311,38 @@ loop:
 	s.Detach()
 
 	snap := m.Snapshot()
+	if got := produced.Load() - consumed.Load() - int64(drained); got != 0 {
+		return fmt.Errorf("%s: conservation broken: produced-consumed-drained = %d", key, got)
+	}
+	if segMode {
+		if sheds.Load() == 0 || snap.SegmentSheds == 0 {
+			return fmt.Errorf("%s: segment overload drill never shed (produced=%d consumed=%d)", key, produced.Load(), consumed.Load())
+		}
+		if segEnters.Load() == 0 || segExits.Load() == 0 {
+			return fmt.Errorf("%s: segment hysteresis did not cycle: %d enters, %d exits", key, segEnters.Load(), segExits.Load())
+		}
+		// Segment conservation at quiescence: every ring the pool ever
+		// handed out (allocs + recycles + the one New installs) must be
+		// retired, freed, or still standing (live, preparing, spare).
+		live, _ := q.Segments()
+		pend, _ := q.PendingSegments()
+		spares, _ := q.SpareSegments()
+		handedOut := snap.SegmentAllocs + snap.SegmentRecycles + 1
+		accounted := snap.SegmentRetires + snap.SegmentFrees + uint64(live+pend+spares)
+		if handedOut != accounted {
+			return fmt.Errorf("%s: segment conservation broken: %d handed out (allocs+recycles+initial) but %d accounted (retires+frees+live+preparing+spare)",
+				key, handedOut, accounted)
+		}
+		fmt.Fprintf(out, "%-18s ok (overload): produced=%d consumed=%d drained=%d segsheds=%d enters=%d exits=%d sparehits=%d finhelps=%d peakmem=%d (bound=%d) maxdepth=%d audits=%d\n",
+			key, produced.Load(), consumed.Load(), drained, snap.SegmentSheds, segEnters.Load(), segExits.Load(),
+			snap.SpareSegmentHits, snap.FinalizeHelps, peakMem, memBound, maxDepth, audits)
+		return nil
+	}
 	if sheds.Load() == 0 || snap.OverloadSheds == 0 {
 		return fmt.Errorf("%s: overload drill never shed (produced=%d consumed=%d)", key, produced.Load(), consumed.Load())
 	}
 	if enters.Load() == 0 || exits.Load() == 0 {
 		return fmt.Errorf("%s: hysteresis did not cycle: %d enters, %d exits", key, enters.Load(), exits.Load())
-	}
-	if got := produced.Load() - consumed.Load() - int64(drained); got != 0 {
-		return fmt.Errorf("%s: conservation broken: produced-consumed-drained = %d", key, got)
 	}
 	fmt.Fprintf(out, "%-18s ok (overload): produced=%d consumed=%d drained=%d sheds=%d enters=%d exits=%d maxdepth=%d (high=%d) audits=%d\n",
 		key, produced.Load(), consumed.Load(), drained, snap.OverloadSheds, enters.Load(), exits.Load(), maxDepth, high, audits)
@@ -281,7 +370,41 @@ func instrument(st *statsServer, key string, cfg *bench.Config) func(q queue.Que
 		if sq, ok := q.(interface{ Segments() int }); ok {
 			segments = sq.Segments
 		}
-		st.setAlgorithm(key, cfg.Counters, cfg.Hists, depth, segments)
+		var extras []expose.Gauge
+		if sp, ok := q.(interface{ SpareSegments() int }); ok {
+			f := sp.SpareSegments
+			extras = append(extras, expose.Gauge{
+				Name: "spare_segments", Help: "Pre-armed prepared segments in the spare pool.",
+				Value: func() float64 { return float64(f()) },
+			})
+		}
+		if pp, ok := q.(interface{ PendingSegments() int }); ok {
+			f := pp.PendingSegments
+			extras = append(extras, expose.Gauge{
+				Name: "pending_segments", Help: "Segments in the preparing state (append races, replenish in flight).",
+				Value: func() float64 { return float64(f()) },
+			})
+		}
+		if mp, ok := q.(interface{ MemorySegments() int }); ok {
+			f := mp.MemorySegments
+			extras = append(extras, expose.Gauge{
+				Name: "memory_segments", Help: "Live + preparing + pooled segments (the WithMemoryBound-governed population).",
+				Value: func() float64 { return float64(f()) },
+			})
+		}
+		if ov, ok := q.(interface{ SegmentsOverloaded() bool }); ok {
+			f := ov.SegmentsOverloaded
+			extras = append(extras, expose.Gauge{
+				Name: "segment_overloaded", Help: "1 while segment-count admission control is refusing enqueues, else 0.",
+				Value: func() float64 {
+					if f() {
+						return 1
+					}
+					return 0
+				},
+			})
+		}
+		st.setAlgorithm(key, cfg.Counters, cfg.Hists, depth, segments, extras...)
 	}
 }
 

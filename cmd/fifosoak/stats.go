@@ -28,6 +28,7 @@ type statsServer struct {
 	hists    *xsync.Histograms
 	depth    func() int
 	segments func() int
+	extras   []expose.Gauge
 	prev     map[xsync.OpKind]uint64
 
 	errW io.Writer
@@ -69,10 +70,13 @@ func startStats(addr string, every time.Duration, out, errW io.Writer) (*statsSe
 
 // setAlgorithm swaps the banks scrapes and ticks read. depth samples
 // the queue's current occupancy and segments its live segment count;
-// either is nil when the queue cannot report one.
-func (st *statsServer) setAlgorithm(key string, ctrs *xsync.Counters, hists *xsync.Histograms, depth, segments func() int) {
+// either is nil when the queue cannot report one. extras carries any
+// further algorithm-specific gauges (spare-pool depth, segment
+// admission state, ...).
+func (st *statsServer) setAlgorithm(key string, ctrs *xsync.Counters, hists *xsync.Histograms, depth, segments func() int, extras ...expose.Gauge) {
 	st.mu.Lock()
 	st.key, st.ctrs, st.hists, st.depth, st.segments = key, ctrs, hists, depth, segments
+	st.extras = extras
 	st.prev = nil
 	st.mu.Unlock()
 	st.collector().PublishExpvar("fifosoak")
@@ -103,6 +107,7 @@ func (st *statsServer) collector() *expose.Collector {
 			Value: func() float64 { return float64(segments()) },
 		})
 	}
+	c.Gauges = append(c.Gauges, st.extras...)
 	return c
 }
 

@@ -25,15 +25,21 @@ const (
 	// goroutine that won the append race — a burst absorbed rather
 	// than shed.
 	EventSegmentGrow
-	// EventOverloadEnter reports watermark admission control engaging:
-	// the observed depth reached the WithWatermarks high threshold and
-	// enqueues are now refused with ErrOverloaded. Event.N is the depth
-	// observed at the transition. Fires once per overload episode, from
-	// the enqueuing goroutine that crossed the threshold.
+	// EventOverloadEnter reports admission control engaging. Two gates
+	// emit it, distinguished by Event.Op: with Op "" (depth watermarks,
+	// WithWatermarks) the observed depth reached the high threshold and
+	// Event.N is that depth; with Op "segments" (segment watermarks,
+	// WithSegmentWatermarks on AlgorithmSegmented) the live+preparing
+	// segment count reached its high watermark and Event.N is that
+	// count. Either way enqueues are now refused with ErrOverloaded.
+	// Fires once per overload episode, from the enqueuing goroutine
+	// that crossed the threshold.
 	EventOverloadEnter
-	// EventOverloadExit reports the queue draining to the low watermark:
-	// enqueues are admitted again. Event.N is the depth observed at the
-	// transition. Fires from the first admitted enqueuer's goroutine.
+	// EventOverloadExit reports the matching drain back to the low
+	// watermark: enqueues are admitted again. Event.Op and Event.N
+	// follow the same depth-vs-"segments" convention as
+	// EventOverloadEnter. Fires from the first admitted enqueuer's
+	// goroutine.
 	EventOverloadExit
 )
 

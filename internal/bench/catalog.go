@@ -71,6 +71,19 @@ type Config struct {
 	// derives it from Capacity (clamped to [16, 1024]). Ignored
 	// elsewhere.
 	SegSize int
+	// SpareSegments sets the segmented queue's spare-pool capacity:
+	// 0 keeps the algorithm default, n > 0 pre-arms n spares, and a
+	// negative value disables the pool. Ignored elsewhere.
+	SpareSegments int
+	// MemoryBound caps the segmented queue's governed segment population
+	// (live + preparing + spare); 0 leaves memory unbounded. Ignored
+	// elsewhere.
+	MemoryBound int
+	// SegLow/SegHigh arm segment-count watermark admission on the
+	// segmented queue (hysteresis between them); SegHigh 0 disables.
+	// Ignored elsewhere.
+	SegLow  int
+	SegHigh int
 }
 
 // normalize fills defaults.
@@ -183,13 +196,26 @@ var catalog = map[string]Algo{
 			if c.Unbounded {
 				high = 0
 			}
-			return evqseg.New(seg,
+			opts := []evqseg.Option{
 				evqseg.WithHighWater(high),
 				evqseg.WithCounters(c.Counters), evqseg.WithHistograms(c.Hists),
 				evqseg.WithBackoff(c.Backoff),
 				evqseg.WithBackoffPolicy(c.Policy),
 				evqseg.WithPaddedSlots(c.PaddedSlots),
-				evqseg.WithRetryBudget(c.RetryBudget), evqseg.WithYield(c.Yield))
+				evqseg.WithRetryBudget(c.RetryBudget), evqseg.WithYield(c.Yield),
+			}
+			if c.SpareSegments > 0 {
+				opts = append(opts, evqseg.WithSpareSegments(c.SpareSegments))
+			} else if c.SpareSegments < 0 {
+				opts = append(opts, evqseg.WithSpareSegments(0))
+			}
+			if c.MemoryBound > 0 {
+				opts = append(opts, evqseg.WithMemoryBound(c.MemoryBound))
+			}
+			if c.SegHigh > 0 {
+				opts = append(opts, evqseg.WithSegmentWatermarks(c.SegLow, c.SegHigh))
+			}
+			return evqseg.New(seg, opts...)
 		},
 	},
 	KeyMSHP: {

@@ -14,21 +14,21 @@
 //
 // A segment moves through four states:
 //
-//	free → preparing → live (open → closed → drained) → retired → free
+//		free → preparing → live (open → closed → drained) → retired → free
 //
-//   - open: the ring accepts enqueues and dequeues exactly as in evqcas.
-//   - closed: a producer that found the ring full set the closed bit
-//     (the top bit of the segment's Tail index) with CAS. A closed
-//     tail index makes every in-flight enqueue's "Tail unchanged?"
-//     validation fail, so no new item can be installed; producers move
-//     on and append a successor segment.
-//   - drained: Head has caught up with the closed Tail *and* the
-//     finalize step below proved no late install slipped in.
-//   - retired: a dequeuer unlinked the drained segment from the chain
-//     and handed its handle to the hazard domain; once a scan finds no
-//     hazard pointer naming it, the handle returns to the segment pool
-//     and the ring will be reset and reused (recycle), keeping the
-//     steady-state hot path allocation-free.
+//	  - open: the ring accepts enqueues and dequeues exactly as in evqcas.
+//	  - closed: a producer that found the ring full set the closed bit
+//	    (the top bit of the segment's Tail index) with CAS. A closed
+//	    tail index makes every in-flight enqueue's "Tail unchanged?"
+//	    validation fail, so no new item can be installed; producers move
+//	    on and append a successor segment.
+//	  - drained: Head has caught up with the closed Tail *and* the
+//	    finalize step below proved no late install slipped in.
+//	  - retired: a dequeuer unlinked the drained segment from the chain
+//	    and handed its handle to the hazard domain; once a scan finds no
+//	    hazard pointer naming it, the handle returns to the segment pool
+//	    and the ring will be reset and reused (recycle), keeping the
+//	    steady-state hot path allocation-free.
 //
 // # The close/finalize race
 //
@@ -67,6 +67,41 @@
 // linking it leaves the segment in the preparing state; Scavenge
 // returns such segments to the pool once their age exceeds the caller's
 // threshold (the append-orphan case of the chaos crash storms).
+//
+// # Overload hardening
+//
+// Under sustained overload the naive composition amplifies tail latency
+// and memory at once: every segment-boundary crossing resets (or
+// allocates) a whole ring inside an admitted enqueue, the finalize
+// drain runs inside dequeues, and an unbounded queue converts excess
+// offered load into unbounded segment growth. Four mechanisms keep the
+// degradation graceful:
+//
+//   - Spare-segment pool (WithSpareSegments): N prepared rings are kept
+//     ready in a small slot array, so allocSegment is an O(N) pop with
+//     no ring-memory work on the hot path. The pool is replenished
+//     cooperatively off the latency path — after successful enqueues,
+//     on Detach, and by Scavenge — and append-race losers park their
+//     already-prepared segment back in it instead of discarding the
+//     reset work.
+//   - Segment-count watermark admission (WithSegmentWatermarks):
+//     enqueues fail fast with queue.ErrOverloaded once live+preparing
+//     segments reach the high watermark, before any grow is attempted,
+//     and stay refused until the chain drains to the low watermark
+//     (hysteresis). Transitions surface through SetOverloadHook.
+//   - Memory bound (WithMemoryBound): a hard cap on the governed
+//     segment population (live + preparing + spare), reserved with a
+//     CAS loop before any pool allocation so concurrent appends cannot
+//     overshoot it. Growth past the bound becomes accounted shedding
+//     (queue.ErrFull, counted as OpSegShed) plus reclamation pressure:
+//     the shedding session scans its parked retirees first, so the
+//     free list absorbs churn ahead of fresh growth.
+//   - Helped finalization: a dequeuer that finds a committed straggler
+//     during the close/finalize walk announces the head segment
+//     through an xsync.TaskAnnounce, and enqueuers drive the drain
+//     (straggler advances and the final unlink) from their own
+//     post-operation path, so one stalled victim dequeuer cannot keep
+//     the drain work in every dequeuer's latency path during a spike.
 package evqseg
 
 import (
@@ -99,6 +134,7 @@ const (
 	segPreparing               // allocated by a producer, not yet linked
 	segLive                    // linked into the chain
 	segRetired                 // unlinked, awaiting hazard reclamation
+	segSpare                   // prepared and parked in the spare pool
 )
 
 // segment is one bounded ring plus its chain link and lifecycle state.
@@ -117,7 +153,11 @@ type segment struct {
 	// a segment stuck in segPreparing for minAge epochs is an append
 	// orphan (its producer died before linking) and is reclaimed by
 	// Scavenge.
-	beat  atomic.Uint64
+	beat atomic.Uint64
+	// self is the segment's own pool handle, fixed at creation (the
+	// segs-table binding never changes); it lets ring-level code name
+	// the segment in announce cells without threading the handle down.
+	self  uint64
 	slots []atomic.Uint64
 }
 
@@ -140,17 +180,41 @@ type Queue struct {
 	high    int // soft capacity; 0 = unbounded
 	maxSegs int
 
-	liveSegs atomic.Int64
-	epoch    atomic.Uint64 // append-orphan scavenge clock
+	liveSegs   atomic.Int64
+	prepSegs   atomic.Int64 // segments in segPreparing
+	spareDepth atomic.Int64 // segments parked in the spare pool
+	// memSegs is the population WithMemoryBound governs: live +
+	// preparing + spare. Reservations move through reserveMem so the
+	// bound is hard — concurrent appends cannot overshoot it.
+	memSegs atomic.Int64
+	epoch   atomic.Uint64 // append-orphan scavenge clock
 
-	ctrs        *xsync.Counters
-	hists       *xsync.Histograms
-	useBO       bool
-	budget      int
-	pol         *xsync.BackoffPolicy
-	yield       func()
-	grow        func(liveSegments int)
-	appendFault func() bool
+	// spares holds pool handles of prepared segments ready to link
+	// (state segSpare); zero entries are empty. Sized by spareCap.
+	spares   []atomic.Uint64
+	spareCap int
+	memBound int
+	segLow   int // segment-watermark hysteresis floor
+	segHigh  int // segment-watermark admission ceiling; 0 = disabled
+	segOver  atomic.Bool
+
+	// fin carries announced finalize-drain tasks from dequeuers to
+	// helping enqueuers (see the overload-hardening package section).
+	fin *xsync.TaskAnnounce
+	// qctr records ops that happen outside any session (scavenging,
+	// queue-level replenishes).
+	qctr xsync.Handle
+
+	ctrs           *xsync.Counters
+	hists          *xsync.Histograms
+	useBO          bool
+	budget         int
+	pol            *xsync.BackoffPolicy
+	yield          func()
+	grow           func(liveSegments int)
+	overHook       func(entered bool, segments int)
+	appendFault    func() bool
+	replenishFault func() bool
 }
 
 // Option configures a Queue.
@@ -209,13 +273,82 @@ func WithBackoffPolicy(p *xsync.BackoffPolicy) Option { return func(q *Queue) { 
 // WithAppendFault installs a fault hook consulted each time a producer
 // needs a fresh segment: a true return makes the allocation fail as if
 // the pool were exhausted, so the enqueue surfaces queue.ErrFull. The
-// chaos drills use it to prove growth failure cannot corrupt the rings.
-// Nil in production.
+// fault fires before the spare pool is consulted, so it models total
+// allocation failure (spares included). The chaos drills use it to
+// prove growth failure cannot corrupt the rings. Nil in production.
 func WithAppendFault(f func() bool) Option { return func(q *Queue) { q.appendFault = f } }
+
+// WithReplenishFault installs a fault hook consulted once per
+// spare-pool replenish attempt: a true return makes that attempt fail
+// silently, as if the pool were exhausted, leaving the spare pool
+// shallower than its capacity. Replenish failure is never an operation
+// error — appends fall back to inline allocation on a spare miss — so
+// the chaos drills use this to prove a starved spare pool degrades to
+// exactly the pre-pool behavior. Nil in production.
+func WithReplenishFault(f func() bool) Option { return func(q *Queue) { q.replenishFault = f } }
+
+// WithSpareSegments sets the spare-segment pool capacity: n prepared
+// rings kept parked so a segment append during a spike pops a
+// ready-to-link segment instead of allocating or resetting ring memory
+// on the admitted-operation path. The pool is pre-armed by New and
+// replenished off-path (after successful enqueues, on Detach, and by
+// Scavenge). n == 0 disables the pool; negative n is treated as 0. The
+// default is defaultSpareSegments.
+func WithSpareSegments(n int) Option {
+	return func(q *Queue) {
+		if n < 0 {
+			n = 0
+		}
+		q.spareCap = n
+	}
+}
+
+// WithSegmentWatermarks arms segment-count admission control: once
+// live+preparing segments reach high, enqueues are refused outright
+// with queue.ErrOverloaded — before any ring work or grow attempt —
+// and stay refused until the chain drains to at most low segments
+// (hysteresis, so admission does not flap at the boundary). Watermark
+// transitions are reported through SetOverloadHook. high == 0 disables
+// the gate; otherwise panics unless 0 < low <= high.
+func WithSegmentWatermarks(low, high int) Option {
+	return func(q *Queue) {
+		if high == 0 {
+			q.segLow, q.segHigh = 0, 0
+			return
+		}
+		if low <= 0 || low > high {
+			panic(fmt.Sprintf("evqseg: invalid segment watermarks low=%d high=%d", low, high))
+		}
+		q.segLow, q.segHigh = low, high
+	}
+}
+
+// WithMemoryBound caps the governed segment population — live +
+// preparing + spare — at n segments, reserved atomically before any
+// allocation so concurrent appends cannot overshoot the cap even
+// transiently. An append that would grow past it sheds with
+// queue.ErrFull (counted as OpSegShed) after pressuring reclamation,
+// converting overload into bounded-memory load shedding instead of
+// growth. Segments already retired and awaiting hazard reclamation are
+// outside the bound; they are limited separately by the sessions'
+// park budgets. n <= 0 leaves memory unbounded (the default).
+func WithMemoryBound(n int) Option {
+	return func(q *Queue) {
+		if n < 0 {
+			n = 0
+		}
+		q.memBound = n
+	}
+}
 
 // defaultMaxSegments backs an unbounded queue when the caller gives no
 // bound: 16k segments of the default 256 slots is ~4M in-flight items.
 const defaultMaxSegments = 1 << 14
+
+// defaultSpareSegments pre-arms two segments: enough to cover the
+// common spike shape (one boundary crossing plus one append race) with
+// pool pops while the post-operation replenisher catches up.
+const defaultSpareSegments = 2
 
 // New returns a segmented queue whose rings hold segSize slots each
 // (rounded up to a power of two, minimum 2).
@@ -228,22 +361,35 @@ func New(segSize int, opts ...Option) *Queue {
 		size <<= 1
 	}
 	q := &Queue{
-		size:   size,
-		mask:   size - 1,
-		stride: 1,
+		size:     size,
+		mask:     size - 1,
+		stride:   1,
+		spareCap: -1, // sentinel: not configured, use the default
 	}
 	for _, o := range opts {
 		o(q)
 	}
 	if q.maxSegs <= 0 {
-		if q.high > 0 {
+		switch {
+		case q.memBound > 0:
+			// Memory-bounded mode: the governed population never exceeds
+			// memBound; size the handle space for it plus retired
+			// segments awaiting reclamation and recycling slack.
+			q.maxSegs = 4*q.memBound + 64
+		case q.high > 0:
 			// Bounded mode: enough segments to hold the cap four times
 			// over (drained-but-unreclaimed heads, parked retire lists)
 			// plus slack for concurrent appends.
 			q.maxSegs = 4*(q.high/int(size)+1) + 64
-		} else {
+		default:
 			q.maxSegs = defaultMaxSegments
 		}
+	}
+	if q.spareCap < 0 {
+		q.spareCap = defaultSpareSegments
+	}
+	if q.spareCap > q.maxSegs/2 {
+		q.spareCap = q.maxSegs / 2
 	}
 	q.reg = registry.New(registry.WithYield(q.yield))
 	q.pool = arena.New(q.maxSegs)
@@ -252,15 +398,24 @@ func New(segSize int, opts ...Option) *Queue {
 	if q.yield != nil {
 		q.dom.SetYield(q.yield)
 	}
+	q.fin = xsync.NewTaskAnnounce()
+	q.qctr = q.ctrs.Handle()
 	// Install the first segment directly: the queue is born with one
 	// live, open, empty ring.
 	h := q.pool.Alloc()
-	g := &segment{slots: make([]atomic.Uint64, int(size)*q.stride)}
+	g := &segment{self: h, slots: make([]atomic.Uint64, int(size)*q.stride)}
 	g.state.Store(segLive)
 	q.segs[h>>1].Store(g)
 	q.headSeg.Store(h)
 	q.tailSeg.Store(h)
 	q.liveSegs.Store(1)
+	q.memSegs.Store(1)
+	if q.spareCap > 0 {
+		// Pre-arm the spare pool so the very first boundary crossing —
+		// the seam most overload benchmarks hit first — already pops.
+		q.spares = make([]atomic.Uint64, q.spareCap)
+		q.replenishSpares(nil, q.spareCap)
+	}
 	return q
 }
 
@@ -297,24 +452,45 @@ func (q *Queue) Pool() *arena.Arena { return q.pool }
 // use; the hook runs on the enqueue path and must not block.
 func (q *Queue) SetGrowHook(fn func(liveSegments int)) { q.grow = fn }
 
+// SetOverloadHook installs fn to be called on segment-watermark
+// transitions (WithSegmentWatermarks): entered=true when admission
+// starts refusing at the high watermark, entered=false when the chain
+// drained to the low watermark and admission resumed; segments is the
+// live+preparing count observed at the transition. Install before
+// concurrent use; the hook runs on the enqueue path and must not block.
+func (q *Queue) SetOverloadHook(fn func(entered bool, segments int)) { q.overHook = fn }
+
 // Segments returns the number of live (linked, unretired) segments —
 // the gauge behind burst-absorption dashboards. At least 1.
 func (q *Queue) Segments() int { return int(q.liveSegs.Load()) }
 
-// PendingSegments counts segments in the preparing state: allocated by
-// a producer but not yet linked. Transiently nonzero during appends;
-// persistently nonzero only when an appending producer died (the
-// append-orphan case Scavenge reclaims).
-func (q *Queue) PendingSegments() int {
-	n := 0
-	for i := 1; i < len(q.segs); i++ {
-		g := q.segs[i].Load()
-		if g != nil && g.state.Load() == segPreparing {
-			n++
-		}
-	}
-	return n
-}
+// PendingSegments counts segments in the preparing state: allocated (or
+// popped from the spare pool) by a producer but not yet linked.
+// Transiently nonzero during appends and replenishes; persistently
+// nonzero only when an appending producer died (the append-orphan case
+// Scavenge reclaims). O(1): maintained as a gauge alongside the state
+// transitions.
+func (q *Queue) PendingSegments() int { return int(q.prepSegs.Load()) }
+
+// SpareSegments returns the number of prepared segments currently
+// parked in the spare pool.
+func (q *Queue) SpareSegments() int { return int(q.spareDepth.Load()) }
+
+// SpareCapacity returns the configured spare-pool size (0 = disabled).
+func (q *Queue) SpareCapacity() int { return q.spareCap }
+
+// MemorySegments returns the segment population the memory bound
+// governs: live + preparing + spare. With WithMemoryBound(n) set this
+// never exceeds n, even transiently — reservations precede allocation.
+func (q *Queue) MemorySegments() int { return int(q.memSegs.Load()) }
+
+// MemoryBound returns the WithMemoryBound cap, 0 when memory-unbounded.
+func (q *Queue) MemoryBound() int { return q.memBound }
+
+// SegmentsOverloaded reports whether segment-watermark admission is
+// currently refusing enqueues (between a high-watermark crossing and
+// the drain back to the low watermark).
+func (q *Queue) SegmentsOverloaded() bool { return q.segOver.Load() }
 
 // seg resolves a pool handle to its ring storage.
 func (q *Queue) seg(h uint64) *segment { return q.segs[h>>1].Load() }
@@ -322,10 +498,19 @@ func (q *Queue) seg(h uint64) *segment { return q.segs[h>>1].Load() }
 func (g *segment) slot(q *Queue, i uint64) *atomic.Uint64 { return &g.slots[int(i)*q.stride] }
 
 // Len reports the number of queued items, summed over the segment
-// chain: O(live segments), approximate under concurrency (each
-// segment's indices are read at different instants and the chain may
-// grow or shrink mid-walk), exact when quiescent. The walk is bounded
-// by the pool size so a stale chain read can never loop.
+// chain. The estimate contract: O(live segments); exact when quiescent;
+// under concurrency each segment's indices are read at different
+// instants and the chain may grow, shrink, or recycle mid-walk, so the
+// result can lag or lead the true depth by the number of in-flight
+// operations — but it is always non-negative and never reads a torn
+// per-segment count. Two guards make the walk safe against the
+// pool-sourced recycling the spare pool accelerates: a segment whose
+// state is no longer live or preparing (it was retired and recycled
+// into a spare, or freed, after we followed a stale next pointer) ends
+// the walk rather than mixing another incarnation's indices in, and a
+// head/tail pair read across a recycle boundary is clamped to the only
+// range a coherent ring can hold. The walk is bounded by the pool size
+// so a stale chain read can never loop.
 func (q *Queue) Len() int {
 	n := 0
 	h := q.headSeg.Load()
@@ -334,10 +519,21 @@ func (q *Queue) Len() int {
 		if g == nil {
 			break
 		}
+		if st := g.state.Load(); st != segLive && st != segPreparing {
+			// The walk strayed off the current chain onto a recycled
+			// incarnation; everything from here is another epoch's data.
+			break
+		}
 		head := g.head.Load()
 		pos := g.tail.Load() &^ closedBit
 		if pos > head {
-			n += int(pos - head)
+			d := pos - head
+			if d > q.size {
+				// head and tail straddled a recycle (reset to 0 between
+				// the two reads); clamp to the ring's capacity.
+				d = q.size
+			}
+			n += int(d)
 		}
 		h = g.next.Load()
 	}
@@ -353,31 +549,77 @@ func (q *Queue) SpaceRecords() int { return q.reg.Records() + q.dom.Records() }
 // bounds scale their per-thread allowance by this.
 func (q *Queue) SessionRecordCost() int { return 2 }
 
-// allocSegment pops a pool slot and prepares its ring for linking:
-// fresh slots on first use, a full reset on recycle. Returns 0 when the
-// pool is exhausted even after giving this session's parked retirees a
-// chance to be reclaimed.
+// reserveMem reserves one segment against the memory bound before any
+// allocation. The CAS loop (rather than a blind add) is what makes
+// WithMemoryBound hard: two producers racing at bound-1 cannot both
+// win, so the governed population never overshoots even transiently.
+// Unbounded queues skip straight to the gauge add.
+func (q *Queue) reserveMem() bool {
+	if q.memBound <= 0 {
+		q.memSegs.Add(1)
+		return true
+	}
+	for {
+		cur := q.memSegs.Load()
+		if cur >= int64(q.memBound) {
+			return false
+		}
+		if q.memSegs.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// allocSegment produces a prepared segment ready for linking. The fast
+// path pops a pre-armed spare — no ring memory touched; on a miss it
+// falls back to reserving against the memory bound and allocating (or
+// recycling) from the pool inline. Returns 0 when the memory bound
+// refuses growth or the pool is exhausted even after giving this
+// session's parked retirees a chance to be reclaimed.
 func (q *Queue) allocSegment(s *Session) uint64 {
 	q.fire()
 	if q.appendFault != nil && q.appendFault() {
+		return 0
+	}
+	if h := q.popSpare(); h != 0 {
+		s.ctr.Inc(xsync.OpSegSpareHit)
+		return h
+	}
+	if q.spareCap > 0 {
+		s.ctr.Inc(xsync.OpSegSpareMiss)
+	}
+	if !q.reserveMem() {
+		// Memory-bounded shed: growth refused. Pressure reclamation so
+		// the free list — not fresh memory — absorbs the next append.
+		s.rec.Scan()
+		s.ctr.Inc(xsync.OpSegShed)
 		return 0
 	}
 	h := q.pool.Alloc()
 	if h == arena.Nil {
 		s.rec.Scan()
 		if h = q.pool.Alloc(); h == arena.Nil {
+			q.memSegs.Add(-1)
 			return 0
 		}
 	}
+	return q.prepareSegment(h, s.ctr)
+}
+
+// prepareSegment readies a freshly popped pool slot for linking: fresh
+// slots on first use of the slot, a full reset on recycle. The caller
+// has already reserved the segment against the memory bound.
+func (q *Queue) prepareSegment(h uint64, ctr xsync.Handle) uint64 {
 	g := q.segs[h>>1].Load()
 	if g == nil {
-		g = &segment{slots: make([]atomic.Uint64, int(q.size)*q.stride)}
+		g = &segment{self: h, slots: make([]atomic.Uint64, int(q.size)*q.stride)}
 		g.beat.Store(q.epoch.Load())
 		g.state.Store(segPreparing)
+		q.prepSegs.Add(1)
 		// Publish the storage only after it is fully initialized; the
 		// atomic store orders it for every later reader of the table.
 		q.segs[h>>1].Store(g)
-		s.ctr.Inc(xsync.OpSegAlloc)
+		ctr.Inc(xsync.OpSegAlloc)
 		return h
 	}
 	// Recycle: the allocator owns the segment exclusively (the pool
@@ -391,15 +633,175 @@ func (q *Queue) allocSegment(s *Session) uint64 {
 	g.next.Store(0)
 	g.beat.Store(q.epoch.Load())
 	g.state.Store(segPreparing)
-	s.ctr.Inc(xsync.OpSegRecycle)
+	q.prepSegs.Add(1)
+	ctr.Inc(xsync.OpSegRecycle)
 	return h
 }
 
-// freeSegment returns an allocated-but-never-linked segment to the pool
-// (the loser of an append race).
+// popSpare claims a prepared segment from the spare pool, moving it
+// spare→preparing. Gauge order matters throughout the spare
+// transitions: the destination population is incremented before the
+// source is decremented, so the memSegs components never transiently
+// undercount and the memory bound cannot be slipped through a seam.
+func (q *Queue) popSpare() uint64 {
+	if q.spareCap == 0 || q.spareDepth.Load() == 0 {
+		return 0
+	}
+	for i := range q.spares {
+		h := q.spares[i].Load()
+		if h == 0 {
+			continue
+		}
+		if q.spares[i].CompareAndSwap(h, 0) {
+			g := q.seg(h)
+			q.prepSegs.Add(1)
+			q.spareDepth.Add(-1)
+			// Fresh beat: the pooled segment's clock aged while parked,
+			// and from here it must look like any in-flight append to
+			// the orphan scavenger.
+			g.beat.Store(q.epoch.Load())
+			g.state.Store(segPreparing)
+			return h
+		}
+	}
+	return 0
+}
+
+// pushSpare parks a prepared segment in the spare pool, moving it
+// preparing→spare. Returns false (and reverts to preparing) when every
+// slot is taken — the caller frees the segment instead.
+func (q *Queue) pushSpare(h uint64) bool {
+	if q.spareCap == 0 {
+		return false
+	}
+	g := q.seg(h)
+	g.state.Store(segSpare)
+	q.spareDepth.Add(1)
+	q.prepSegs.Add(-1)
+	for i := range q.spares {
+		if q.spares[i].Load() == 0 && q.spares[i].CompareAndSwap(0, h) {
+			return true
+		}
+	}
+	q.prepSegs.Add(1)
+	q.spareDepth.Add(-1)
+	g.state.Store(segPreparing)
+	return false
+}
+
+// freeSegment returns a prepared-but-never-linked segment to the pool:
+// append-race losers that found no spare room, replenish backouts, and
+// (via the scavenger's own path) append orphans. The CAS guards against
+// racing reclaimers; a loser leaves the segment to whoever won.
 func (q *Queue) freeSegment(h uint64) {
-	q.seg(h).state.Store(segFree)
-	q.pool.Free(h)
+	if q.seg(h).state.CompareAndSwap(segPreparing, segFree) {
+		q.prepSegs.Add(-1)
+		q.memSegs.Add(-1)
+		q.qctr.Inc(xsync.OpSegFree)
+		q.pool.Free(h)
+	}
+}
+
+// replenishSpares tops the spare pool up by at most n segments. It runs
+// only off the operation latency path — New's pre-arm, the
+// post-operation hook, Detach, and Scavenge — so its ring resets never
+// land inside an admitted operation. s may be nil for the queue-level
+// callers; a nil s just skips the parked-retiree scan on pool
+// exhaustion and books counters to the queue's own handle.
+func (q *Queue) replenishSpares(s *Session, n int) int {
+	if q.spareCap == 0 {
+		return 0
+	}
+	done := 0
+	for done < n && int(q.spareDepth.Load()) < q.spareCap {
+		if q.replenishFault != nil && q.replenishFault() {
+			break
+		}
+		q.fire()
+		if !q.reserveMem() {
+			break // the bound is better spent on live growth
+		}
+		h := q.pool.Alloc()
+		if h == arena.Nil && s != nil {
+			s.rec.Scan()
+			h = q.pool.Alloc()
+		}
+		if h == arena.Nil {
+			q.memSegs.Add(-1)
+			break
+		}
+		ctr := q.qctr
+		if s != nil {
+			ctr = s.ctr
+		}
+		q.prepareSegment(h, ctr)
+		if !q.pushSpare(h) {
+			// Racing replenishers filled the pool first.
+			q.freeSegment(h)
+			break
+		}
+		done++
+	}
+	return done
+}
+
+// retireState moves a just-unlinked segment to segRetired, decrementing
+// whichever population gauge its observed state was counted under. The
+// loop matters: the unlinker can race the scavenger's preparing→live
+// promotion (or the link winner's own transition), and a blind store
+// after a failed CAS would leak a gauge count.
+func (q *Queue) retireState(g *segment) {
+	for {
+		switch g.state.Load() {
+		case segLive:
+			if g.state.CompareAndSwap(segLive, segRetired) {
+				q.liveSegs.Add(-1)
+				q.memSegs.Add(-1)
+				return
+			}
+		case segPreparing:
+			// Linked and unlinked before anyone completed the
+			// preparing→live transition; it was still counted as
+			// preparing.
+			if g.state.CompareAndSwap(segPreparing, segRetired) {
+				q.prepSegs.Add(-1)
+				q.memSegs.Add(-1)
+				return
+			}
+		default:
+			return // someone else settled it (and the gauges)
+		}
+	}
+}
+
+// admitSegments is the segment-count admission gate (see
+// WithSegmentWatermarks): checked once per enqueue operation before any
+// ring work, so a spike sheds with one atomic load instead of a grow
+// attempt. Mirrors the depth-based hysteresis of the public wrapper's
+// watermark admission, keyed on the growth signal itself.
+func (q *Queue) admitSegments(s *Session) error {
+	if q.segHigh == 0 {
+		return nil
+	}
+	segs := int(q.liveSegs.Load() + q.prepSegs.Load())
+	if q.segOver.Load() {
+		if segs > q.segLow {
+			s.ctr.Inc(xsync.OpSegShed)
+			return queue.ErrOverloaded
+		}
+		if q.segOver.CompareAndSwap(true, false) && q.overHook != nil {
+			q.overHook(false, segs)
+		}
+		return nil
+	}
+	if segs >= q.segHigh {
+		if q.segOver.CompareAndSwap(false, true) && q.overHook != nil {
+			q.overHook(true, segs)
+		}
+		s.ctr.Inc(xsync.OpSegShed)
+		return queue.ErrOverloaded
+	}
+	return nil
 }
 
 var _ queue.Scavenger = (*Queue)(nil)
@@ -455,6 +857,10 @@ func (q *Queue) Scavenge(minAge uint64) int {
 	})
 	n += q.dom.Scavenge(minAge)
 	n += q.scavengeAppends(minAge)
+	// Scavenging freed whatever it could; fold one spare top-up into the
+	// same off-path walk so a pool drained by a spike recovers even when
+	// no enqueuer comes back to replenish it.
+	q.replenishSpares(nil, 1)
 	return n
 }
 
@@ -486,10 +892,14 @@ func (q *Queue) scavengeAppends(minAge uint64) int {
 		if reachable[uint64(i)<<1] {
 			if g.state.CompareAndSwap(segPreparing, segLive) {
 				q.liveSegs.Add(1)
+				q.prepSegs.Add(-1)
 			}
 			continue
 		}
 		if g.state.CompareAndSwap(segPreparing, segFree) {
+			q.prepSegs.Add(-1)
+			q.memSegs.Add(-1)
+			q.qctr.Inc(xsync.OpSegFree)
 			q.pool.Free(uint64(i) << 1)
 			n++
 		}
@@ -556,10 +966,18 @@ func (s *Session) expired(n int) bool {
 		time.Now().UnixNano() > s.deadline
 }
 
-// Detach releases both records for recycling. Idempotent.
+// Detach releases both records for recycling. Idempotent. A detaching
+// session also tops the spare pool up once — the classic off-path
+// moment — so a worker churn cycle leaves the pool armed.
 func (s *Session) Detach() {
 	if s.varH == 0 {
 		return
+	}
+	if s.rec.Gen() == s.hpGen {
+		s.q.replenishSpares(s, 1)
+	} else {
+		// Revoked hazard record: replenish without the retiree scan.
+		s.q.replenishSpares(nil, 1)
 	}
 	s.q.reg.DeregisterGen(s.varH, s.varGen, s.ctr)
 	s.varH = 0
@@ -620,6 +1038,9 @@ func (s *Session) Enqueue(v uint64) error {
 	}
 	s.prepare()
 	q := s.q
+	if err := q.admitSegments(s); err != nil {
+		return err
+	}
 	start := s.hist.StartEnq()
 	attempts := 0
 	for {
@@ -650,6 +1071,11 @@ func (s *Session) Enqueue(v uint64) error {
 			s.ctr.Inc(xsync.OpEnqueue)
 			s.hist.DoneEnq(start, attempts)
 			s.bo.Reset()
+			// Maintenance runs after the latency measurement closed: the
+			// spare top-up and any announced finalize help are this
+			// operation's contribution to the *next* spike, not part of
+			// its own admitted latency.
+			q.afterEnqueue(s)
 			return nil
 		case segContended:
 			s.rec.Clear(hpSeg)
@@ -678,6 +1104,7 @@ func (s *Session) Enqueue(v uint64) error {
 					// transition (and the accounting) on its behalf.
 					ng := q.seg(nh)
 					if ng.state.CompareAndSwap(segPreparing, segLive) {
+						q.prepSegs.Add(-1)
 						live := q.liveSegs.Add(1)
 						if q.grow != nil {
 							q.grow(int(live))
@@ -685,8 +1112,12 @@ func (s *Session) Enqueue(v uint64) error {
 					}
 					next = nh
 				} else {
-					// Another producer linked first; recycle ours.
-					q.freeSegment(nh)
+					// Another producer linked first. Ours is already fully
+					// prepared — park it as a spare rather than discard the
+					// reset work; free only when the pool has no room.
+					if !q.pushSpare(nh) {
+						q.freeSegment(nh)
+					}
 					next = g.next.Load()
 				}
 			}
@@ -697,6 +1128,90 @@ func (s *Session) Enqueue(v uint64) error {
 			s.bo.Fail()
 		}
 	}
+}
+
+// afterEnqueue is the post-operation maintenance hook, run after an
+// enqueue's latency measurement closes: top the spare pool back up and
+// help one announced finalize drain. Both are bounded (one segment
+// reset, finalizeHelpBudget straggler steps) so the hook cannot turn
+// into an unbounded detour, and both fast-path to a single atomic load
+// when there is nothing to do.
+func (q *Queue) afterEnqueue(s *Session) {
+	if q.spareCap > 0 && int(q.spareDepth.Load()) < q.spareCap {
+		q.replenishSpares(s, 1)
+	}
+	q.helpFinalize(s)
+}
+
+// finalizeHelpBudget bounds the straggler advances one helper performs
+// per announced finalize task; an unfinished drain goes back to the
+// pending cell for the next helper.
+const finalizeHelpBudget = 4
+
+// helpFinalize executes at most one announced finalize task. With
+// nothing announced the cost is one atomic load.
+func (q *Queue) helpFinalize(s *Session) {
+	if q.fin.Pending() == 0 {
+		return
+	}
+	q.fin.HelpOne(finalizeHelpBudget, func(task uint64, budget int) bool {
+		return q.finalizeStep(s, task, budget)
+	})
+	s.rec.Clear(hpSeg)
+}
+
+// finalizeStep drives the close/finalize drain of the announced head
+// segment: advance the closed Tail over committed stragglers and, once
+// the ring proves drained, unlink and retire it — exactly the steps a
+// dequeuer would otherwise take inline. Returns whether the task needs
+// no further help. Tasks are hints: the handle is re-validated against
+// the current head under hazard protection, and a handle that was
+// recycled into a *new* head incarnation is still safe to help (every
+// step below is the normal protocol against whatever ring the current
+// head is; at worst the help is a no-op CAS failure).
+func (q *Queue) finalizeStep(s *Session, task uint64, budget int) bool {
+	hs := s.rec.Protect(hpSeg, q.headSeg.Ptr())
+	if hs != task {
+		return true // head moved on; the drain completed without us
+	}
+	g := q.seg(hs)
+	marker := tagptr.Tag(s.varH)
+	for i := 0; i < budget; i++ {
+		q.fire()
+		t := g.tail.Load()
+		if t&closedBit == 0 {
+			return true // not (or no longer) a closing ring
+		}
+		pos := t &^ closedBit
+		q.fire()
+		if g.head.Load() != pos {
+			return true // consumable items remain; dequeuers own them
+		}
+		w := g.slot(q, pos&q.mask)
+		x := q.reg.LL(w, s.varH, s.ctr)
+		s.cas(w, marker, x) // release our reservation, restoring x
+		if x != 0 {
+			// Straggler committed before the close: advance over it.
+			s.cas(g.tail.Ptr(), t, (pos+1)|closedBit)
+			continue
+		}
+		next := g.next.Load()
+		if next == 0 {
+			return true // drained last segment: nothing to unlink
+		}
+		if q.tailSeg.Load() == hs {
+			s.cas(q.tailSeg.Ptr(), hs, next)
+		}
+		if s.cas(q.headSeg.Ptr(), hs, next) {
+			q.retireState(g)
+			s.ctr.Inc(xsync.OpSegRetire)
+			s.ctr.Inc(xsync.OpSegFinalizeHelp)
+			s.rec.Clear(hpSeg)
+			s.rec.Retire(hs)
+		}
+		return true
+	}
+	return false
 }
 
 // enqueue attempts the Figure 5 Enqueue against one ring. Returns
@@ -818,15 +1333,10 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 				s.cas(q.tailSeg.Ptr(), hs, next)
 			}
 			if s.cas(q.headSeg.Ptr(), hs, next) {
-				// The CAS gates the decrement against the preparing→live
-				// gate above: a segment retired before anyone completed
-				// that transition was never counted, so only a live→retired
-				// winner decrements.
-				if g.state.CompareAndSwap(segLive, segRetired) {
-					q.liveSegs.Add(-1)
-				} else {
-					g.state.Store(segRetired)
-				}
+				// The unlink CAS makes this session the unique retirer;
+				// retireState settles whichever population gauge the
+				// segment was counted under.
+				q.retireState(g)
 				s.ctr.Inc(xsync.OpSegRetire)
 				s.rec.Clear(hpSeg)
 				s.rec.Retire(hs)
@@ -998,6 +1508,8 @@ func (g *segment) dequeueBatch(s *Session, dst []uint64, n *int, b *batchCtr) se
 			if x == 0 {
 				return segDrained
 			}
+			// Announce the drain for post-op helpers; see dequeue.
+			q.fin.Publish(g.self)
 			s.cas(g.tail.Ptr(), t, (pos+1)|closedBit)
 			b.fail()
 			continue
@@ -1056,6 +1568,9 @@ func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
 	}
 	s.prepare()
 	q := s.q
+	if err := q.admitSegments(s); err != nil {
+		return 0, err
+	}
 	start := s.hist.StartEnq()
 	filled := 0
 	var b batchCtr
@@ -1118,6 +1633,7 @@ loop:
 				if s.cas(&g.next, 0, nh) {
 					ng := q.seg(nh)
 					if ng.state.CompareAndSwap(segPreparing, segLive) {
+						q.prepSegs.Add(-1)
 						live := q.liveSegs.Add(1)
 						if q.grow != nil {
 							q.grow(int(live))
@@ -1125,7 +1641,10 @@ loop:
 					}
 					next = nh
 				} else {
-					q.freeSegment(nh)
+					// Park the race loser's prepared segment; see Enqueue.
+					if !q.pushSpare(nh) {
+						q.freeSegment(nh)
+					}
 					next = g.next.Load()
 				}
 			}
@@ -1140,6 +1659,9 @@ loop:
 		s.ctr.Add(xsync.OpEnqueue, uint64(filled))
 	}
 	s.hist.DoneEnqBatch(start, b.retries, filled)
+	if filled > 0 {
+		q.afterEnqueue(s) // off the measured path; see Enqueue
+	}
 	return filled, err
 }
 
@@ -1199,11 +1721,7 @@ loop:
 				s.cas(q.tailSeg.Ptr(), hs, next)
 			}
 			if s.cas(q.headSeg.Ptr(), hs, next) {
-				if g.state.CompareAndSwap(segLive, segRetired) {
-					q.liveSegs.Add(-1)
-				} else {
-					g.state.Store(segRetired)
-				}
+				q.retireState(g)
 				s.ctr.Inc(xsync.OpSegRetire)
 				s.rec.Clear(hpSeg)
 				s.rec.Retire(hs)
@@ -1252,7 +1770,11 @@ func (g *segment) dequeue(s *Session, attempts *int) (uint64, segResult) {
 				return 0, segDrained
 			}
 			// A straggler committed before the close: advance the
-			// closed Tail over it so the normal path consumes it.
+			// closed Tail over it so the normal path consumes it. Also
+			// announce the drain, so enqueuers help from their post-op
+			// path — a stalled dequeuer here must not serialize the
+			// walk (see the overload-hardening package section).
+			q.fin.Publish(g.self)
 			s.cas(g.tail.Ptr(), t, (pos+1)|closedBit)
 			*attempts++
 			continue

@@ -130,13 +130,13 @@ func TestChaosStormMidAppend(t *testing.T) {
 		t.Fatalf("Orphans(2) = %d after scavenge, want 0", got)
 	}
 	live := q.pool.Live()
-	acct := q.Segments() + q.dom.Parked()
+	acct := q.Segments() + q.dom.Parked() + q.SpareSegments() + q.PendingSegments()
 	if live != acct {
-		t.Fatalf("pool accounting broken: %d handles live, %d accounted (live segments + parked); segments leaked",
+		t.Fatalf("pool accounting broken: %d handles live, %d accounted (live segments + parked + spares + pending); segments leaked",
 			live, acct)
 	}
-	t.Logf("storm: %d abandoned (%d enq, %d deq), %d scavenged, %d segments live, %d parked, %d steps",
-		rep.Abandoned, rep.AbandonedEnq, rep.AbandonedDeq, rep.Scavenged, q.Segments(), q.dom.Parked(), rep.Steps)
+	t.Logf("storm: %d abandoned (%d enq, %d deq), %d scavenged, %d segments live, %d parked, %d spare, %d steps",
+		rep.Abandoned, rep.AbandonedEnq, rep.AbandonedDeq, rep.Scavenged, q.Segments(), q.dom.Parked(), q.SpareSegments(), rep.Steps)
 }
 
 // TestChaosDelayStorm widens the close/finalize race windows with

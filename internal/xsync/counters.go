@@ -57,6 +57,25 @@ const (
 	// OpDeadline counts operations aborted mid-retry-loop with
 	// ErrDeadline because their session deadline passed.
 	OpDeadline
+	// OpSegFree counts prepared-but-never-linked segments returned to the
+	// pool by the segmented queue (append-race losers that found no spare
+	// room, replenish backouts, and scavenged append orphans).
+	OpSegFree
+	// OpSegShed counts enqueues the segmented queue refused because
+	// segment-count watermarks or the memory bound converted would-be
+	// growth into shedding.
+	OpSegShed
+	// OpSegSpareHit counts segment appends served by popping a pre-armed
+	// segment from the spare pool (no ring memory touched on the hot
+	// path).
+	OpSegSpareHit
+	// OpSegSpareMiss counts segment appends that found the spare pool
+	// empty and fell back to allocating or recycling inline.
+	OpSegSpareMiss
+	// OpSegFinalizeHelp counts closed segments finalized and unlinked by
+	// a helping enqueuer via the announced finalize task rather than by a
+	// dequeuer inline.
+	OpSegFinalizeHelp
 
 	numOpKinds
 )
@@ -98,6 +117,16 @@ func (k OpKind) String() string {
 		return "overload-shed"
 	case OpDeadline:
 		return "deadline-abort"
+	case OpSegFree:
+		return "seg-free"
+	case OpSegShed:
+		return "seg-shed"
+	case OpSegSpareHit:
+		return "seg-spare-hit"
+	case OpSegSpareMiss:
+		return "seg-spare-miss"
+	case OpSegFinalizeHelp:
+		return "seg-finalize-help"
 	default:
 		return "unknown"
 	}

@@ -163,6 +163,12 @@ type config struct {
 	lowWater    int
 	highWater   int
 	wmSet       bool
+	spareSegs   int
+	spareSet    bool
+	memBound    int
+	segLow      int
+	segHigh     int
+	segWmSet    bool
 }
 
 // Option configures New.
@@ -272,6 +278,58 @@ func WithWatermarks(low, high int) Option {
 		c.lowWater = low
 		c.highWater = high
 		c.wmSet = true
+	}
+}
+
+// WithSpareSegments sets the spare-segment pool size of
+// AlgorithmSegmented: n prepared ring segments are kept pre-armed so a
+// burst that crosses a segment boundary pops a ready segment instead of
+// allocating or resetting ring memory inside the admitted enqueue — the
+// single largest contributor to the segmented queue's overload tail
+// latency. The pool is replenished off the latency path (after
+// successful enqueues, on Detach, and by ScavengeOrphans). n == 0
+// disables the pool; unset, the algorithm default (2) applies. New
+// rejects a negative n and any use with another algorithm.
+func WithSpareSegments(n int) Option {
+	return func(c *config) {
+		c.spareSegs = n
+		c.spareSet = true
+	}
+}
+
+// WithMemoryBound caps AlgorithmSegmented's segment population — live,
+// preparing, and pooled spare segments together — at n segments,
+// reserved atomically before any allocation so concurrent growth can
+// never overshoot the cap, even transiently. An enqueue that would grow
+// past it sheds with ErrFull (after pressuring segment reclamation so
+// the free list absorbs the next burst), converting overload into
+// bounded-memory load shedding instead of unbounded growth. Composes
+// with WithUnbounded: the queue is then unbounded in *depth* until the
+// memory bound's segments fill. Segments already retired and awaiting
+// hazard reclamation sit outside the bound; they are limited separately
+// by the sessions' reclamation budgets. New rejects n <= 0 and any use
+// with another algorithm.
+func WithMemoryBound(n int) Option { return func(c *config) { c.memBound = n } }
+
+// WithSegmentWatermarks arms segment-count admission control on
+// AlgorithmSegmented: once the chain holds high or more segments
+// (live + preparing), Enqueue and EnqueueBatch fail fast with
+// ErrOverloaded — before any ring work or grow attempt — until the
+// chain drains to at most low segments (hysteresis, so admission does
+// not flap at the boundary). This is WithWatermarks keyed on the
+// *growth* signal instead of depth: depth watermarks see overload only
+// after items accumulate, segment watermarks see it the moment the
+// queue starts eating memory to absorb it. Both can be armed together;
+// either refusing sheds the enqueue. Transitions fire
+// EventOverloadEnter/EventOverloadExit with Op "segments" on the
+// WithEventHook observer, and refused enqueues count toward
+// Snapshot.SegmentSheds. Requires 0 < low <= high and
+// AlgorithmSegmented; New rejects anything else.
+func WithSegmentWatermarks(low, high int) Option {
+	return func(c *config) {
+		c.segLow = low
+		c.segHigh = high
+		c.segWmSet = true
 	}
 }
 
@@ -391,6 +449,30 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 	if c.segSet && c.segSize <= 0 {
 		return nil, c, fmt.Errorf("nbqueue: WithSegmentSize(%d) must be positive", c.segSize)
 	}
+	if c.spareSet {
+		if c.algorithm != AlgorithmSegmented {
+			return nil, c, fmt.Errorf("nbqueue: WithSpareSegments requires AlgorithmSegmented, not %q", c.algorithm)
+		}
+		if c.spareSegs < 0 {
+			return nil, c, fmt.Errorf("nbqueue: WithSpareSegments(%d) is negative; use 0 to disable the pool", c.spareSegs)
+		}
+	}
+	if c.memBound != 0 {
+		if c.algorithm != AlgorithmSegmented {
+			return nil, c, fmt.Errorf("nbqueue: WithMemoryBound requires AlgorithmSegmented, not %q", c.algorithm)
+		}
+		if c.memBound < 0 {
+			return nil, c, fmt.Errorf("nbqueue: WithMemoryBound(%d) must be positive", c.memBound)
+		}
+	}
+	if c.segWmSet {
+		if c.algorithm != AlgorithmSegmented {
+			return nil, c, fmt.Errorf("nbqueue: WithSegmentWatermarks requires AlgorithmSegmented, not %q", c.algorithm)
+		}
+		if c.segLow <= 0 || c.segLow > c.segHigh {
+			return nil, c, fmt.Errorf("nbqueue: WithSegmentWatermarks(%d, %d) needs 0 < low <= high", c.segLow, c.segHigh)
+		}
+	}
 	algo, err := bench.Lookup(string(c.algorithm))
 	if err != nil {
 		return nil, c, fmt.Errorf("nbqueue: unknown algorithm %q", c.algorithm)
@@ -412,6 +494,13 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 			c.policy.Bind(ctrs)
 		}
 	}
+	spare := 0
+	if c.spareSet {
+		spare = c.spareSegs
+		if spare == 0 {
+			spare = -1 // explicit disable, distinct from "use the default"
+		}
+	}
 	inner := algo.New(bench.Config{
 		Capacity:        c.capacity,
 		MaxThreads:      c.maxThreads,
@@ -425,13 +514,26 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 		SegSize:         c.segSize,
 		Policy:          c.policy,
 		StarvationBound: c.starve,
+		SpareSegments:   spare,
+		MemoryBound:     c.memBound,
+		SegLow:          c.segLow,
+		SegHigh:         c.segHigh,
 	})
 	if c.hook != nil {
+		name := inner.Name()
+		hook := c.hook
 		if g, ok := inner.(interface{ SetGrowHook(func(int)) }); ok {
-			name := inner.Name()
-			hook := c.hook
 			g.SetGrowHook(func(live int) {
 				hook(Event{Kind: EventSegmentGrow, Algorithm: name, N: live})
+			})
+		}
+		if o, ok := inner.(interface{ SetOverloadHook(func(bool, int)) }); ok {
+			o.SetOverloadHook(func(entered bool, segments int) {
+				kind := EventOverloadExit
+				if entered {
+					kind = EventOverloadEnter
+				}
+				hook(Event{Kind: kind, Algorithm: name, Op: "segments", N: segments})
 			})
 		}
 	}
@@ -863,6 +965,53 @@ func (q *Queue[T]) Segments() (n int, ok bool) {
 		return 0, false
 	}
 	return sg.Segments(), true
+}
+
+// SpareSegments reports how many prepared ring segments are parked in
+// AlgorithmSegmented's spare pool (see WithSpareSegments); ok is false
+// for the other algorithms. A healthy steady state sits at the pool's
+// capacity; sustained zero under load means bursts are consuming spares
+// faster than the off-path replenisher restores them.
+func (q *Queue[T]) SpareSegments() (n int, ok bool) {
+	sp, ok := q.inner.(interface{ SpareSegments() int })
+	if !ok {
+		return 0, false
+	}
+	return sp.SpareSegments(), true
+}
+
+// PendingSegments reports AlgorithmSegmented's preparing-state segments
+// (allocated or popped from the spare pool, not yet linked); ok is
+// false for the other algorithms. Transiently nonzero during appends;
+// persistently nonzero only when an appending producer died (the
+// append-orphan case ScavengeOrphans reclaims).
+func (q *Queue[T]) PendingSegments() (n int, ok bool) {
+	p, ok := q.inner.(interface{ PendingSegments() int })
+	if !ok {
+		return 0, false
+	}
+	return p.PendingSegments(), true
+}
+
+// MemorySegments reports the segment population WithMemoryBound governs
+// — live + preparing + spare — for AlgorithmSegmented; ok is false for
+// the other algorithms. With a memory bound set this never exceeds it,
+// even transiently.
+func (q *Queue[T]) MemorySegments() (n int, ok bool) {
+	m, ok := q.inner.(interface{ MemorySegments() int })
+	if !ok {
+		return 0, false
+	}
+	return m.MemorySegments(), true
+}
+
+// SegmentsOverloaded reports whether WithSegmentWatermarks admission is
+// currently refusing enqueues. Always false without segment watermarks
+// or on other algorithms. Exposed for gauges and tests; the depth-based
+// analogue is Overloaded.
+func (q *Queue[T]) SegmentsOverloaded() bool {
+	o, ok := q.inner.(interface{ SegmentsOverloaded() bool })
+	return ok && o.SegmentsOverloaded()
 }
 
 // TryDrain dequeues up to max values (all available when max <= 0),
