@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke experiments check soak explore clean
+.PHONY: all build test race cover bench bench-smoke slo-gate experiments check soak explore clean
 
 all: build test
 
@@ -38,6 +38,13 @@ bench-smoke:
 	$(GO) run ./cmd/fifobench -experiment overload \
 		-format json > results/BENCH_overload.json
 	cat results/BENCH_overload.json
+
+# Check the current results/ against the checked-in SLO budgets and
+# append the verdict to the perf trajectory. Run `make bench-smoke`
+# first to gate fresh numbers; exits nonzero on any budget breach.
+slo-gate:
+	$(GO) run ./cmd/fifogate -budgets slo/budgets.json -current results \
+		-report results/SLO_report.json -trajectory results/TRAJECTORY.jsonl
 
 # Regenerate every figure/table with scaled-down defaults (minutes).
 experiments:

@@ -87,6 +87,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *format == "json" {
+			return bench.WriteLatencyJSON(out, rows)
+		}
 		return bench.WriteLatencyTable(out, *latencyN, rows)
 	}
 

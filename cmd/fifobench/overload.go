@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -12,6 +11,7 @@ import (
 
 	"nbqueue"
 	"nbqueue/internal/bench"
+	"nbqueue/internal/slo"
 )
 
 // The overload experiment measures what admission control buys under
@@ -60,6 +60,32 @@ type overloadRow struct {
 	SpareMisses  uint64  `json:"spare_misses"`
 	PeakSegments int     `json:"peak_segments"`
 	WallSeconds  float64 `json:"wall_seconds"`
+}
+
+// overloadResult wraps the rows as the versioned "overload" slo.Result
+// envelope (the CSV twin keeps the flat spreadsheet shape).
+func overloadResult(rows []overloadRow) slo.Result {
+	r := slo.NewResult("overload")
+	for _, o := range rows {
+		r.Rows = append(r.Rows, slo.Row{
+			Algorithm: o.Key,
+			Label:     o.Label,
+			Metrics: map[string]float64{
+				"base_p999_us":      o.BaseP999Us,
+				"overload_p999_us":  o.OverP999Us,
+				"ratio":             o.Ratio,
+				"admitted_per_sec":  o.AdmittedPerSec,
+				"sheds_per_sec":     o.ShedsPerSec,
+				"hysteresis_cycles": float64(o.Cycles),
+				"segment_sheds":     float64(o.SegmentSheds),
+				"spare_hits":        float64(o.SpareHits),
+				"spare_misses":      float64(o.SpareMisses),
+				"peak_segments":     float64(o.PeakSegments),
+				"wall_seconds":      o.WallSeconds,
+			},
+		})
+	}
+	return r
 }
 
 // overloadAlgos lists the algorithms with an admission-control gate:
@@ -230,9 +256,7 @@ func runOverload(out io.Writer, format string, p bench.Params) error {
 	}
 	switch format {
 	case "json":
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rows)
+		return slo.Write(out, overloadResult(rows))
 	case "csv":
 		fmt.Fprintln(out, "algorithm,base_p999_us,overload_p999_us,ratio,admitted_per_sec,sheds_per_sec,hysteresis_cycles,segment_sheds,spare_hits,spare_misses,peak_segments")
 		for _, r := range rows {

@@ -1,0 +1,124 @@
+// Command fifogate evaluates benchmark results against the checked-in
+// SLO budgets and fails loudly on regression: the perf-trajectory gate.
+//
+// fifobench's -format json experiments all emit the versioned
+// slo.Result envelope; fifogate loads a directory of them (the
+// "current" run), optionally a second directory as the baseline
+// (typically the checked-in results/), and scores every check in the
+// budget file. Absolute floors and ceilings gate the current values;
+// relative drift bounds gate current against baseline. The verdict is
+// written as a machine-readable report, appended as one line to the
+// TRAJECTORY.jsonl perf log, and reflected in the exit status — 0 on
+// pass, 1 on any failed check.
+//
+// Examples:
+//
+//	fifogate -current out/                         # absolute budgets only
+//	fifogate -baseline results/ -current out/      # plus drift bounds
+//	fifogate -current out/ -report out/SLO_report.json \
+//	         -trajectory results/TRAJECTORY.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nbqueue/internal/slo"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fifogate:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the gate; the int is the process exit code for a clean
+// evaluation (0 pass, 1 fail) and err reports operational problems
+// (bad flags, unreadable files), which exit 2.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("fifogate", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		budgets    = fs.String("budgets", "slo/budgets.json", "SLO budget file")
+		current    = fs.String("current", "", "directory of current slo.Result envelopes (BENCH_*.json)")
+		baseline   = fs.String("baseline", "", "optional directory of baseline envelopes for drift bounds")
+		report     = fs.String("report", "", "optional path for the machine-readable JSON report")
+		trajectory = fs.String("trajectory", "", "optional TRAJECTORY.jsonl to append this run's verdict to")
+		quiet      = fs.Bool("quiet", false, "print only failures and the verdict line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *current == "" {
+		return 2, fmt.Errorf("-current is required")
+	}
+	budget, err := slo.ReadBudget(*budgets)
+	if err != nil {
+		return 2, err
+	}
+	cur, err := slo.LoadDir(*current)
+	if err != nil {
+		return 2, err
+	}
+	if len(cur) == 0 {
+		return 2, fmt.Errorf("no slo.Result envelopes (BENCH_*.json, schema %d) in %s", slo.SchemaVersion, *current)
+	}
+	base := map[string]slo.Result{}
+	if *baseline != "" {
+		if base, err = slo.LoadDir(*baseline); err != nil {
+			return 2, err
+		}
+	}
+
+	rep := slo.Evaluate(budget, cur, base)
+	for _, f := range rep.Results {
+		if f.Pass && (*quiet || f.Skipped) {
+			continue
+		}
+		status := "ok  "
+		switch {
+		case f.Skipped:
+			status = "skip"
+		case !f.Pass:
+			status = "FAIL"
+		}
+		fmt.Fprintf(out, "%s  %s\n", status, f.Detail)
+	}
+	verdict := "PASS"
+	if !rep.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(out, "fifogate: %s — %d checked, %d failed, %d skipped\n",
+		verdict, rep.Checked, rep.Failed, rep.Skipped)
+
+	if *report != "" {
+		fh, err := os.Create(*report)
+		if err != nil {
+			return 2, err
+		}
+		enc := json.NewEncoder(fh)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fh.Close()
+			return 2, err
+		}
+		if err := fh.Close(); err != nil {
+			return 2, err
+		}
+	}
+	if *trajectory != "" {
+		if err := slo.AppendTrajectory(*trajectory, slo.NewTrajectoryEntry(rep)); err != nil {
+			return 2, err
+		}
+	}
+	if !rep.Pass {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nbqueue/internal/slo"
+)
+
+// writeResults drops a smoke envelope with the given throughput into
+// dir, plus a budget file bounding it.
+func writeFixture(t *testing.T, dir string, opsPerSec float64) {
+	t.Helper()
+	r := slo.NewResult("smoke")
+	r.Rows = []slo.Row{{
+		Algorithm: "evq-cas",
+		Case:      "bounded",
+		Metrics:   map[string]float64{"ops_per_sec": opsPerSec},
+	}}
+	fh, err := os.Create(filepath.Join(dir, "BENCH_smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slo.Write(fh, r); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+}
+
+func writeBudget(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "budgets.json")
+	budget := `{
+  "schema": 1,
+  "checks": [
+    {"experiment": "smoke", "algorithm": "evq-cas", "case": "bounded",
+     "metric": "ops_per_sec", "min": 500000, "max_drop_frac": 0.5}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(budget), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesHealthyRun(t *testing.T) {
+	cur := t.TempDir()
+	writeFixture(t, cur, 2e6)
+	budget := writeBudget(t, t.TempDir())
+	var sb strings.Builder
+	code, err := run([]string{"-budgets", budget, "-current", cur}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("healthy run exited %d:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "PASS") {
+		t.Fatalf("missing verdict:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsInjectedRegression(t *testing.T) {
+	// Injected regression: absolute floor breach.
+	cur := t.TempDir()
+	writeFixture(t, cur, 1e5)
+	budget := writeBudget(t, t.TempDir())
+	var sb strings.Builder
+	code, err := run([]string{"-budgets", budget, "-current", cur}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("regressed run exited %d, want 1:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL") || !strings.Contains(sb.String(), "below floor") {
+		t.Fatalf("missing failure detail:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsDriftAgainstBaseline(t *testing.T) {
+	// Above the absolute floor but >50% below the baseline run.
+	cur, base := t.TempDir(), t.TempDir()
+	writeFixture(t, cur, 6e5)
+	writeFixture(t, base, 2e6)
+	budget := writeBudget(t, t.TempDir())
+	var sb strings.Builder
+	code, err := run([]string{"-budgets", budget, "-current", cur, "-baseline", base}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("drifted run exited %d, want 1:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "dropped more than") {
+		t.Fatalf("missing drift detail:\n%s", sb.String())
+	}
+}
+
+func TestGateWritesReportAndTrajectory(t *testing.T) {
+	cur := t.TempDir()
+	writeFixture(t, cur, 2e6)
+	budget := writeBudget(t, t.TempDir())
+	out := t.TempDir()
+	report := filepath.Join(out, "report.json")
+	traj := filepath.Join(out, "TRAJECTORY.jsonl")
+	var sb strings.Builder
+	code, err := run([]string{
+		"-budgets", budget, "-current", cur,
+		"-report", report, "-trajectory", traj,
+	}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v:\n%s", code, err, sb.String())
+	}
+	rdata, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rdata), `"pass": true`) {
+		t.Fatalf("report malformed: %s", rdata)
+	}
+	tdata, err := os.ReadFile(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tdata), `"pass":true`) {
+		t.Fatalf("trajectory malformed: %s", tdata)
+	}
+}
+
+func TestGateRejectsEmptyCurrentDir(t *testing.T) {
+	budget := writeBudget(t, t.TempDir())
+	var sb strings.Builder
+	code, err := run([]string{"-budgets", budget, "-current", t.TempDir()}, &sb)
+	if err == nil || code != 2 {
+		t.Fatalf("empty current dir should be an operational error, got code=%d err=%v", code, err)
+	}
+}
+
+func TestGateAgainstCheckedInResults(t *testing.T) {
+	// The repo's own budgets must pass over the repo's own results —
+	// the exact invocation the CI slo-gate job runs.
+	var sb strings.Builder
+	code, err := run([]string{
+		"-budgets", "../../slo/budgets.json",
+		"-current", "../../results",
+		"-baseline", "../../results",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("checked-in results fail the checked-in budgets:\n%s", sb.String())
+	}
+}

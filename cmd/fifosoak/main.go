@@ -40,6 +40,7 @@ import (
 	"nbqueue/internal/chaos"
 	"nbqueue/internal/expose"
 	"nbqueue/internal/queue"
+	"nbqueue/internal/trace"
 	"nbqueue/internal/xsync"
 )
 
@@ -362,6 +363,7 @@ func instrument(st *statsServer, key string, cfg *bench.Config) func(q queue.Que
 	}
 	cfg.Counters = xsync.NewCounters()
 	cfg.Hists = xsync.NewHistograms()
+	cfg.Trace = trace.New(0)
 	return func(q queue.Queue) {
 		var depth, segments func() int
 		if lq, ok := q.(interface{ Len() int }); ok {
@@ -404,7 +406,7 @@ func instrument(st *statsServer, key string, cfg *bench.Config) func(q queue.Que
 				},
 			})
 		}
-		st.setAlgorithm(key, cfg.Counters, cfg.Hists, depth, segments, extras...)
+		st.setAlgorithm(key, cfg.Counters, cfg.Hists, cfg.Trace, depth, segments, extras...)
 	}
 }
 

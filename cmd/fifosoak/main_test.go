@@ -1,13 +1,29 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 )
+
+// counterValue parses `name{labels} 123` exposition lines matching the
+// given prefix.
+func counterValue(line, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(line, prefix) {
+		return 0, false
+	}
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(line[i+1:], 10, 64)
+	return v, err == nil
+}
 
 func TestSoakSingleAlgorithm(t *testing.T) {
 	var sb strings.Builder
@@ -174,8 +190,69 @@ func TestSoakStatsEndpoint(t *testing.T) {
 	if body := get("/healthz"); !strings.Contains(body, "ok") {
 		t.Errorf("/healthz = %q", body)
 	}
+	for _, want := range []string{
+		"# TYPE nbq_trace_dropped_total counter",
+		"# TYPE nbq_build_info gauge",
+		`go_version=`,
+		`gomaxprocs=`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%.2000s", want, metrics)
+		}
+	}
 	if body := get("/debug/vars"); !strings.Contains(body, "fifosoak") {
 		t.Errorf("/debug/vars missing fifosoak var:\n%.500s", body)
+	}
+
+	// The flight-recorder dump: time-ordered records whose per-outcome
+	// tallies reconcile with the counters (sampled outcomes are a lower
+	// bound on the counter totals).
+	var dump struct {
+		Algorithm string            `json:"algorithm"`
+		Written   uint64            `json:"written"`
+		Dropped   uint64            `json:"dropped"`
+		Outcomes  map[string]uint64 `json:"outcomes"`
+		Records   []struct {
+			Time    time.Time `json:"time"`
+			Kind    string    `json:"kind"`
+			Outcome string    `json:"outcome"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/fifotrace")), &dump); err != nil {
+		t.Fatalf("/debug/fifotrace not JSON: %v", err)
+	}
+	if dump.Algorithm != "evq-cas" {
+		t.Errorf("/debug/fifotrace algorithm = %q", dump.Algorithm)
+	}
+	if len(dump.Records) == 0 || dump.Written == 0 {
+		t.Errorf("/debug/fifotrace empty after a running soak: written=%d records=%d",
+			dump.Written, len(dump.Records))
+	}
+	tally := map[string]uint64{}
+	for i, r := range dump.Records {
+		tally[r.Outcome]++
+		if i > 0 && r.Time.Before(dump.Records[i-1].Time) {
+			t.Errorf("/debug/fifotrace records not time-ordered at %d", i)
+			break
+		}
+	}
+	for outcome, n := range dump.Outcomes {
+		if tally[outcome] != n {
+			t.Errorf("outcome tally mismatch for %q: summary=%d records=%d", outcome, n, tally[outcome])
+		}
+	}
+	// Sampled records never exceed the operations the counters saw.
+	var enq, deq uint64
+	for _, line := range strings.Split(get("/metrics"), "\n") {
+		if v, ok := counterValue(line, "nbq_enqueues_total{"); ok {
+			enq = v
+		}
+		if v, ok := counterValue(line, "nbq_dequeues_total{"); ok {
+			deq = v
+		}
+	}
+	if ok := dump.Outcomes["ok"]; ok > enq+deq {
+		t.Errorf("more ok trace records (%d) than counted operations (%d)", ok, enq+deq)
 	}
 
 	// The 2s drill: the run must end promptly once the soak deadline
@@ -193,6 +270,11 @@ func TestSoakStatsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(ticks.String(), "ops/s=") {
 		t.Errorf("no digest lines ticked:\n%s", ticks.String())
+	}
+	// Shutdown must flush the final flight-recorder digest before the
+	// bounded server teardown.
+	if !strings.Contains(ticks.String(), "trace: evq-cas final dump") {
+		t.Errorf("no final trace flush on shutdown:\n%s", ticks.String())
 	}
 	if !strings.Contains(out.String(), "ok:") {
 		t.Errorf("final report missing:\n%s", out.String())

@@ -2,15 +2,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"nbqueue/internal/expose"
+	"nbqueue/internal/trace"
 	"nbqueue/internal/xsync"
 )
 
@@ -26,6 +32,7 @@ type statsServer struct {
 	key      string
 	ctrs     *xsync.Counters
 	hists    *xsync.Histograms
+	rec      *trace.Recorder
 	depth    func() int
 	segments func() int
 	extras   []expose.Gauge
@@ -57,6 +64,10 @@ func startStats(addr string, every time.Duration, out, errW io.Writer) (*statsSe
 		_ = st.collector().WritePrometheus(w)
 	}))
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/fifotrace", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = st.writeTraceDump(w)
+	}))
 	mux.Handle("/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -73,9 +84,9 @@ func startStats(addr string, every time.Duration, out, errW io.Writer) (*statsSe
 // either is nil when the queue cannot report one. extras carries any
 // further algorithm-specific gauges (spare-pool depth, segment
 // admission state, ...).
-func (st *statsServer) setAlgorithm(key string, ctrs *xsync.Counters, hists *xsync.Histograms, depth, segments func() int, extras ...expose.Gauge) {
+func (st *statsServer) setAlgorithm(key string, ctrs *xsync.Counters, hists *xsync.Histograms, rec *trace.Recorder, depth, segments func() int, extras ...expose.Gauge) {
 	st.mu.Lock()
-	st.key, st.ctrs, st.hists, st.depth, st.segments = key, ctrs, hists, depth, segments
+	st.key, st.ctrs, st.hists, st.rec, st.depth, st.segments = key, ctrs, hists, rec, depth, segments
 	st.extras = extras
 	st.prev = nil
 	st.mu.Unlock()
@@ -108,7 +119,82 @@ func (st *statsServer) collector() *expose.Collector {
 		})
 	}
 	c.Gauges = append(c.Gauges, st.extras...)
+	if st.rec != nil {
+		rec := st.rec
+		c.TraceDropped = rec.Dropped
+	}
+	c.BuildInfo = buildInfo()
 	return c
+}
+
+// buildInfo describes the producing binary for the nbq_build_info
+// series: module version when the build recorded one, Go toolchain,
+// and the scheduler width the numbers were produced under.
+func buildInfo() map[string]string {
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	return map[string]string{
+		"version":    version,
+		"go_version": runtime.Version(),
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+	}
+}
+
+// traceDump is the /debug/fifotrace response: the flight recorder's
+// merged, time-ordered dump plus the conservation counters and a
+// per-outcome tally that reconciles against the Prometheus counters.
+type traceDump struct {
+	Algorithm string            `json:"algorithm"`
+	PerRing   int               `json:"ring_capacity"`
+	Written   uint64            `json:"written"`
+	Dropped   uint64            `json:"dropped"`
+	Outcomes  map[string]uint64 `json:"outcomes"`
+	Records   []traceDumpRecord `json:"records"`
+}
+
+// traceDumpRecord is one decoded record.
+type traceDumpRecord struct {
+	Time      time.Time `json:"time"`
+	LatencyNs uint64    `json:"latency_ns,omitempty"`
+	Kind      string    `json:"kind"`
+	Outcome   string    `json:"outcome"`
+	Retries   uint32    `json:"retries"`
+	Spins     uint32    `json:"spins"`
+	N         uint32    `json:"n,omitempty"`
+}
+
+// writeTraceDump serves the current algorithm's flight-recorder dump.
+// Without tracing (no -statsaddr instrumented run in flight) it serves
+// an empty dump rather than an error, so scrapers can poll freely.
+func (st *statsServer) writeTraceDump(w io.Writer) error {
+	st.mu.Lock()
+	key, rec := st.key, st.rec
+	st.mu.Unlock()
+	dump := traceDump{Algorithm: key, Outcomes: map[string]uint64{}, Records: []traceDumpRecord{}}
+	if rec != nil {
+		recs := rec.Snapshot()
+		dump.PerRing = rec.PerRing()
+		dump.Written = rec.Written()
+		dump.Dropped = rec.Dropped()
+		dump.Outcomes = trace.CountByOutcome(recs)
+		dump.Records = make([]traceDumpRecord, len(recs))
+		for i, r := range recs {
+			dump.Records[i] = traceDumpRecord{
+				Time:      time.Unix(0, r.Start),
+				LatencyNs: r.Latency,
+				Kind:      r.Kind.String(),
+				Outcome:   r.Outcome.String(),
+				Retries:   r.Retries,
+				Spins:     r.Spins,
+				N:         r.N,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
 }
 
 // tickLoop prints one digest line per tick until close().
@@ -170,15 +256,44 @@ func (st *statsServer) tick(every time.Duration) {
 	fmt.Fprintln(st.errW, line)
 }
 
-// close stops the ticker and shuts the server down. Bounded: a scrape
-// in flight gets a short grace period, then the listener is torn down
-// hard, so soak shutdown never hangs on the stats plumbing.
+// close stops the ticker, flushes a final flight-recorder digest to
+// the digest stream (scrapers lose /debug/fifotrace with the listener,
+// so the last dump's tallies must land somewhere durable), and shuts
+// the server down. Bounded: a scrape in flight gets a short grace
+// period, then the listener is torn down hard, so soak shutdown never
+// hangs on the stats plumbing.
 func (st *statsServer) close() {
 	close(st.stop)
 	<-st.done
+	st.flushTrace()
 	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
 	defer cancel()
 	if err := st.srv.Shutdown(ctx); err != nil {
 		_ = st.srv.Close()
 	}
+}
+
+// flushTrace writes the final flight-recorder summary line: written and
+// dropped record totals plus the per-outcome tally of the last
+// snapshot, in deterministic outcome order.
+func (st *statsServer) flushTrace() {
+	st.mu.Lock()
+	key, rec := st.key, st.rec
+	st.mu.Unlock()
+	if rec == nil {
+		return
+	}
+	recs := rec.Snapshot()
+	counts := trace.CountByOutcome(recs)
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	line := fmt.Sprintf("trace: %s final dump records=%d written=%d dropped=%d",
+		key, len(recs), rec.Written(), rec.Dropped())
+	for _, name := range names {
+		line += fmt.Sprintf(" %s=%d", name, counts[name])
+	}
+	fmt.Fprintln(st.errW, line)
 }

@@ -10,7 +10,6 @@ package bench
 // singles' fixed per-element cost).
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -19,6 +18,7 @@ import (
 	"time"
 
 	"nbqueue/internal/queue"
+	"nbqueue/internal/slo"
 	"nbqueue/internal/xsync"
 )
 
@@ -185,9 +185,8 @@ func WriteBatchTable(w io.Writer, rows []BatchRow) error {
 	return tw.Flush()
 }
 
-// WriteBatchJSON writes the rows as indented JSON for the CI artifact.
+// WriteBatchJSON writes the rows as the versioned "batch" slo.Result
+// envelope for the CI artifact and the fifogate budget checks.
 func WriteBatchJSON(w io.Writer, rows []BatchRow) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	return slo.Write(w, BatchResult(rows))
 }

@@ -9,7 +9,6 @@ package bench
 // that elasticity in steady-state throughput and tail latency.
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -18,6 +17,7 @@ import (
 
 	"nbqueue/internal/arena"
 	"nbqueue/internal/queue"
+	"nbqueue/internal/slo"
 	"nbqueue/internal/xsync"
 )
 
@@ -195,10 +195,9 @@ func WriteBurstTable(w io.Writer, rows []BurstRow) error {
 	return tw.Flush()
 }
 
-// WriteBurstJSON writes the rows as indented JSON, the format the CI
-// bench-smoke artifact stores.
+// WriteBurstJSON writes the rows as the versioned "smoke" slo.Result
+// envelope, the format the CI bench-smoke artifact stores and
+// cmd/fifogate checks against slo/budgets.json.
 func WriteBurstJSON(w io.Writer, rows []BurstRow) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	return slo.Write(w, SmokeResult(rows))
 }

@@ -21,6 +21,7 @@ import (
 	"nbqueue/internal/queues/tsigaszhang"
 	"nbqueue/internal/queues/twolock"
 	"nbqueue/internal/queues/valois"
+	"nbqueue/internal/trace"
 	"nbqueue/internal/xsync"
 )
 
@@ -37,6 +38,11 @@ type Config struct {
 	// Hists receives latency/retry histograms when non-nil (supported by
 	// the Evequoz and MS hazard-pointer queues; ignored elsewhere).
 	Hists *xsync.Histograms
+	// Trace receives flight-recorder op records when non-nil (supported
+	// by the Evequoz family: evq-llsc, evq-cas, evq-seg; ignored
+	// elsewhere). Recording rides the Hists sampling beat, so a Trace
+	// without Hists records only rare outcomes and lifecycle events.
+	Trace *trace.Recorder
 	// PaddedSlots spreads array-queue slots across cache lines.
 	PaddedSlots bool
 	// Backoff enables exponential backoff in the Evequoz queues.
@@ -147,6 +153,7 @@ var catalog = map[string]Algo{
 			mem := func(n int) llsc.Memory { return emul.New(n, c.PaddedSlots) }
 			return evqllsc.New(c.Capacity, mem,
 				evqllsc.WithCounters(c.Counters), evqllsc.WithHistograms(c.Hists),
+				evqllsc.WithTrace(c.Trace),
 				evqllsc.WithBackoff(c.Backoff),
 				evqllsc.WithBackoffPolicy(c.Policy),
 				evqllsc.WithStarvationBound(c.StarvationBound),
@@ -171,6 +178,7 @@ var catalog = map[string]Algo{
 			c = c.normalize()
 			return evqcas.New(c.Capacity,
 				evqcas.WithCounters(c.Counters), evqcas.WithHistograms(c.Hists),
+				evqcas.WithTrace(c.Trace),
 				evqcas.WithBackoff(c.Backoff),
 				evqcas.WithBackoffPolicy(c.Policy),
 				evqcas.WithStarvationBound(c.StarvationBound),
@@ -199,6 +207,7 @@ var catalog = map[string]Algo{
 			opts := []evqseg.Option{
 				evqseg.WithHighWater(high),
 				evqseg.WithCounters(c.Counters), evqseg.WithHistograms(c.Hists),
+				evqseg.WithTrace(c.Trace),
 				evqseg.WithBackoff(c.Backoff),
 				evqseg.WithBackoffPolicy(c.Policy),
 				evqseg.WithPaddedSlots(c.PaddedSlots),

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"nbqueue/internal/slo"
 	"nbqueue/internal/xsync"
 )
 
@@ -65,6 +66,12 @@ func RunLatency(keys []string, threads int, p Params) ([]LatencyRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// WriteLatencyJSON writes the rows as the versioned "latency"
+// slo.Result envelope.
+func WriteLatencyJSON(w io.Writer, rows []LatencyRow) error {
+	return slo.Write(w, LatencyResult(rows))
 }
 
 // WriteLatencyTable prints per-algorithm enqueue/dequeue latency

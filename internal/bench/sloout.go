@@ -1,0 +1,98 @@
+package bench
+
+// Converters from the experiment row types to the versioned slo.Result
+// envelope — the one schema every fifobench -format json experiment
+// emits and cmd/fifogate consumes.
+
+import (
+	"fmt"
+
+	"nbqueue/internal/slo"
+	"nbqueue/internal/xsync"
+)
+
+// SmokeResult wraps the burst experiment's rows as the "smoke"
+// experiment envelope.
+func SmokeResult(rows []BurstRow) slo.Result {
+	r := slo.NewResult("smoke")
+	for _, b := range rows {
+		kase := "bounded"
+		if b.Unbounded {
+			kase = "unbounded"
+		}
+		r.Rows = append(r.Rows, slo.Row{
+			Algorithm: b.Key,
+			Label:     b.Label,
+			Case:      kase,
+			Metrics: map[string]float64{
+				"threads":        float64(b.Threads),
+				"capacity":       float64(b.Capacity),
+				"offered":        float64(b.Offered),
+				"accepted":       float64(b.Accepted),
+				"rejected":       float64(b.Rejected),
+				"peak_len":       float64(b.PeakLen),
+				"peak_segments":  float64(b.PeakSegments),
+				"ops_per_sec":    b.OpsPerSec,
+				"enqueue_p99_ns": b.EnqP99Ns,
+				"dequeue_p99_ns": b.DeqP99Ns,
+			},
+		})
+	}
+	return r
+}
+
+// BatchResult wraps the batch amortization sweep as the "batch"
+// experiment envelope, one row per (algorithm, batch size).
+func BatchResult(rows []BatchRow) slo.Result {
+	r := slo.NewResult("batch")
+	for _, b := range rows {
+		r.Rows = append(r.Rows, slo.Row{
+			Algorithm: b.Key,
+			Label:     b.Label,
+			Case:      fmt.Sprintf("batch=%d", b.BatchSize),
+			Metrics: map[string]float64{
+				"threads":              float64(b.Threads),
+				"batch_size":           float64(b.BatchSize),
+				"elements":             float64(b.Elements),
+				"batched_ops_per_sec":  b.BatchedOpsPerSec,
+				"looped_ops_per_sec":   b.LoopedOpsPerSec,
+				"speedup":              b.Speedup,
+				"batched_rmw_per_elem": b.BatchedRMWPerElem,
+				"looped_rmw_per_elem":  b.LoopedRMWPerElem,
+			},
+		})
+	}
+	return r
+}
+
+// LatencyResult wraps the -latency quantile measurement as the
+// "latency" experiment envelope, one row per (algorithm, side).
+func LatencyResult(rows []LatencyRow) slo.Result {
+	r := slo.NewResult("latency")
+	for _, l := range rows {
+		for _, side := range []struct {
+			op string
+			v  xsync.HistView
+		}{{"enqueue", l.Enq}, {"dequeue", l.Deq}} {
+			if side.v.Count == 0 {
+				continue
+			}
+			r.Rows = append(r.Rows, slo.Row{
+				Algorithm: l.Key,
+				Label:     l.Label,
+				Case:      "op=" + side.op,
+				Metrics: map[string]float64{
+					"threads":     float64(l.Threads),
+					"ops_per_sec": l.OpsPerSec,
+					"samples":     float64(side.v.Count),
+					"p50_ns":      side.v.Quantile(0.50),
+					"p90_ns":      side.v.Quantile(0.90),
+					"p99_ns":      side.v.Quantile(0.99),
+					"p999_ns":     side.v.Quantile(0.999),
+					"max_ns":      float64(side.v.Max),
+				},
+			})
+		}
+	}
+	return r
+}

@@ -43,6 +43,14 @@ type Collector struct {
 	Hists *xsync.Histograms
 	// Gauges are scrape-time instantaneous values.
 	Gauges []Gauge
+	// BuildInfo, when non-empty, emits the conventional info-style
+	// series <ns>_build_info{key="value",...} 1 so dashboards can join
+	// metrics to the producing build (version, go_version, gomaxprocs).
+	BuildInfo map[string]string
+	// TraceDropped, when non-nil, emits <ns>_trace_dropped_total: flight
+	// recorder records no snapshot can return anymore (ring wrap-around
+	// plus torn snapshot reads).
+	TraceDropped func() uint64
 }
 
 // counterSeries maps OpKinds to Prometheus series names and help text.
@@ -136,10 +144,33 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	if c.TraceDropped != nil {
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s_trace_dropped_total Flight-recorder records lost to ring wrap-around or torn snapshot reads.\n# TYPE %s_trace_dropped_total counter\n%s_trace_dropped_total%s %d\n",
+			ns, ns, ns, ls, c.TraceDropped()); err != nil {
+			return err
+		}
+	}
 	for _, g := range c.Gauges {
 		if _, err := fmt.Fprintf(w,
 			"# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s%s %g\n",
 			ns, g.Name, g.Help, ns, g.Name, ns, g.Name, ls, g.Value()); err != nil {
+			return err
+		}
+	}
+	if len(c.BuildInfo) != 0 {
+		keys := make([]string, 0, len(c.BuildInfo))
+		for k := range c.BuildInfo {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		extra := make([]string, 0, 2*len(keys))
+		for _, k := range keys {
+			extra = append(extra, k, c.BuildInfo[k])
+		}
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s_build_info Build and runtime identity of the producing process; value is always 1.\n# TYPE %s_build_info gauge\n%s_build_info%s 1\n",
+			ns, ns, ns, c.labelString(extra...)); err != nil {
 			return err
 		}
 	}
@@ -243,6 +274,12 @@ func (c *Collector) expvarValue() map[string]any {
 	}
 	for _, g := range c.Gauges {
 		out[g.Name] = g.Value()
+	}
+	if c.TraceDropped != nil {
+		out["trace_dropped_total"] = c.TraceDropped()
+	}
+	if len(c.BuildInfo) != 0 {
+		out["build_info"] = c.BuildInfo
 	}
 	if len(c.Labels) != 0 {
 		out["labels"] = c.Labels

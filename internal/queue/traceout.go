@@ -1,0 +1,24 @@
+package queue
+
+import "nbqueue/internal/trace"
+
+// TraceOutcome maps an operation's returned error onto its
+// flight-recorder outcome, so the queue implementations record batch
+// completions (whose error is accumulated rather than returned from a
+// dedicated site) with one call.
+func TraceOutcome(err error) trace.Outcome {
+	switch err {
+	case nil:
+		return trace.OutcomeOK
+	case ErrFull:
+		return trace.OutcomeFull
+	case ErrContended:
+		return trace.OutcomeContended
+	case ErrDeadline:
+		return trace.OutcomeDeadline
+	case ErrOverloaded:
+		return trace.OutcomeOverloaded
+	default:
+		return trace.OutcomeOK
+	}
+}

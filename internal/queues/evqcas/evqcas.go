@@ -34,6 +34,7 @@ import (
 	"nbqueue/internal/pad"
 	"nbqueue/internal/queue"
 	"nbqueue/internal/tagptr"
+	"nbqueue/internal/trace"
 	"nbqueue/internal/xsync"
 )
 
@@ -54,6 +55,7 @@ type Queue struct {
 	ann    *xsync.Announce
 	starve int
 	yield  func()
+	rec    *trace.Recorder
 }
 
 // Option configures a Queue.
@@ -69,6 +71,12 @@ func WithHistograms(h *xsync.Histograms) Option { return func(q *Queue) { q.hist
 
 // WithBackoff enables bounded exponential backoff on retry loops.
 func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
+
+// WithTrace attaches a flight recorder: operations on the histogram
+// sampling beat and every rare outcome (ErrContended, ErrDeadline,
+// announce-array rescues) write one fixed-size record. Nil keeps every
+// recording site a single branch.
+func WithTrace(r *trace.Recorder) Option { return func(q *Queue) { q.rec = r } }
 
 // WithRetryBudget bounds each operation to at most n retry-loop
 // iterations; exhausting the budget surfaces queue.ErrContended instead
@@ -165,6 +173,7 @@ type Session struct {
 	varGen   uint64
 	ctr      xsync.Handle
 	hist     xsync.HistHandle
+	tr       trace.Handle
 	bo       xsync.Backoff
 	deadline int64 // unixnano; 0 = none
 	yield    func()
@@ -180,7 +189,7 @@ var (
 // Attach registers the calling goroutine with the queue's LLSCvar
 // registry.
 func (q *Queue) Attach() queue.Session {
-	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
+	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle(), tr: q.rec.Handle()}
 	s.varH = q.reg.Register(s.ctr)
 	s.varGen = q.reg.Gen(s.varH)
 	if q.pol != nil {
@@ -327,11 +336,13 @@ func (s *Session) Enqueue(v uint64) error {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneEnq(start, attempt)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeContended, attempt, int(s.bo.Spins()), 0)
 			return queue.ErrContended
 		}
 		if s.expired(attempt) {
 			s.ctr.Inc(xsync.OpDeadline)
 			s.hist.DoneEnq(start, attempt)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeDeadline, attempt, int(s.bo.Spins()), 0)
 			return queue.ErrDeadline
 		}
 		if q.ann != nil && attempt >= q.starve {
@@ -342,23 +353,28 @@ func (s *Session) Enqueue(v uint64) error {
 			case xsync.AnnOK:
 				s.ctr.Inc(xsync.OpEnqueue)
 				s.hist.DoneEnq(start, attempt)
+				s.tr.Op(start, trace.KindEnqueue, trace.OutcomeRescued, attempt, int(s.bo.Spins()), 0)
 				s.bo.Reset()
 				return nil
 			case xsync.AnnFull:
+				s.tr.Op(start, trace.KindEnqueue, trace.OutcomeFull, attempt, int(s.bo.Spins()), 0)
 				return queue.ErrFull
 			case xsync.AnnDeadline:
 				s.ctr.Inc(xsync.OpDeadline)
 				s.hist.DoneEnq(start, attempt)
+				s.tr.Op(start, trace.KindEnqueue, trace.OutcomeDeadline, attempt, int(s.bo.Spins()), 0)
 				return queue.ErrDeadline
 			}
 		}
 		done, full := s.enqueueRound(v)
 		if done {
 			if full {
+				s.tr.Op(start, trace.KindEnqueue, trace.OutcomeFull, attempt, int(s.bo.Spins()), 0)
 				return queue.ErrFull
 			}
 			s.ctr.Inc(xsync.OpEnqueue)
 			s.hist.DoneEnq(start, attempt)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeOK, attempt, int(s.bo.Spins()), 0)
 			s.bo.Reset()
 			s.help()
 			return nil
@@ -386,11 +402,13 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneDeq(start, attempt)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeContended, attempt, int(s.bo.Spins()), 0)
 			return 0, false, queue.ErrContended
 		}
 		if s.expired(attempt) {
 			s.ctr.Inc(xsync.OpDeadline)
 			s.hist.DoneDeq(start, attempt)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeDeadline, attempt, int(s.bo.Spins()), 0)
 			return 0, false, queue.ErrDeadline
 		}
 		if q.ann != nil && attempt >= q.starve {
@@ -399,6 +417,7 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			case xsync.AnnOK:
 				s.ctr.Inc(xsync.OpDequeue)
 				s.hist.DoneDeq(start, attempt)
+				s.tr.Op(start, trace.KindDequeue, trace.OutcomeRescued, attempt, int(s.bo.Spins()), 0)
 				s.bo.Reset()
 				return v, true, nil
 			case xsync.AnnEmpty:
@@ -406,6 +425,7 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			case xsync.AnnDeadline:
 				s.ctr.Inc(xsync.OpDeadline)
 				s.hist.DoneDeq(start, attempt)
+				s.tr.Op(start, trace.KindDequeue, trace.OutcomeDeadline, attempt, int(s.bo.Spins()), 0)
 				return 0, false, queue.ErrDeadline
 			}
 		}
@@ -416,6 +436,7 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			}
 			s.ctr.Inc(xsync.OpDequeue)
 			s.hist.DoneDeq(start, attempt)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeOK, attempt, int(s.bo.Spins()), 0)
 			s.bo.Reset()
 			s.help()
 			return v, true, nil
@@ -624,6 +645,7 @@ func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
 		s.help()
 	}
 	s.hist.DoneEnqBatch(start, retries, filled)
+	s.tr.Op(start, trace.KindEnqueueBatch, queue.TraceOutcome(err), retries, int(s.bo.Spins()), filled)
 	return filled, err
 }
 
@@ -705,6 +727,7 @@ func (s *Session) DequeueBatch(dst []uint64) (int, error) {
 		s.help()
 	}
 	s.hist.DoneDeqBatch(start, retries, n)
+	s.tr.Op(start, trace.KindDequeueBatch, queue.TraceOutcome(err), retries, int(s.bo.Spins()), n)
 	return n, err
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"nbqueue/internal/llsc"
 	"nbqueue/internal/queue"
+	"nbqueue/internal/trace"
 	"nbqueue/internal/xsync"
 )
 
@@ -47,6 +48,7 @@ type Queue struct {
 	ann    *xsync.Announce
 	starve int
 	name   string
+	rec    *trace.Recorder
 }
 
 const (
@@ -99,6 +101,12 @@ func WithStarvationBound(n int) Option {
 	}
 }
 
+// WithTrace attaches a flight recorder: operations on the histogram
+// sampling beat and every rare outcome (ErrContended, ErrDeadline,
+// announce-array rescues) write one fixed-size record. Nil keeps every
+// recording site a single branch.
+func WithTrace(r *trace.Recorder) Option { return func(q *Queue) { q.rec = r } }
+
 // WithName overrides the display name (used by the weak-LL/SC ablation to
 // distinguish configurations).
 func WithName(n string) Option { return func(q *Queue) { q.name = n } }
@@ -145,6 +153,7 @@ type Session struct {
 	q        *Queue
 	ctr      xsync.Handle
 	hist     xsync.HistHandle
+	tr       trace.Handle
 	bo       xsync.Backoff
 	deadline int64 // unixnano; 0 = none
 	yield    func()
@@ -159,7 +168,7 @@ var (
 
 // Attach returns a session for the calling goroutine.
 func (q *Queue) Attach() queue.Session {
-	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
+	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle(), tr: q.rec.Handle()}
 	if q.pol != nil {
 		s.bo = xsync.NewAdaptiveBackoff(q.pol)
 	} else if q.useBO {
@@ -272,11 +281,13 @@ func (s *Session) Enqueue(v uint64) error {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneEnq(start, attempt)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeContended, attempt, int(s.bo.Spins()), 0)
 			return queue.ErrContended
 		}
 		if s.expired(attempt) {
 			s.ctr.Inc(xsync.OpDeadline)
 			s.hist.DoneEnq(start, attempt)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeDeadline, attempt, int(s.bo.Spins()), 0)
 			return queue.ErrDeadline
 		}
 		if q.ann != nil && attempt >= q.starve {
@@ -287,23 +298,28 @@ func (s *Session) Enqueue(v uint64) error {
 			case xsync.AnnOK:
 				s.ctr.Inc(xsync.OpEnqueue)
 				s.hist.DoneEnq(start, attempt)
+				s.tr.Op(start, trace.KindEnqueue, trace.OutcomeRescued, attempt, int(s.bo.Spins()), 0)
 				s.bo.Reset()
 				return nil
 			case xsync.AnnFull:
+				s.tr.Op(start, trace.KindEnqueue, trace.OutcomeFull, attempt, int(s.bo.Spins()), 0)
 				return queue.ErrFull
 			case xsync.AnnDeadline:
 				s.ctr.Inc(xsync.OpDeadline)
 				s.hist.DoneEnq(start, attempt)
+				s.tr.Op(start, trace.KindEnqueue, trace.OutcomeDeadline, attempt, int(s.bo.Spins()), 0)
 				return queue.ErrDeadline
 			}
 		}
 		done, full := s.enqueueRound(v)
 		if done {
 			if full {
+				s.tr.Op(start, trace.KindEnqueue, trace.OutcomeFull, attempt, int(s.bo.Spins()), 0)
 				return queue.ErrFull
 			}
 			s.ctr.Inc(xsync.OpEnqueue)
 			s.hist.DoneEnq(start, attempt)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeOK, attempt, int(s.bo.Spins()), 0)
 			s.bo.Reset()
 			s.help()
 			return nil
@@ -330,11 +346,13 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 		if q.budget > 0 && attempt >= q.budget {
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneDeq(start, attempt)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeContended, attempt, int(s.bo.Spins()), 0)
 			return 0, false, queue.ErrContended
 		}
 		if s.expired(attempt) {
 			s.ctr.Inc(xsync.OpDeadline)
 			s.hist.DoneDeq(start, attempt)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeDeadline, attempt, int(s.bo.Spins()), 0)
 			return 0, false, queue.ErrDeadline
 		}
 		if q.ann != nil && attempt >= q.starve {
@@ -343,6 +361,7 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			case xsync.AnnOK:
 				s.ctr.Inc(xsync.OpDequeue)
 				s.hist.DoneDeq(start, attempt)
+				s.tr.Op(start, trace.KindDequeue, trace.OutcomeRescued, attempt, int(s.bo.Spins()), 0)
 				s.bo.Reset()
 				return v, true, nil
 			case xsync.AnnEmpty:
@@ -350,6 +369,7 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			case xsync.AnnDeadline:
 				s.ctr.Inc(xsync.OpDeadline)
 				s.hist.DoneDeq(start, attempt)
+				s.tr.Op(start, trace.KindDequeue, trace.OutcomeDeadline, attempt, int(s.bo.Spins()), 0)
 				return 0, false, queue.ErrDeadline
 			}
 		}
@@ -360,6 +380,7 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			}
 			s.ctr.Inc(xsync.OpDequeue)
 			s.hist.DoneDeq(start, attempt)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeOK, attempt, int(s.bo.Spins()), 0)
 			s.bo.Reset()
 			s.help()
 			return v, true, nil
@@ -556,6 +577,7 @@ func (s *Session) EnqueueBatch(vs []uint64) (int, error) {
 		s.help()
 	}
 	s.hist.DoneEnqBatch(start, retries, filled)
+	s.tr.Op(start, trace.KindEnqueueBatch, queue.TraceOutcome(err), retries, int(s.bo.Spins()), filled)
 	return filled, err
 }
 
@@ -639,6 +661,7 @@ func (s *Session) DequeueBatch(dst []uint64) (int, error) {
 		s.help()
 	}
 	s.hist.DoneDeqBatch(start, retries, n)
+	s.tr.Op(start, trace.KindDequeueBatch, queue.TraceOutcome(err), retries, int(s.bo.Spins()), n)
 	return n, err
 }
 

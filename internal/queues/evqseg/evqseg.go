@@ -115,6 +115,7 @@ import (
 	"nbqueue/internal/pad"
 	"nbqueue/internal/queue"
 	"nbqueue/internal/tagptr"
+	"nbqueue/internal/trace"
 	"nbqueue/internal/xsync"
 )
 
@@ -207,6 +208,7 @@ type Queue struct {
 
 	ctrs           *xsync.Counters
 	hists          *xsync.Histograms
+	trc            *trace.Recorder
 	useBO          bool
 	budget         int
 	pol            *xsync.BackoffPolicy
@@ -228,6 +230,12 @@ func WithHistograms(h *xsync.Histograms) Option { return func(q *Queue) { q.hist
 
 // WithBackoff enables bounded exponential backoff on retry loops.
 func WithBackoff(on bool) Option { return func(q *Queue) { q.useBO = on } }
+
+// WithTrace attaches a flight recorder: operations on the histogram
+// sampling beat, every rare outcome (ErrContended, ErrDeadline), and
+// the segment lifecycle (grow, spare hit/miss) write one fixed-size
+// record. Nil keeps every recording site a single branch.
+func WithTrace(r *trace.Recorder) Option { return func(q *Queue) { q.trc = r } }
 
 // WithRetryBudget bounds each operation to at most n retry-loop
 // iterations across segments; exhausting the budget surfaces
@@ -583,10 +591,12 @@ func (q *Queue) allocSegment(s *Session) uint64 {
 	}
 	if h := q.popSpare(); h != 0 {
 		s.ctr.Inc(xsync.OpSegSpareHit)
+		s.tr.Event(trace.OutcomeSpareHit, 1)
 		return h
 	}
 	if q.spareCap > 0 {
 		s.ctr.Inc(xsync.OpSegSpareMiss)
+		s.tr.Event(trace.OutcomeSpareMiss, 1)
 	}
 	if !q.reserveMem() {
 		// Memory-bounded shed: growth refused. Pressure reclamation so
@@ -787,6 +797,7 @@ func (q *Queue) admitSegments(s *Session) error {
 	if q.segOver.Load() {
 		if segs > q.segLow {
 			s.ctr.Inc(xsync.OpSegShed)
+			s.tr.OpSampled(trace.KindEnqueue, trace.OutcomeSegShed, 0)
 			return queue.ErrOverloaded
 		}
 		if q.segOver.CompareAndSwap(true, false) && q.overHook != nil {
@@ -799,6 +810,7 @@ func (q *Queue) admitSegments(s *Session) error {
 			q.overHook(true, segs)
 		}
 		s.ctr.Inc(xsync.OpSegShed)
+		s.tr.OpSampled(trace.KindEnqueue, trace.OutcomeSegShed, 0)
 		return queue.ErrOverloaded
 	}
 	return nil
@@ -917,6 +929,7 @@ type Session struct {
 	hpGen    uint64
 	ctr      xsync.Handle
 	hist     xsync.HistHandle
+	tr       trace.Handle
 	bo       xsync.Backoff
 	deadline int64 // unixnano; 0 = none
 }
@@ -930,7 +943,7 @@ var (
 // Attach registers the calling goroutine with the shared registry and
 // acquires a hazard record. One registration serves every segment.
 func (q *Queue) Attach() queue.Session {
-	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle()}
+	s := &Session{q: q, ctr: q.ctrs.Handle(), hist: q.hists.Handle(), tr: q.trc.Handle()}
 	s.varH = q.reg.Register(s.ctr)
 	s.varGen = q.reg.Gen(s.varH)
 	s.rec = q.dom.Acquire()
@@ -1051,16 +1064,19 @@ func (s *Session) Enqueue(v uint64) error {
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneEnq(start, attempts)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeContended, attempts, int(s.bo.Spins()), 0)
 			return queue.ErrContended
 		}
 		if s.expired(attempts) {
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpDeadline)
 			s.hist.DoneEnq(start, attempts)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeDeadline, attempts, int(s.bo.Spins()), 0)
 			return queue.ErrDeadline
 		}
 		if q.high > 0 && q.Len() >= q.high {
 			s.rec.Clear(hpSeg)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeFull, attempts, int(s.bo.Spins()), 0)
 			return queue.ErrFull
 		}
 		ts := s.rec.Protect(hpSeg, q.tailSeg.Ptr())
@@ -1070,6 +1086,7 @@ func (s *Session) Enqueue(v uint64) error {
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpEnqueue)
 			s.hist.DoneEnq(start, attempts)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeOK, attempts, int(s.bo.Spins()), 0)
 			s.bo.Reset()
 			// Maintenance runs after the latency measurement closed: the
 			// spare top-up and any announced finalize help are this
@@ -1081,11 +1098,13 @@ func (s *Session) Enqueue(v uint64) error {
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneEnq(start, attempts)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeContended, attempts, int(s.bo.Spins()), 0)
 			return queue.ErrContended
 		case segDeadline:
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpDeadline)
 			s.hist.DoneEnq(start, attempts)
+			s.tr.Op(start, trace.KindEnqueue, trace.OutcomeDeadline, attempts, int(s.bo.Spins()), 0)
 			return queue.ErrDeadline
 		case segClosed:
 			q.fire()
@@ -1094,6 +1113,7 @@ func (s *Session) Enqueue(v uint64) error {
 				nh := q.allocSegment(s)
 				if nh == 0 {
 					s.rec.Clear(hpSeg)
+					s.tr.Op(start, trace.KindEnqueue, trace.OutcomeFull, attempts, int(s.bo.Spins()), 0)
 					return queue.ErrFull
 				}
 				q.fire()
@@ -1106,6 +1126,7 @@ func (s *Session) Enqueue(v uint64) error {
 					if ng.state.CompareAndSwap(segPreparing, segLive) {
 						q.prepSegs.Add(-1)
 						live := q.liveSegs.Add(1)
+						s.tr.Event(trace.OutcomeSegGrow, int(live))
 						if q.grow != nil {
 							q.grow(int(live))
 						}
@@ -1285,12 +1306,14 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneDeq(start, attempts)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeContended, attempts, int(s.bo.Spins()), 0)
 			return 0, false, queue.ErrContended
 		}
 		if s.expired(attempts) {
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpDeadline)
 			s.hist.DoneDeq(start, attempts)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeDeadline, attempts, int(s.bo.Spins()), 0)
 			return 0, false, queue.ErrDeadline
 		}
 		hs := s.rec.Protect(hpSeg, q.headSeg.Ptr())
@@ -1301,17 +1324,20 @@ func (s *Session) DequeueErr() (uint64, bool, error) {
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpDequeue)
 			s.hist.DoneDeq(start, attempts)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeOK, attempts, int(s.bo.Spins()), 0)
 			s.bo.Reset()
 			return v, true, nil
 		case segContended:
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpContended)
 			s.hist.DoneDeq(start, attempts)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeContended, attempts, int(s.bo.Spins()), 0)
 			return 0, false, queue.ErrContended
 		case segDeadline:
 			s.rec.Clear(hpSeg)
 			s.ctr.Inc(xsync.OpDeadline)
 			s.hist.DoneDeq(start, attempts)
+			s.tr.Op(start, trace.KindDequeue, trace.OutcomeDeadline, attempts, int(s.bo.Spins()), 0)
 			return 0, false, queue.ErrDeadline
 		case segEmpty:
 			s.rec.Clear(hpSeg)
@@ -1635,6 +1661,7 @@ loop:
 					if ng.state.CompareAndSwap(segPreparing, segLive) {
 						q.prepSegs.Add(-1)
 						live := q.liveSegs.Add(1)
+						s.tr.Event(trace.OutcomeSegGrow, int(live))
 						if q.grow != nil {
 							q.grow(int(live))
 						}
@@ -1659,6 +1686,7 @@ loop:
 		s.ctr.Add(xsync.OpEnqueue, uint64(filled))
 	}
 	s.hist.DoneEnqBatch(start, b.retries, filled)
+	s.tr.Op(start, trace.KindEnqueueBatch, queue.TraceOutcome(err), b.retries, int(s.bo.Spins()), filled)
 	if filled > 0 {
 		q.afterEnqueue(s) // off the measured path; see Enqueue
 	}
@@ -1734,6 +1762,7 @@ loop:
 		s.ctr.Add(xsync.OpDequeue, uint64(n))
 	}
 	s.hist.DoneDeqBatch(start, b.retries, n)
+	s.tr.Op(start, trace.KindDequeueBatch, queue.TraceOutcome(err), b.retries, int(s.bo.Spins()), n)
 	return n, err
 }
 

@@ -1,0 +1,258 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Budget is the checked-in SLO file (slo/budgets.json): a flat list of
+// checks evaluated against a current result set and, for the relative
+// bounds, a baseline set.
+type Budget struct {
+	Schema int     `json:"schema"`
+	Checks []Check `json:"checks"`
+}
+
+// Check is one service-level objective on one metric. Absolute bounds
+// (Min, Max) gate the current value alone; relative bounds
+// (MaxDropFrac, MaxRiseFrac) gate drift against the baseline and are
+// skipped when no baseline row exists. A check with no bounds at all
+// is a presence assertion: the row and metric must exist.
+type Check struct {
+	// Experiment, Algorithm and Metric select the value; Case narrows
+	// to one sub-case ("" matches only the empty case, "*" every case).
+	Experiment string `json:"experiment"`
+	Algorithm  string `json:"algorithm"`
+	Case       string `json:"case,omitempty"`
+	Metric     string `json:"metric"`
+	// Min and Max are inclusive absolute bounds on the current value.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// MaxDropFrac fails when current < baseline*(1-f) — for
+	// higher-is-better metrics (throughput). MaxRiseFrac fails when
+	// current > baseline*(1+f) — for lower-is-better metrics (tail
+	// ratios, shed counts). Fractions, not percents.
+	MaxDropFrac *float64 `json:"max_drop_frac,omitempty"`
+	MaxRiseFrac *float64 `json:"max_rise_frac,omitempty"`
+	// Note is free-form documentation carried into findings.
+	Note string `json:"note,omitempty"`
+}
+
+// ReadBudget loads and validates a budget file.
+func ReadBudget(path string) (Budget, error) {
+	var b Budget
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("slo: %s: %w", path, err)
+	}
+	if b.Schema != SchemaVersion {
+		return b, fmt.Errorf("slo: %s: budget schema %d, want %d", path, b.Schema, SchemaVersion)
+	}
+	for i, c := range b.Checks {
+		if c.Experiment == "" || c.Algorithm == "" || c.Metric == "" {
+			return b, fmt.Errorf("slo: %s: check %d needs experiment, algorithm and metric", path, i)
+		}
+		for _, f := range []*float64{c.MaxDropFrac, c.MaxRiseFrac} {
+			if f != nil && *f < 0 {
+				return b, fmt.Errorf("slo: %s: check %d: negative drift fraction", path, i)
+			}
+		}
+	}
+	return b, nil
+}
+
+// Finding is one evaluated (check, row) pair.
+type Finding struct {
+	Experiment string   `json:"experiment"`
+	Algorithm  string   `json:"algorithm"`
+	Case       string   `json:"case,omitempty"`
+	Metric     string   `json:"metric"`
+	Value      float64  `json:"value"`
+	Baseline   *float64 `json:"baseline,omitempty"`
+	Pass       bool     `json:"pass"`
+	// Skipped marks checks that could not run (experiment absent from
+	// the current set, or relative bound without a baseline); skipped
+	// findings never fail the gate.
+	Skipped bool `json:"skipped,omitempty"`
+	// Detail is the human-readable verdict.
+	Detail string `json:"detail"`
+}
+
+// Report is fifogate's machine-readable output.
+type Report struct {
+	Schema  int       `json:"schema"`
+	Pass    bool      `json:"pass"`
+	Checked int       `json:"checked"`
+	Failed  int       `json:"failed"`
+	Skipped int       `json:"skipped"`
+	Results []Finding `json:"findings"`
+}
+
+// Evaluate scores every budget check against current (and baseline for
+// the relative bounds). Within an experiment that IS present, a
+// missing algorithm row or metric fails the gate — a result-schema
+// drift silently dropping a measured series must not read as green.
+// A whole experiment absent from current skips its checks instead, so
+// one budget file can cover experiments CI does not always run.
+func Evaluate(b Budget, current, baseline map[string]Result) Report {
+	rep := Report{Schema: SchemaVersion, Pass: true}
+	for _, c := range b.Checks {
+		cur, ok := current[c.Experiment]
+		if !ok {
+			rep.Skipped++
+			rep.Results = append(rep.Results, Finding{
+				Experiment: c.Experiment, Algorithm: c.Algorithm, Case: c.Case,
+				Metric: c.Metric, Skipped: true, Pass: true,
+				Detail: fmt.Sprintf("experiment %q not in current results; skipped", c.Experiment),
+			})
+			continue
+		}
+		var base *Result
+		if bb, ok := baseline[c.Experiment]; ok {
+			base = &bb
+		}
+		for _, row := range matchRows(cur, c) {
+			rep.Checked++
+			f := evalOne(c, row, base)
+			if !f.Pass {
+				rep.Failed++
+				rep.Pass = false
+			}
+			rep.Results = append(rep.Results, f)
+		}
+	}
+	return rep
+}
+
+// matchRows returns the rows a check applies to. No matching row
+// yields a synthetic missing row so evalOne can fail it.
+func matchRows(r Result, c Check) []Row {
+	var out []Row
+	for _, row := range r.Rows {
+		if row.Algorithm != c.Algorithm {
+			continue
+		}
+		if c.Case == "*" || row.Case == c.Case {
+			out = append(out, row)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Row{Algorithm: c.Algorithm, Case: c.Case})
+	}
+	return out
+}
+
+// evalOne scores one check against one row.
+func evalOne(c Check, row Row, base *Result) Finding {
+	f := Finding{
+		Experiment: c.Experiment, Algorithm: c.Algorithm, Case: row.Case,
+		Metric: c.Metric, Pass: true,
+	}
+	v, ok := row.Metrics[c.Metric]
+	if !ok {
+		f.Pass = false
+		f.Detail = fmt.Sprintf("%s/%s: metric %q missing from current results", c.Experiment, c.Algorithm, c.Metric)
+		return f
+	}
+	f.Value = v
+	if c.Min != nil && v < *c.Min {
+		f.Pass = false
+		f.Detail = fmt.Sprintf("%s/%s%s %s = %g below floor %g", c.Experiment, c.Algorithm, caseSuffix(row.Case), c.Metric, v, *c.Min)
+		return f
+	}
+	if c.Max != nil && v > *c.Max {
+		f.Pass = false
+		f.Detail = fmt.Sprintf("%s/%s%s %s = %g above ceiling %g", c.Experiment, c.Algorithm, caseSuffix(row.Case), c.Metric, v, *c.Max)
+		return f
+	}
+	if c.MaxDropFrac != nil || c.MaxRiseFrac != nil {
+		var bv *float64
+		if base != nil {
+			if brow, ok := base.Find(row.Algorithm, row.Case); ok {
+				if x, ok := brow.Metrics[c.Metric]; ok {
+					bv = &x
+				}
+			}
+		}
+		if bv == nil {
+			f.Skipped = true
+			f.Detail = fmt.Sprintf("%s/%s%s %s = %g; no baseline, drift bound skipped", c.Experiment, c.Algorithm, caseSuffix(row.Case), c.Metric, v)
+			return f
+		}
+		f.Baseline = bv
+		if c.MaxDropFrac != nil && v < *bv*(1-*c.MaxDropFrac) {
+			f.Pass = false
+			f.Detail = fmt.Sprintf("%s/%s%s %s = %g dropped more than %.0f%% below baseline %g", c.Experiment, c.Algorithm, caseSuffix(row.Case), c.Metric, v, *c.MaxDropFrac*100, *bv)
+			return f
+		}
+		if c.MaxRiseFrac != nil && v > *bv*(1+*c.MaxRiseFrac) {
+			f.Pass = false
+			f.Detail = fmt.Sprintf("%s/%s%s %s = %g rose more than %.0f%% above baseline %g", c.Experiment, c.Algorithm, caseSuffix(row.Case), c.Metric, v, *c.MaxRiseFrac*100, *bv)
+			return f
+		}
+	}
+	if f.Detail == "" {
+		f.Detail = fmt.Sprintf("%s/%s%s %s = %g ok", c.Experiment, c.Algorithm, caseSuffix(row.Case), c.Metric, v)
+	}
+	return f
+}
+
+func caseSuffix(kase string) string {
+	if kase == "" {
+		return ""
+	}
+	return "[" + kase + "]"
+}
+
+// TrajectoryEntry is one line of results/TRAJECTORY.jsonl: a dated
+// gate verdict plus the budgeted metric values, so the perf trajectory
+// of the repo is greppable without unpacking per-run artifacts.
+type TrajectoryEntry struct {
+	Time    string             `json:"time"`
+	Pass    bool               `json:"pass"`
+	Checked int                `json:"checked"`
+	Failed  int                `json:"failed"`
+	Skipped int                `json:"skipped"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewTrajectoryEntry flattens a report into a trajectory line, keying
+// each non-skipped finding as experiment/algorithm[case]/metric.
+func NewTrajectoryEntry(rep Report) TrajectoryEntry {
+	e := TrajectoryEntry{
+		Time:    time.Now().UTC().Format(time.RFC3339),
+		Pass:    rep.Pass,
+		Checked: rep.Checked,
+		Failed:  rep.Failed,
+		Skipped: rep.Skipped,
+		Metrics: map[string]float64{},
+	}
+	for _, f := range rep.Results {
+		if f.Skipped && f.Value == 0 {
+			continue
+		}
+		e.Metrics[f.Experiment+"/"+f.Algorithm+caseSuffix(f.Case)+"/"+f.Metric] = f.Value
+	}
+	return e
+}
+
+// AppendTrajectory appends e as one JSON line to path, creating the
+// file if needed.
+func AppendTrajectory(path string, e TrajectoryEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	fh, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	_, err = fh.Write(append(line, '\n'))
+	return err
+}

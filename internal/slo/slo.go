@@ -1,0 +1,155 @@
+// Package slo defines the versioned benchmark result schema every
+// fifobench experiment emits, the budget format that bounds those
+// results, and the evaluator behind cmd/fifogate.
+//
+// The point is a single currency for performance claims: each
+// experiment (smoke, batch, overload, latency) produces one Result —
+// an envelope of rows keyed by algorithm and sub-case, each row a flat
+// map of named float metrics — instead of a hand-rolled JSON shape per
+// experiment. Budgets (slo/budgets.json) then express service-level
+// objectives against those names: absolute floors and ceilings, and
+// relative drift bounds against a baseline directory. fifogate
+// evaluates a budget over a current (and optionally baseline) result
+// set and produces a machine-readable Report, appending one line per
+// run to the TRAJECTORY.jsonl perf-trajectory log.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is the current Result and Budget schema. Readers
+// reject other versions loudly rather than mis-scoring silently
+// migrated metrics.
+const SchemaVersion = 1
+
+// Result is one experiment's output: the envelope fifobench writes for
+// every -format json experiment.
+type Result struct {
+	// Schema is the envelope version; always SchemaVersion on write.
+	Schema int `json:"schema"`
+	// Experiment names the producing experiment: "smoke", "batch",
+	// "overload" or "latency".
+	Experiment string `json:"experiment"`
+	// GoVersion and GOMAXPROCS describe the producing toolchain and
+	// parallelism, for trajectory forensics.
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	// GeneratedAt is the RFC 3339 production time.
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// Rows carries the measurements.
+	Rows []Row `json:"rows"`
+}
+
+// Row is one measured configuration: an algorithm, an optional
+// sub-case discriminator (batch size, operation side …), and its named
+// metrics.
+type Row struct {
+	// Algorithm is the catalog key ("evq-cas", "evq-seg", …).
+	Algorithm string `json:"algorithm"`
+	// Label is the human display name; never matched on.
+	Label string `json:"label,omitempty"`
+	// Case discriminates multiple rows of one algorithm within an
+	// experiment ("batch=64", "op=enqueue"); empty when the algorithm
+	// appears once.
+	Case string `json:"case,omitempty"`
+	// Metrics maps metric name to value. Units are part of the name
+	// ("ops_per_sec", "enqueue_p99_ns", "base_p999_us").
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// NewResult returns an envelope for the named experiment stamped with
+// the schema version and the producing environment.
+func NewResult(experiment string) Result {
+	return Result{
+		Schema:      SchemaVersion,
+		Experiment:  experiment,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Rows:        []Row{},
+	}
+}
+
+// Write encodes r as indented JSON.
+func Write(w io.Writer, r Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadFile decodes one Result file, rejecting unknown schema versions
+// and envelopes without an experiment name.
+func ReadFile(path string) (Result, error) {
+	var r Result
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("slo: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return r, fmt.Errorf("slo: %s: schema %d, want %d (regenerate with current fifobench)", path, r.Schema, SchemaVersion)
+	}
+	if r.Experiment == "" {
+		return r, fmt.Errorf("slo: %s: missing experiment name", path)
+	}
+	return r, nil
+}
+
+// LoadDir reads every result envelope in dir (BENCH_*.json), keyed by
+// experiment name. Files that are not schema-versioned envelopes —
+// e.g. the overload CSV twin or legacy artifacts — are skipped;
+// malformed envelopes and duplicate experiments are errors.
+func LoadDir(dir string) (map[string]Result, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make(map[string]Result)
+	for _, p := range paths {
+		// Peek for the envelope marker first so non-envelope JSON in the
+		// directory (legacy shapes, foreign artifacts) is skipped, not
+		// fatal.
+		var probe struct {
+			Schema     int    `json:"schema"`
+			Experiment string `json:"experiment"`
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if json.Unmarshal(data, &probe) != nil || probe.Schema == 0 {
+			continue
+		}
+		r, err := ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[r.Experiment]; dup {
+			return nil, fmt.Errorf("slo: duplicate experiment %q in %s", r.Experiment, dir)
+		}
+		out[r.Experiment] = r
+	}
+	return out, nil
+}
+
+// Find returns the row matching (algorithm, case) and whether it
+// exists.
+func (r Result) Find(algorithm, kase string) (Row, bool) {
+	for _, row := range r.Rows {
+		if row.Algorithm == algorithm && row.Case == kase {
+			return row, true
+		}
+	}
+	return Row{}, false
+}

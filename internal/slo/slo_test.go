@@ -1,0 +1,192 @@
+package slo
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func testResult(opsPerSec float64) Result {
+	r := NewResult("smoke")
+	r.Rows = []Row{{
+		Algorithm: "evq-cas",
+		Case:      "bounded",
+		Metrics:   map[string]float64{"ops_per_sec": opsPerSec, "rejected": 3},
+	}}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_smoke.json")
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(fh, testResult(1e6)); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "smoke" || got.Schema != SchemaVersion {
+		t.Fatalf("bad envelope: %+v", got)
+	}
+	row, ok := got.Find("evq-cas", "bounded")
+	if !ok || row.Metrics["ops_per_sec"] != 1e6 {
+		t.Fatalf("row lost in round trip: %+v", got.Rows)
+	}
+
+	m, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["smoke"]; !ok {
+		t.Fatalf("LoadDir missed the envelope: %v", m)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	os.WriteFile(path, []byte(`{"schema": 99, "experiment": "x", "rows": []}`), 0o644)
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+func TestLoadDirSkipsLegacyShapes(t *testing.T) {
+	dir := t.TempDir()
+	// A legacy bare-array artifact must be skipped, not fatal.
+	os.WriteFile(filepath.Join(dir, "BENCH_legacy.json"), []byte(`[{"key": "evq-cas"}]`), 0o644)
+	fh, _ := os.Create(filepath.Join(dir, "BENCH_smoke.json"))
+	Write(fh, testResult(1e6))
+	fh.Close()
+	m, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 {
+		t.Fatalf("want exactly the envelope, got %v", m)
+	}
+}
+
+func TestEvaluateBounds(t *testing.T) {
+	budget := Budget{Schema: SchemaVersion, Checks: []Check{
+		{Experiment: "smoke", Algorithm: "evq-cas", Case: "bounded", Metric: "ops_per_sec", Min: fp(5e5)},
+		{Experiment: "smoke", Algorithm: "evq-cas", Case: "bounded", Metric: "rejected", Max: fp(10)},
+	}}
+	cur := map[string]Result{"smoke": testResult(1e6)}
+
+	rep := Evaluate(budget, cur, nil)
+	if !rep.Pass || rep.Checked != 2 || rep.Failed != 0 {
+		t.Fatalf("clean run should pass: %+v", rep)
+	}
+
+	rep = Evaluate(budget, map[string]Result{"smoke": testResult(1e5)}, nil)
+	if rep.Pass || rep.Failed != 1 {
+		t.Fatalf("floor breach should fail: %+v", rep)
+	}
+}
+
+func TestEvaluateDrift(t *testing.T) {
+	budget := Budget{Schema: SchemaVersion, Checks: []Check{
+		{Experiment: "smoke", Algorithm: "evq-cas", Case: "bounded", Metric: "ops_per_sec", MaxDropFrac: fp(0.5)},
+		{Experiment: "smoke", Algorithm: "evq-cas", Case: "bounded", Metric: "rejected", MaxRiseFrac: fp(1.0)},
+	}}
+	base := map[string]Result{"smoke": testResult(1e6)}
+
+	// Within bounds: half the throughput is exactly the edge, stay above.
+	rep := Evaluate(budget, map[string]Result{"smoke": testResult(6e5)}, base)
+	if !rep.Pass {
+		t.Fatalf("within drift bounds should pass: %+v", rep)
+	}
+	// 10x regression trips the drop bound.
+	rep = Evaluate(budget, map[string]Result{"smoke": testResult(1e5)}, base)
+	if rep.Pass || rep.Failed != 1 {
+		t.Fatalf("drop past bound should fail: %+v", rep)
+	}
+	// No baseline: drift checks skip, never fail.
+	rep = Evaluate(budget, map[string]Result{"smoke": testResult(1e5)}, nil)
+	if !rep.Pass || rep.Checked != 2 {
+		t.Fatalf("driftless evaluation should skip, not fail: %+v", rep)
+	}
+}
+
+func TestEvaluateMissingRowFails(t *testing.T) {
+	budget := Budget{Schema: SchemaVersion, Checks: []Check{
+		{Experiment: "smoke", Algorithm: "evq-seg", Case: "unbounded", Metric: "ops_per_sec", Min: fp(1)},
+	}}
+	rep := Evaluate(budget, map[string]Result{"smoke": testResult(1e6)}, nil)
+	if rep.Pass {
+		t.Fatalf("missing algorithm row must fail the gate: %+v", rep)
+	}
+}
+
+func TestEvaluateMissingExperimentSkips(t *testing.T) {
+	budget := Budget{Schema: SchemaVersion, Checks: []Check{
+		{Experiment: "latency", Algorithm: "evq-cas", Case: "op=enqueue", Metric: "p999_ns", Max: fp(1e7)},
+	}}
+	rep := Evaluate(budget, map[string]Result{"smoke": testResult(1e6)}, nil)
+	if !rep.Pass || rep.Skipped != 1 {
+		t.Fatalf("absent experiment should skip: %+v", rep)
+	}
+}
+
+func TestEvaluateCaseWildcard(t *testing.T) {
+	r := NewResult("batch")
+	for _, kase := range []string{"batch=8", "batch=64"} {
+		r.Rows = append(r.Rows, Row{Algorithm: "evq-cas", Case: kase,
+			Metrics: map[string]float64{"speedup": 1.5}})
+	}
+	budget := Budget{Schema: SchemaVersion, Checks: []Check{
+		{Experiment: "batch", Algorithm: "evq-cas", Case: "*", Metric: "speedup", Min: fp(1.0)},
+	}}
+	rep := Evaluate(budget, map[string]Result{"batch": r}, nil)
+	if !rep.Pass || rep.Checked != 2 {
+		t.Fatalf("wildcard case should check every row: %+v", rep)
+	}
+}
+
+func TestTrajectoryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TRAJECTORY.jsonl")
+	rep := Evaluate(
+		Budget{Schema: SchemaVersion, Checks: []Check{
+			{Experiment: "smoke", Algorithm: "evq-cas", Case: "bounded", Metric: "ops_per_sec", Min: fp(1)},
+		}},
+		map[string]Result{"smoke": testResult(1e6)}, nil)
+	for i := 0; i < 2; i++ {
+		if err := AppendTrajectory(path, NewTrajectoryEntry(rep)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 trajectory lines, got %d: %q", len(lines), data)
+	}
+	if !strings.Contains(lines[0], `"smoke/evq-cas[bounded]/ops_per_sec":1000000`) {
+		t.Fatalf("trajectory line missing budgeted metric: %s", lines[0])
+	}
+}
+
+func TestReadBudgetValidates(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "b.json")
+	os.WriteFile(bad, []byte(`{"schema": 1, "checks": [{"metric": "x"}]}`), 0o644)
+	if _, err := ReadBudget(bad); err == nil {
+		t.Fatal("check without experiment/algorithm should be rejected")
+	}
+	os.WriteFile(bad, []byte(`{"schema": 2, "checks": []}`), 0o644)
+	if _, err := ReadBudget(bad); err == nil {
+		t.Fatal("wrong budget schema should be rejected")
+	}
+}

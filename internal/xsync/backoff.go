@@ -101,6 +101,12 @@ func (b *Backoff) failAdaptive() {
 	b.limit <<= 1
 }
 
+// Spins reports the current spin interval — how far the geometric growth
+// has run since the last Reset. The flight recorder stores it in op
+// records as the "how hard was backoff braking" signal; a zero-value
+// (disabled) Backoff reports 0.
+func (b *Backoff) Spins() uint32 { return b.limit }
+
 // Reset restores the initial interval; call after a successful operation.
 func (b *Backoff) Reset() {
 	if b.pol != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"expvar"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -366,5 +367,33 @@ func TestExporter(t *testing.T) {
 	e.PublishExpvar("nbq_test_exporter") // must not panic
 	if expvar.Get("nbq_test_exporter") == nil {
 		t.Fatal("expvar not published")
+	}
+}
+
+// TestSnapshotDeltaAllFields walks every Snapshot field by reflection:
+// a field added to Snapshot but forgotten in Delta would subtract to
+// the raw current value instead of the difference and fail here.
+func TestSnapshotDeltaAllFields(t *testing.T) {
+	var prev, cur nbqueue.Snapshot
+	pv := reflect.ValueOf(&prev).Elem()
+	cv := reflect.ValueOf(&cur).Elem()
+	for i := 0; i < pv.NumField(); i++ {
+		pv.Field(i).SetUint(uint64(i + 1))
+		cv.Field(i).SetUint(uint64(3 * (i + 1)))
+	}
+	dv := reflect.ValueOf(cur.Delta(prev))
+	for i := 0; i < dv.NumField(); i++ {
+		if got, want := dv.Field(i).Uint(), uint64(2*(i+1)); got != want {
+			t.Errorf("Delta dropped field %s: got %d, want %d",
+				dv.Type().Field(i).Name, got, want)
+		}
+	}
+	// And the saturating direction, field by field.
+	dv = reflect.ValueOf(prev.Delta(cur))
+	for i := 0; i < dv.NumField(); i++ {
+		if got := dv.Field(i).Uint(); got != 0 {
+			t.Errorf("reversed Delta wrapped on field %s: got %d",
+				dv.Type().Field(i).Name, got)
+		}
 	}
 }

@@ -61,6 +61,7 @@ import (
 	"nbqueue/internal/arena"
 	"nbqueue/internal/bench"
 	"nbqueue/internal/queue"
+	"nbqueue/internal/trace"
 	"nbqueue/internal/xsync"
 )
 
@@ -145,30 +146,35 @@ func NewBackoffPolicy() *BackoffPolicy { return xsync.NewBackoffPolicy() }
 
 // config collects option state.
 type config struct {
-	algorithm   Algorithm
-	capacity    int
-	capSet      bool
-	maxThreads  int
-	padded      bool
-	backoff     bool
-	retryBudget int
-	unbounded   bool
-	segSet      bool
-	segSize     int
-	metrics     *Metrics
-	hook        func(Event)
-	yield       func()
-	policy      *BackoffPolicy
-	starve      int
-	lowWater    int
-	highWater   int
-	wmSet       bool
-	spareSegs   int
-	spareSet    bool
-	memBound    int
-	segLow      int
-	segHigh     int
-	segWmSet    bool
+	algorithm    Algorithm
+	capacity     int
+	capSet       bool
+	maxThreads   int
+	padded       bool
+	backoff      bool
+	retryBudget  int
+	unbounded    bool
+	segSet       bool
+	segSize      int
+	metrics      *Metrics
+	hook         func(Event)
+	yield        func()
+	policy       *BackoffPolicy
+	starve       int
+	lowWater     int
+	highWater    int
+	wmSet        bool
+	spareSegs    int
+	spareSet     bool
+	memBound     int
+	segLow       int
+	segHigh      int
+	segWmSet     bool
+	tracePerRing int
+	traceSet     bool
+	// rec is the flight recorder newInner builds when traceSet; New
+	// stores it on the Queue for TraceSnapshot.
+	rec *trace.Recorder
 }
 
 // Option configures New.
@@ -363,6 +369,11 @@ type Queue[T any] struct {
 	waitSpins int
 	sleepMin  time.Duration
 	sleepMax  time.Duration
+	// rec is the WithTracing flight recorder (nil when tracing is off);
+	// qtr is the queue-level handle used for lifecycle events that have
+	// no owning session (scavenges).
+	rec *trace.Recorder
+	qtr trace.Handle
 }
 
 // admit is the watermark admission check, called by Enqueue and
@@ -473,6 +484,14 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 			return nil, c, fmt.Errorf("nbqueue: WithSegmentWatermarks(%d, %d) needs 0 < low <= high", c.segLow, c.segHigh)
 		}
 	}
+	if c.traceSet {
+		if c.tracePerRing < 0 {
+			return nil, c, fmt.Errorf("nbqueue: WithTracing(%d) is negative; use 0 for the default ring size", c.tracePerRing)
+		}
+		if c.metrics == nil {
+			return nil, c, fmt.Errorf("nbqueue: WithTracing requires WithMetrics (the recorder rides the metrics sampling beat)")
+		}
+	}
 	algo, err := bench.Lookup(string(c.algorithm))
 	if err != nil {
 		return nil, c, fmt.Errorf("nbqueue: unknown algorithm %q", c.algorithm)
@@ -501,11 +520,15 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 			spare = -1 // explicit disable, distinct from "use the default"
 		}
 	}
+	if c.traceSet {
+		c.rec = trace.New(c.tracePerRing)
+	}
 	inner := algo.New(bench.Config{
 		Capacity:        c.capacity,
 		MaxThreads:      c.maxThreads,
 		Counters:        ctrs,
 		Hists:           hists,
+		Trace:           c.rec,
 		PaddedSlots:     c.padded,
 		Backoff:         c.backoff,
 		RetryBudget:     c.retryBudget,
@@ -566,6 +589,8 @@ func New[T any](opts ...Option) (*Queue[T], error) {
 		waitSpins: xsync.DefaultWaitSpins,
 		sleepMin:  xsync.DefaultSleepMin,
 		sleepMax:  xsync.DefaultSleepMax,
+		rec:       c.rec,
+		qtr:       c.rec.Handle(),
 	}
 	if c.policy != nil {
 		q.waitSpins = c.policy.WaitSpins
@@ -610,6 +635,11 @@ type Session[T any] struct {
 	// call); a zero handle when metrics are off or the session is
 	// batch-native.
 	bhist xsync.HistHandle
+	// tr records the payload layer's own shed outcomes (admission
+	// control, arena exhaustion) into the WithTracing flight recorder;
+	// the word-level algorithms record their outcomes themselves. A zero
+	// handle when tracing is off.
+	tr trace.Handle
 }
 
 // leakHandler, when set, observes garbage-collected undetached sessions.
@@ -644,7 +674,7 @@ func (q *Queue[T]) LeakedSessions() uint64 { return q.leaked.Load() }
 // SetLeakHandler hook — but GC-timed reclamation is far too late for a
 // production attach/detach cycle, so treat any leak report as a bug.
 func (q *Queue[T]) Attach() *Session[T] {
-	s := &Session[T]{q: q, inner: q.inner.Attach()}
+	s := &Session[T]{q: q, inner: q.inner.Attach(), tr: q.rec.Handle()}
 	if _, native := s.inner.(queue.BatchSession); !native {
 		s.bhist = q.hists.Handle()
 	}
@@ -730,12 +760,14 @@ func (s *Session[T]) SetDeadline(t time.Time) (ok bool) {
 func (s *Session[T]) Enqueue(v T) error {
 	inner := s.use()
 	if err := s.q.admit(); err != nil {
+		s.tr.OpSampled(trace.KindEnqueue, trace.OutcomeOverloaded, 0)
 		return err
 	}
 	h := s.q.arena.Alloc()
 	if h == arena.Nil {
 		// Arena pressure means capacity + in-flight slack is exhausted —
 		// the queue is full for all practical purposes.
+		s.tr.OpSampled(trace.KindEnqueue, trace.OutcomeFull, 0)
 		return ErrFull
 	}
 	s.q.values[h>>1] = v
@@ -839,6 +871,7 @@ func (s *Session[T]) EnqueueBatch(vs []T) (int, error) {
 		return 0, nil
 	}
 	if err := s.q.admit(); err != nil {
+		s.tr.OpSampled(trace.KindEnqueueBatch, trace.OutcomeOverloaded, len(vs))
 		return 0, err
 	}
 	// Map payloads into arena nodes first; a short allocation is arena
@@ -917,6 +950,7 @@ func (q *Queue[T]) ScavengeOrphans() int {
 	n := sc.Scavenge(2)
 	if n > 0 {
 		q.mctr.Add(xsync.OpScavenge, uint64(n))
+		q.qtr.Event(trace.OutcomeScavenge, n)
 		q.emit(Event{Kind: EventOrphanScavenged, N: n})
 	}
 	return n
