@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke slo-gate experiments check soak explore clean
+.PHONY: all build test race cover bench bench-smoke slo-gate experiments check soak explore jobd conformance bench-jobd clean
 
 all: build test
 
@@ -64,6 +64,23 @@ explore:
 
 soak:
 	$(GO) run ./cmd/fifosoak -algo all -duration 5s
+
+# Build the OJS job server.
+jobd:
+	$(GO) build -o fifojobd ./cmd/fifojobd
+
+# Run the vendored OJS conformance suites against an in-process
+# fifojobd. LEVEL narrows to one spec level (0 or 1); default is all.
+LEVEL ?= -1
+conformance:
+	$(GO) run ./conformance/runner -suites conformance/suites -level $(LEVEL)
+
+# Selfdrive load run: loopback HTTP PUSH/FETCH/ACK against fifojobd,
+# emitting the schema:1 jobd envelope the SLO gate budgets.
+bench-jobd:
+	mkdir -p results
+	$(GO) run ./cmd/fifojobd -selfdrive -duration 3s -out results/BENCH_jobd.json
+	cat results/BENCH_jobd.json
 
 clean:
 	$(GO) clean ./...

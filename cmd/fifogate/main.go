@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"nbqueue/internal/slo"
 )
@@ -62,7 +63,13 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	cur, err := slo.LoadDir(*current)
+	// Skipped files and uncovered experiments are reported, not silent:
+	// a budget typo or a mis-labeled envelope must show up in the gate's
+	// own output, not read as a smaller-but-green run.
+	note := func(format string, args ...any) {
+		fmt.Fprintf(out, "note  "+format+"\n", args...)
+	}
+	cur, err := slo.LoadDirLog(*current, note)
 	if err != nil {
 		return 2, err
 	}
@@ -71,9 +78,23 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	base := map[string]slo.Result{}
 	if *baseline != "" {
-		if base, err = slo.LoadDir(*baseline); err != nil {
+		if base, err = slo.LoadDirLog(*baseline, note); err != nil {
 			return 2, err
 		}
+	}
+	covered := make(map[string]bool, len(budget.Checks))
+	for _, c := range budget.Checks {
+		covered[c.Experiment] = true
+	}
+	var uncovered []string
+	for name := range cur {
+		if !covered[name] {
+			uncovered = append(uncovered, name)
+		}
+	}
+	sort.Strings(uncovered)
+	for _, name := range uncovered {
+		note("experiment %q has results but no budget checks — add rows to %s", name, *budgets)
 	}
 
 	rep := slo.Evaluate(budget, cur, base)

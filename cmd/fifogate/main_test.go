@@ -130,6 +130,41 @@ func TestGateWritesReportAndTrajectory(t *testing.T) {
 	}
 }
 
+func TestGateNotesUncoveredExperimentAndSkippedFiles(t *testing.T) {
+	// An envelope for an experiment no budget row covers, plus a
+	// non-envelope artifact: both must show up in the gate output so a
+	// budget typo can't silently drop a new emitter. Neither fails the
+	// gate.
+	cur := t.TempDir()
+	writeFixture(t, cur, 2e6)
+	mystery := slo.NewResult("mystery")
+	mystery.Rows = []slo.Row{{Algorithm: "evq-seg", Metrics: map[string]float64{"x": 1}}}
+	fh, err := os.Create(filepath.Join(cur, "BENCH_mystery.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slo.Write(fh, mystery); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	if err := os.WriteFile(filepath.Join(cur, "BENCH_legacy.json"), []byte(`[1,2]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	budget := writeBudget(t, t.TempDir())
+	var sb strings.Builder
+	code, err := run([]string{"-budgets", budget, "-current", cur}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v:\n%s", code, err, sb.String())
+	}
+	if !strings.Contains(sb.String(), `experiment "mystery" has results but no budget checks`) {
+		t.Fatalf("missing uncovered-experiment note:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "BENCH_legacy.json") || !strings.Contains(sb.String(), "skipped") {
+		t.Fatalf("missing skipped-file note:\n%s", sb.String())
+	}
+}
+
 func TestGateRejectsEmptyCurrentDir(t *testing.T) {
 	budget := writeBudget(t, t.TempDir())
 	var sb strings.Builder

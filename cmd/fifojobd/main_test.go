@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nbqueue/internal/slo"
+)
+
+// TestSelfdriveEmitsEnvelope runs the whole binary path — flags, server
+// boot, loopback HTTP load, envelope write — and validates the output
+// parses as the schema-versioned jobd result the SLO gate consumes.
+func TestSelfdriveEmitsEnvelope(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_jobd.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-selfdrive", "-duration", "500ms",
+		"-pushers", "2", "-workers", "2",
+		"-out", out,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("selfdrive run: %v\n%s", err, sb.String())
+	}
+	r, err := slo.ReadFile(out)
+	if err != nil {
+		t.Fatalf("emitted envelope unreadable: %v", err)
+	}
+	if r.Experiment != "jobd" {
+		t.Fatalf("experiment = %q, want jobd", r.Experiment)
+	}
+	row, ok := r.Find("evq-seg", "selfdrive")
+	if !ok {
+		t.Fatalf("missing evq-seg/selfdrive row: %+v", r.Rows)
+	}
+	for _, m := range []string{"pushed", "acked", "push_per_sec", "ack_per_sec", "push_p99_ns", "cycle_p99_ns"} {
+		if _, ok := row.Metrics[m]; !ok {
+			t.Errorf("metric %q missing from selfdrive row", m)
+		}
+	}
+	if row.Metrics["pushed"] <= 0 || row.Metrics["acked"] <= 0 {
+		t.Fatalf("selfdrive moved no jobs: %+v", row.Metrics)
+	}
+}
+
+// TestBadFlagCombos: operational misconfiguration is an error before
+// anything binds or serves.
+func TestBadFlagCombos(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-watermarks", "512:256"},      // low > high
+		{"-watermarks", "nonsense"},     // unparseable
+		{"-seg-watermarks", "banana:2"}, // unparseable
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted a bad config", args)
+		}
+	}
+}

@@ -2,8 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"expvar"
 	"fmt"
 	"io"
 	"net"
@@ -59,19 +57,7 @@ func startStats(addr string, every time.Duration, out, errW io.Writer) (*statsSe
 		done: make(chan struct{}),
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = st.collector().WritePrometheus(w)
-	}))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.Handle("/debug/fifotrace", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = st.writeTraceDump(w)
-	}))
-	mux.Handle("/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	}))
+	expose.Routes(mux, st.collector, st.traceDump)
 	st.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	fmt.Fprintf(out, "stats: serving http://%s/metrics\n", st.addr)
 	go func() { _ = st.srv.Serve(ln) }()
@@ -142,59 +128,15 @@ func buildInfo() map[string]string {
 	}
 }
 
-// traceDump is the /debug/fifotrace response: the flight recorder's
-// merged, time-ordered dump plus the conservation counters and a
-// per-outcome tally that reconciles against the Prometheus counters.
-type traceDump struct {
-	Algorithm string            `json:"algorithm"`
-	PerRing   int               `json:"ring_capacity"`
-	Written   uint64            `json:"written"`
-	Dropped   uint64            `json:"dropped"`
-	Outcomes  map[string]uint64 `json:"outcomes"`
-	Records   []traceDumpRecord `json:"records"`
-}
-
-// traceDumpRecord is one decoded record.
-type traceDumpRecord struct {
-	Time      time.Time `json:"time"`
-	LatencyNs uint64    `json:"latency_ns,omitempty"`
-	Kind      string    `json:"kind"`
-	Outcome   string    `json:"outcome"`
-	Retries   uint32    `json:"retries"`
-	Spins     uint32    `json:"spins"`
-	N         uint32    `json:"n,omitempty"`
-}
-
-// writeTraceDump serves the current algorithm's flight-recorder dump.
-// Without tracing (no -statsaddr instrumented run in flight) it serves
-// an empty dump rather than an error, so scrapers can poll freely.
-func (st *statsServer) writeTraceDump(w io.Writer) error {
+// traceDump builds the current algorithm's flight-recorder dump for
+// /debug/fifotrace. Without tracing (no -statsaddr instrumented run in
+// flight) it serves an empty dump rather than an error, so scrapers
+// can poll freely.
+func (st *statsServer) traceDump() expose.TraceDump {
 	st.mu.Lock()
 	key, rec := st.key, st.rec
 	st.mu.Unlock()
-	dump := traceDump{Algorithm: key, Outcomes: map[string]uint64{}, Records: []traceDumpRecord{}}
-	if rec != nil {
-		recs := rec.Snapshot()
-		dump.PerRing = rec.PerRing()
-		dump.Written = rec.Written()
-		dump.Dropped = rec.Dropped()
-		dump.Outcomes = trace.CountByOutcome(recs)
-		dump.Records = make([]traceDumpRecord, len(recs))
-		for i, r := range recs {
-			dump.Records[i] = traceDumpRecord{
-				Time:      time.Unix(0, r.Start),
-				LatencyNs: r.Latency,
-				Kind:      r.Kind.String(),
-				Outcome:   r.Outcome.String(),
-				Retries:   r.Retries,
-				Spins:     r.Spins,
-				N:         r.N,
-			}
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(dump)
+	return expose.BuildTraceDump(key, rec)
 }
 
 // tickLoop prints one digest line per tick until close().

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"nbqueue/internal/jobs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "conformance:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
+	suites := fs.String("suites", "conformance/suites", "directory of suite JSON files")
+	base := fs.String("base", "", "base URL of a running server (empty = spin up in-process)")
+	level := fs.Int("level", -1, "run only this OJS level (-1 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	target := *base
+	if target == "" {
+		addr, stop, err := startServer()
+		if err != nil {
+			return err
+		}
+		defer stop()
+		target = "http://" + addr
+	}
+
+	var levels map[int]bool
+	if *level >= 0 {
+		levels = map[int]bool{*level: true}
+	}
+	r := &Runner{
+		Base:   target,
+		Client: &http.Client{Timeout: 15 * time.Second},
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stdout, format+"\n", a...)
+		},
+	}
+	passed, failed, err := r.RunDir(*suites, levels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conformance: %d passed, %d failed\n", passed, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d case(s) failed", failed)
+	}
+	return nil
+}
+
+// startServer binds an in-process fifojobd-equivalent on loopback. The
+// tight tick keeps the level-1 timing cases (visibility expiry, retry
+// release) fast without loosening their assertions.
+func startServer() (addr string, stop func(), err error) {
+	srv := jobs.New(jobs.Config{Tick: 5 * time.Millisecond})
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Stop()
+		return "", nil, err
+	}
+	hsrv := &http.Server{Handler: jobs.NewHandler(srv)}
+	go func() { _ = hsrv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		_ = hsrv.Close()
+		srv.Stop()
+	}, nil
+}

@@ -1,0 +1,335 @@
+// Command runner executes the vendored OJS conformance suites under
+// conformance/suites against a fifojobd-compatible HTTP server. Each
+// suite file is one JSON-described case: a sequence of HTTP steps with
+// expected statuses, dotted-path assertions into the response JSON,
+// variable capture for chaining (job ids), and polling for
+// timing-dependent level-1 behaviors (visibility expiry, retry
+// release). By default the runner spins up an in-process server on a
+// loopback listener, so `make conformance` needs no running daemon;
+// -base points it at an external server instead.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Case is one conformance suite file.
+type Case struct {
+	// Name identifies the case in output.
+	Name string `json:"name"`
+	// Level is the OJS level the case certifies (0 or 1).
+	Level int `json:"level"`
+	// Steps run in order; the first failure fails the case.
+	Steps []Step `json:"steps"`
+}
+
+// Step is one action: an HTTP request with expectations, or a sleep.
+type Step struct {
+	Name string `json:"name"`
+	// SleepMS pauses without a request (timing setups).
+	SleepMS int64 `json:"sleep_ms,omitempty"`
+	// Request, when set, is sent after ${var} substitution.
+	Request *Request `json:"request,omitempty"`
+	// Expect validates the response.
+	Expect *Expect `json:"expect,omitempty"`
+	// Capture stores dotted-path response values into variables for
+	// later ${var} substitution.
+	Capture map[string]string `json:"capture,omitempty"`
+	// Poll repeats the step until Expect passes (timing-dependent
+	// assertions: visibility expiry, retry release).
+	Poll *Poll `json:"poll,omitempty"`
+}
+
+// Request describes the HTTP call.
+type Request struct {
+	Method string          `json:"method"`
+	Path   string          `json:"path"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// Expect validates status and response JSON.
+type Expect struct {
+	Status int `json:"status"`
+	// JSON maps dotted paths (arrays by index, "#len" for length) to
+	// exact expected values.
+	JSON map[string]any `json:"json,omitempty"`
+	// Exists lists paths that must resolve (value irrelevant).
+	Exists []string `json:"exists,omitempty"`
+	// Absent lists paths that must not resolve.
+	Absent []string `json:"absent,omitempty"`
+	// Header maps header names to exact values.
+	Header map[string]string `json:"header,omitempty"`
+}
+
+// Poll bounds a step's retry loop.
+type Poll struct {
+	Attempts   int   `json:"attempts"`
+	IntervalMS int64 `json:"interval_ms"`
+}
+
+// Runner executes cases against Base.
+type Runner struct {
+	Base   string
+	Client *http.Client
+	Logf   func(format string, args ...any)
+}
+
+// RunDir executes every *.json case under dir (recursively, sorted)
+// whose level is in levels (nil = all). Returns pass/fail counts.
+func (r *Runner) RunDir(dir string, levels map[int]bool) (passed, failed int, err error) {
+	var paths []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(paths) == 0 {
+		return 0, 0, fmt.Errorf("no suite files under %s", dir)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		c, err := LoadCase(path)
+		if err != nil {
+			return passed, failed, err
+		}
+		if levels != nil && !levels[c.Level] {
+			continue
+		}
+		if err := r.RunCase(c); err != nil {
+			failed++
+			r.Logf("FAIL  %-28s (level %d, %s): %v", c.Name, c.Level, filepath.Base(path), err)
+		} else {
+			passed++
+			r.Logf("pass  %-28s (level %d)", c.Name, c.Level)
+		}
+	}
+	return passed, failed, nil
+}
+
+// LoadCase reads one suite file.
+func LoadCase(path string) (Case, error) {
+	var c Case
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("%s: %w", path, err)
+	}
+	if c.Name == "" || len(c.Steps) == 0 {
+		return c, fmt.Errorf("%s: case needs a name and steps", path)
+	}
+	return c, nil
+}
+
+// RunCase executes one case.
+func (r *Runner) RunCase(c Case) error {
+	vars := map[string]string{}
+	for i, step := range c.Steps {
+		if err := r.runStep(step, vars); err != nil {
+			name := step.Name
+			if name == "" {
+				name = fmt.Sprintf("#%d", i+1)
+			}
+			return fmt.Errorf("step %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (r *Runner) runStep(step Step, vars map[string]string) error {
+	if step.SleepMS > 0 {
+		time.Sleep(time.Duration(step.SleepMS) * time.Millisecond)
+	}
+	if step.Request == nil {
+		return nil
+	}
+	attempts, interval := 1, time.Duration(0)
+	if step.Poll != nil {
+		attempts = step.Poll.Attempts
+		if attempts < 1 {
+			attempts = 1
+		}
+		interval = time.Duration(step.Poll.IntervalMS) * time.Millisecond
+		if interval <= 0 {
+			interval = 50 * time.Millisecond
+		}
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(interval)
+		}
+		lastErr = r.attempt(step, vars)
+		if lastErr == nil {
+			return nil
+		}
+	}
+	if attempts > 1 {
+		return fmt.Errorf("after %d poll attempts: %w", attempts, lastErr)
+	}
+	return lastErr
+}
+
+// attempt sends the request once and checks expectations.
+func (r *Runner) attempt(step Step, vars map[string]string) error {
+	req := step.Request
+	path := substitute(req.Path, vars)
+	var body io.Reader
+	if len(req.Body) > 0 {
+		body = strings.NewReader(substitute(string(req.Body), vars))
+	}
+	httpReq, err := http.NewRequest(req.Method, r.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		httpReq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.Client.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+
+	var decoded any
+	if len(bytes.TrimSpace(data)) > 0 {
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			return fmt.Errorf("%s %s: non-JSON response %q", req.Method, path, trim(data))
+		}
+	}
+	if exp := step.Expect; exp != nil {
+		if exp.Status != 0 && resp.StatusCode != exp.Status {
+			return fmt.Errorf("%s %s: status %d, want %d (body %s)", req.Method, path, resp.StatusCode, exp.Status, trim(data))
+		}
+		for name, want := range exp.Header {
+			if got := resp.Header.Get(name); got != substitute(want, vars) {
+				return fmt.Errorf("%s %s: header %s = %q, want %q", req.Method, path, name, got, want)
+			}
+		}
+		for rawPath, want := range exp.JSON {
+			p := substitute(rawPath, vars)
+			got, ok := lookup(decoded, p)
+			if !ok {
+				return fmt.Errorf("%s %s: path %q missing (body %s)", req.Method, path, p, trim(data))
+			}
+			if s, isStr := want.(string); isStr {
+				want = substitute(s, vars)
+			}
+			if !valueEqual(got, want) {
+				return fmt.Errorf("%s %s: path %q = %v, want %v", req.Method, path, p, got, want)
+			}
+		}
+		for _, rawPath := range exp.Exists {
+			p := substitute(rawPath, vars)
+			if v, ok := lookup(decoded, p); !ok || v == nil {
+				return fmt.Errorf("%s %s: path %q absent (body %s)", req.Method, path, p, trim(data))
+			}
+		}
+		for _, rawPath := range exp.Absent {
+			p := substitute(rawPath, vars)
+			if v, ok := lookup(decoded, p); ok && v != nil {
+				return fmt.Errorf("%s %s: path %q present (= %v), want absent", req.Method, path, p, v)
+			}
+		}
+	}
+	for name, rawPath := range step.Capture {
+		p := substitute(rawPath, vars)
+		v, ok := lookup(decoded, p)
+		if !ok {
+			return fmt.Errorf("%s %s: capture %s: path %q missing (body %s)", req.Method, path, name, p, trim(data))
+		}
+		vars[name] = fmt.Sprintf("%v", v)
+	}
+	return nil
+}
+
+// substitute replaces ${var} occurrences.
+func substitute(s string, vars map[string]string) string {
+	for name, val := range vars {
+		s = strings.ReplaceAll(s, "${"+name+"}", val)
+	}
+	return s
+}
+
+// lookup resolves a dotted path in decoded JSON: map keys, array
+// indexes, and the pseudo-segment "#len" for array length.
+func lookup(v any, path string) (any, bool) {
+	for _, seg := range strings.Split(path, ".") {
+		switch t := v.(type) {
+		case map[string]any:
+			var ok bool
+			if v, ok = t[seg]; !ok {
+				return nil, false
+			}
+		case []any:
+			if seg == "#len" {
+				return float64(len(t)), true
+			}
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(t) {
+				return nil, false
+			}
+			v = t[i]
+		default:
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+// valueEqual compares a decoded JSON value against an expected one,
+// normalizing numbers to float64.
+func valueEqual(got, want any) bool {
+	if gn, ok := toFloat(got); ok {
+		if wn, ok := toFloat(want); ok {
+			return gn == wn
+		}
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+func trim(data []byte) string {
+	s := strings.TrimSpace(string(data))
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	return s
+}

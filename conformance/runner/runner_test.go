@@ -1,0 +1,98 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"nbqueue/internal/jobs"
+)
+
+// TestSuitesInProcess runs every vendored suite against an in-process
+// server over httptest, one subtest per case, so `go test ./...` (and
+// the race job) certifies conformance without the CLI entrypoint.
+func TestSuitesInProcess(t *testing.T) {
+	srv := jobs.New(jobs.Config{Tick: 5 * time.Millisecond})
+	srv.Start()
+	defer srv.Stop()
+	ts := httptest.NewServer(jobs.NewHandler(srv))
+	defer ts.Close()
+
+	paths, err := filepath.Glob("../suites/*/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no suite files under ../suites")
+	}
+	sort.Strings(paths)
+	r := &Runner{Base: ts.URL, Client: ts.Client(), Logf: t.Logf}
+	for _, path := range paths {
+		c, err := LoadCase(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			if err := r.RunCase(c); err != nil {
+				t.Errorf("%s: %v", filepath.Base(path), err)
+			}
+		})
+	}
+}
+
+// TestRunDirLevelFilter: -level restricts which cases run.
+func TestRunDirLevelFilter(t *testing.T) {
+	srv := jobs.New(jobs.Config{Tick: 5 * time.Millisecond})
+	srv.Start()
+	defer srv.Stop()
+	ts := httptest.NewServer(jobs.NewHandler(srv))
+	defer ts.Close()
+
+	var lines []string
+	r := &Runner{Base: ts.URL, Client: ts.Client(), Logf: func(f string, a ...any) {
+		lines = append(lines, strings.TrimSpace(f))
+	}}
+	passed, failed, err := r.RunDir("../suites", map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("level-0 run: %d failed", failed)
+	}
+	if passed != 4 {
+		t.Errorf("level-0 run: %d passed, want 4", passed)
+	}
+	_ = lines
+}
+
+// TestLookup covers the dotted-path resolver the assertions ride on.
+func TestLookup(t *testing.T) {
+	doc := map[string]any{
+		"jobs": []any{
+			map[string]any{"id": "a", "attempt": float64(1)},
+			map[string]any{"id": "b"},
+		},
+		"error": map[string]any{"code": "conflict"},
+	}
+	for _, tc := range []struct {
+		path string
+		want any
+		ok   bool
+	}{
+		{"jobs.#len", float64(2), true},
+		{"jobs.0.id", "a", true},
+		{"jobs.1.id", "b", true},
+		{"jobs.2.id", nil, false},
+		{"error.code", "conflict", true},
+		{"error.missing", nil, false},
+		{"jobs.0.attempt", float64(1), true},
+	} {
+		got, ok := lookup(doc, tc.path)
+		if ok != tc.ok || (ok && !valueEqual(got, tc.want)) {
+			t.Errorf("lookup(%q) = %v, %v; want %v, %v", tc.path, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -65,6 +65,56 @@ func BatchResult(rows []BatchRow) slo.Result {
 	return r
 }
 
+// JobdRow is one fifojobd -selfdrive measurement: loopback HTTP
+// PUSH/FETCH/ACK load against the job server's segmented ready queues.
+type JobdRow struct {
+	Pushers int
+	Workers int
+	// Counts over the drive window.
+	Pushed  uint64 // accepted PUSHes (201)
+	Shed    uint64 // backpressure refusals (429)
+	Fetched uint64 // leases granted
+	Acked   uint64
+	Failed  uint64 // worker-injected FAILs
+	// Rates.
+	PushPerSec float64
+	AckPerSec  float64
+	// PUSH round-trip latency over HTTP (request to 201/429).
+	PushP50Ns float64
+	PushP99Ns float64
+	// Cycle latency: PUSH acceptance to ACK for completed jobs.
+	CycleP50Ns float64
+	CycleP99Ns float64
+}
+
+// JobdResult wraps a selfdrive run as the "jobd" experiment envelope.
+// The ready queues are always AlgorithmSegmented, so the row is keyed
+// evq-seg like the queue-level experiments.
+func JobdResult(row JobdRow) slo.Result {
+	r := slo.NewResult("jobd")
+	r.Rows = append(r.Rows, slo.Row{
+		Algorithm: KeyEvqSeg,
+		Label:     "fifojobd selfdrive",
+		Case:      "selfdrive",
+		Metrics: map[string]float64{
+			"pushers":      float64(row.Pushers),
+			"workers":      float64(row.Workers),
+			"pushed":       float64(row.Pushed),
+			"shed":         float64(row.Shed),
+			"fetched":      float64(row.Fetched),
+			"acked":        float64(row.Acked),
+			"failed":       float64(row.Failed),
+			"push_per_sec": row.PushPerSec,
+			"ack_per_sec":  row.AckPerSec,
+			"push_p50_ns":  row.PushP50Ns,
+			"push_p99_ns":  row.PushP99Ns,
+			"cycle_p50_ns": row.CycleP50Ns,
+			"cycle_p99_ns": row.CycleP99Ns,
+		},
+	})
+	return r
+}
+
 // LatencyResult wraps the -latency quantile measurement as the
 // "latency" experiment envelope, one row per (algorithm, side).
 func LatencyResult(rows []LatencyRow) slo.Result {

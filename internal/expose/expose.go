@@ -29,6 +29,20 @@ type Gauge struct {
 	Value func() float64
 }
 
+// Counter is one monotonically increasing total sampled at scrape
+// time, for application-level counters (job lifecycle totals) that do
+// not live in an xsync bank. Value must be safe for concurrent use and
+// never decrease.
+type Counter struct {
+	// Name is the metric name without namespace; the conventional
+	// _total suffix is the caller's to include (e.g. "jobs_pushed_total").
+	Name string
+	// Help is the one-line # HELP text.
+	Help string
+	// Value is sampled at scrape time.
+	Value func() uint64
+}
+
 // Collector renders one queue's instrumentation. All fields are
 // optional: nil banks and empty gauge lists simply render nothing.
 type Collector struct {
@@ -43,6 +57,10 @@ type Collector struct {
 	Hists *xsync.Histograms
 	// Gauges are scrape-time instantaneous values.
 	Gauges []Gauge
+	// ExtraCounters are scrape-time application counters rendered with
+	// counter type (the Counters bank covers the queue-level OpKinds;
+	// these cover everything built on top, like job lifecycle totals).
+	ExtraCounters []Counter
 	// BuildInfo, when non-empty, emits the conventional info-style
 	// series <ns>_build_info{key="value",...} 1 so dashboards can join
 	// metrics to the producing build (version, go_version, gomaxprocs).
@@ -148,6 +166,13 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w,
 			"# HELP %s_trace_dropped_total Flight-recorder records lost to ring wrap-around or torn snapshot reads.\n# TYPE %s_trace_dropped_total counter\n%s_trace_dropped_total%s %d\n",
 			ns, ns, ns, ls, c.TraceDropped()); err != nil {
+			return err
+		}
+	}
+	for _, x := range c.ExtraCounters {
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s%s %d\n",
+			ns, x.Name, x.Help, ns, x.Name, ns, x.Name, ls, x.Value()); err != nil {
 			return err
 		}
 	}
@@ -274,6 +299,9 @@ func (c *Collector) expvarValue() map[string]any {
 	}
 	for _, g := range c.Gauges {
 		out[g.Name] = g.Value()
+	}
+	for _, x := range c.ExtraCounters {
+		out[x.Name] = x.Value()
 	}
 	if c.TraceDropped != nil {
 		out["trace_dropped_total"] = c.TraceDropped()

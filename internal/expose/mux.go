@@ -1,0 +1,113 @@
+package expose
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nbqueue/internal/trace"
+)
+
+// TraceDump is the /debug/fifotrace response shape: the flight
+// recorder's merged, time-ordered dump plus the conservation counters
+// and a per-outcome tally that reconciles against the Prometheus
+// counters. Both fifosoak and fifojobd serve it, so the JSON shape
+// lives here rather than in either command.
+type TraceDump struct {
+	Algorithm string            `json:"algorithm"`
+	PerRing   int               `json:"ring_capacity"`
+	Written   uint64            `json:"written"`
+	Dropped   uint64            `json:"dropped"`
+	Outcomes  map[string]uint64 `json:"outcomes"`
+	Records   []TraceDumpRecord `json:"records"`
+}
+
+// TraceDumpRecord is one decoded flight-recorder record.
+type TraceDumpRecord struct {
+	Time      time.Time `json:"time"`
+	LatencyNs uint64    `json:"latency_ns,omitempty"`
+	Kind      string    `json:"kind"`
+	Outcome   string    `json:"outcome"`
+	Retries   uint32    `json:"retries"`
+	Spins     uint32    `json:"spins"`
+	N         uint32    `json:"n,omitempty"`
+}
+
+// BuildTraceDump snapshots rec into the dump shape. A nil rec (tracing
+// disabled) yields an empty dump rather than an error, so scrapers can
+// poll freely whether or not the producing run is instrumented.
+func BuildTraceDump(algorithm string, rec *trace.Recorder) TraceDump {
+	dump := TraceDump{Algorithm: algorithm, Outcomes: map[string]uint64{}, Records: []TraceDumpRecord{}}
+	if rec == nil {
+		return dump
+	}
+	recs := rec.Snapshot()
+	dump.PerRing = rec.PerRing()
+	dump.Written = rec.Written()
+	dump.Dropped = rec.Dropped()
+	dump.Outcomes = trace.CountByOutcome(recs)
+	dump.Records = make([]TraceDumpRecord, len(recs))
+	for i, r := range recs {
+		dump.Records[i] = TraceDumpRecord{
+			Time:      time.Unix(0, r.Start),
+			LatencyNs: r.Latency,
+			Kind:      r.Kind.String(),
+			Outcome:   r.Outcome.String(),
+			Retries:   r.Retries,
+			Spins:     r.Spins,
+			N:         r.N,
+		}
+	}
+	return dump
+}
+
+// Routes mounts the repo's standard observability endpoints on mux:
+//
+//	/metrics          Prometheus text exposition from collect()
+//	/debug/vars       process-wide expvar JSON
+//	/debug/fifotrace  flight-recorder dump from dump()
+//	/healthz          liveness probe ("ok")
+//
+// collect is invoked per scrape so callers can swap banks between
+// scrapes (fifosoak rotates algorithms; fifojobd aggregates queues);
+// dump likewise. Either may be nil: a nil collect serves an empty
+// exposition, a nil dump serves an empty TraceDump. Extra handlers
+// (application APIs) are the caller's to add on the same mux.
+func Routes(mux *http.ServeMux, collect func() *Collector, dump func() TraceDump) {
+	routes(mux, collect, dump)
+}
+
+// NewMux is Routes on a fresh mux, for callers with no other handlers.
+func NewMux(collect func() *Collector, dump func() TraceDump) *http.ServeMux {
+	mux := http.NewServeMux()
+	routes(mux, collect, dump)
+	return mux
+}
+
+func routes(mux *http.ServeMux, collect func() *Collector, dump func() TraceDump) {
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c := &Collector{}
+		if collect != nil {
+			c = collect()
+		}
+		_ = c.WritePrometheus(w)
+	}))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/fifotrace", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		d := TraceDump{Outcomes: map[string]uint64{}, Records: []TraceDumpRecord{}}
+		if dump != nil {
+			d = dump()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(d)
+	}))
+	mux.Handle("/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	}))
+}

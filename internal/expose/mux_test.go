@@ -1,0 +1,96 @@
+package expose
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nbqueue/internal/trace"
+)
+
+// TestRoutesServesStandardEndpoints drives the shared observability mux
+// the way fifosoak and fifojobd mount it: live collector with extra
+// counters, a flight-recorder dump, liveness.
+func TestRoutesServesStandardEndpoints(t *testing.T) {
+	ctrs, hists := fill(t)
+	rec := trace.New(64)
+	h := rec.Handle()
+	h.Op(time.Now(), trace.KindEnqueue, trace.OutcomeOK, 1, 0, 0)
+
+	var pushed uint64 = 42
+	collect := func() *Collector {
+		return &Collector{
+			Labels:   map[string]string{"algorithm": "evq-seg"},
+			Counters: ctrs,
+			Hists:    hists,
+			ExtraCounters: []Counter{{
+				Name: "jobs_pushed_total", Help: "Jobs accepted by PUSH.",
+				Value: func() uint64 { return pushed },
+			}},
+		}
+	}
+	mux := httptest.NewServer(NewMux(collect, func() TraceDump {
+		return BuildTraceDump("evq-seg", rec)
+	}))
+	defer mux.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := mux.Client().Get(mux.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE nbq_jobs_pushed_total counter",
+		`nbq_jobs_pushed_total{algorithm="evq-seg"} 42`,
+		`nbq_enqueues_total{algorithm="evq-seg"} 100`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%.1500s", want, metrics)
+		}
+	}
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q", body)
+	}
+	var dump TraceDump
+	if err := json.Unmarshal([]byte(get("/debug/fifotrace")), &dump); err != nil {
+		t.Fatalf("/debug/fifotrace not JSON: %v", err)
+	}
+	if dump.Algorithm != "evq-seg" || len(dump.Records) != 1 {
+		t.Errorf("dump = algorithm %q, %d records; want evq-seg, 1", dump.Algorithm, len(dump.Records))
+	}
+	if !strings.Contains(get("/debug/vars"), "{") {
+		t.Error("/debug/vars not JSON")
+	}
+}
+
+// TestRoutesNilSources: both sources optional, endpoints still serve.
+func TestRoutesNilSources(t *testing.T) {
+	mux := httptest.NewServer(NewMux(nil, nil))
+	defer mux.Close()
+	for _, path := range []string{"/metrics", "/debug/fifotrace", "/healthz"} {
+		resp, err := mux.Client().Get(mux.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s with nil sources: status %d", path, resp.StatusCode)
+		}
+	}
+}

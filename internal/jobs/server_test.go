@@ -1,0 +1,468 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nbqueue"
+)
+
+// fakeClock is a thread-safe manual clock injected via Config.Now.
+// Tests move time with Advance and then drive the wheel with
+// Server.Advance — no background ticker, fully deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	t := c.t
+	c.mu.Unlock()
+	return t
+}
+
+func newTestServer(cfg Config) (*Server, *fakeClock) {
+	clk := newFakeClock()
+	cfg.Now = clk.Now
+	if cfg.Tick == 0 {
+		cfg.Tick = 10 * time.Millisecond
+	}
+	return New(cfg), clk
+}
+
+// tick moves the fake clock and sweeps the wheel, the test-side stand-in
+// for the background ticker.
+func tick(s *Server, clk *fakeClock, d time.Duration) {
+	s.Advance(clk.Advance(d))
+}
+
+func mustPush(t *testing.T, s *Server, typ string, o PushOptions) string {
+	t.Helper()
+	env, err := s.Push(typ, json.RawMessage(`{"n":1}`), o)
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	return env.ID
+}
+
+func mustFetchOne(t *testing.T, s *Server, typ, worker string) *Envelope {
+	t.Helper()
+	got, err := s.Fetch([]string{typ}, worker, 1, 0)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("fetch returned %d jobs, want 1", len(got))
+	}
+	return got[0]
+}
+
+func wantState(t *testing.T, s *Server, id string, want State) {
+	t.Helper()
+	env, err := s.Info(id)
+	if err != nil {
+		t.Fatalf("info(%s): %v", id, err)
+	}
+	if env.State != want {
+		t.Fatalf("job %s state = %s, want %s", id, env.State, want)
+	}
+}
+
+// TestVisibilityEdges is the satellite-3 table: lease-expiry races and
+// timeout interactions, each fully scripted against the fake clock.
+func TestVisibilityEdges(t *testing.T) {
+	const vis = 100 * time.Millisecond
+	opts := PushOptions{Visibility: vis, MaxAttempts: 3, Retry: &RetryPolicy{Base: time.Millisecond, Factor: 1}}
+
+	for _, tc := range []struct {
+		name string
+		run  func(t *testing.T, s *Server, clk *fakeClock, id string)
+	}{
+		{
+			// Sequential baseline: expiry fires, then the worker's late
+			// ACK must lose with ErrLeaseLost and the job redelivers.
+			name: "ack-after-expiry-loses",
+			run: func(t *testing.T, s *Server, clk *fakeClock, id string) {
+				tick(s, clk, vis+20*time.Millisecond)
+				wantState(t, s, id, StateAvailable)
+				if _, err := s.Ack(id, "w-1"); !errors.Is(err, ErrLeaseLost) {
+					t.Fatalf("stale ack: err = %v, want ErrLeaseLost", err)
+				}
+				env := mustFetchOne(t, s, "q", "w-2")
+				if env.Attempt != 2 {
+					t.Fatalf("redelivery attempt = %d, want 2", env.Attempt)
+				}
+				got, _ := s.Info(id)
+				if len(got.Errors) != 1 || got.Errors[0].Error != "visibility timeout: lease expired without heartbeat" {
+					t.Fatalf("expiry history = %+v", got.Errors)
+				}
+			},
+		},
+		{
+			// FAIL from the original worker after its lease expired must
+			// not add a second attempt record or reschedule anything.
+			name: "fail-after-expiry-loses",
+			run: func(t *testing.T, s *Server, clk *fakeClock, id string) {
+				tick(s, clk, vis+20*time.Millisecond)
+				if _, err := s.Fail(id, "w-1", "too late"); !errors.Is(err, ErrLeaseLost) {
+					t.Fatalf("stale fail: err = %v, want ErrLeaseLost", err)
+				}
+				wantState(t, s, id, StateAvailable)
+				got, _ := s.Info(id)
+				if len(got.Errors) != 1 {
+					t.Fatalf("stale FAIL added history: %+v", got.Errors)
+				}
+				if c := s.Counters()["jobs_failed_total"]; c != 0 {
+					t.Fatalf("jobs_failed_total = %d, want 0", c)
+				}
+			},
+		},
+		{
+			// A heartbeat just before the deadline pushes it out; the
+			// sweep at the old deadline must not revoke the lease.
+			name: "heartbeat-extends-before-expiry",
+			run: func(t *testing.T, s *Server, clk *fakeClock, id string) {
+				clk.Advance(vis - 10*time.Millisecond)
+				res, err := s.Heartbeat("w-1", []string{id})
+				if err != nil || res[id] != "ok" {
+					t.Fatalf("heartbeat = %v, %v; want ok", res, err)
+				}
+				// Sweep past the original deadline: still leased.
+				tick(s, clk, 20*time.Millisecond)
+				wantState(t, s, id, StateActive)
+				// Let the extended lease lapse: now it redelivers.
+				tick(s, clk, vis)
+				wantState(t, s, id, StateAvailable)
+			},
+		},
+		{
+			// A heartbeat that lands after the deadline but before the
+			// sweep rescues the lease: expiry is decided by the sweep's
+			// CAS, and until it runs the worker is still the leaseholder.
+			name: "heartbeat-before-sweep-rescues",
+			run: func(t *testing.T, s *Server, clk *fakeClock, id string) {
+				clk.Advance(vis + 10*time.Millisecond) // deadline passed, wheel not swept
+				res, err := s.Heartbeat("w-1", []string{id})
+				if err != nil || res[id] != "ok" {
+					t.Fatalf("pre-sweep heartbeat = %v, %v; want ok", res, err)
+				}
+				// The sweep at the old deadline sees the moved deadline
+				// and leaves the lease alone.
+				s.Advance(clk.Now())
+				wantState(t, s, id, StateActive)
+			},
+		},
+		{
+			// Once the sweep has revoked the lease, heartbeats from the
+			// old worker report lost.
+			name: "heartbeat-after-revocation-is-lost",
+			run: func(t *testing.T, s *Server, clk *fakeClock, id string) {
+				tick(s, clk, vis+20*time.Millisecond)
+				wantState(t, s, id, StateAvailable)
+				res, err := s.Heartbeat("w-1", []string{id})
+				if err != nil || res[id] != "lost" {
+					t.Fatalf("post-revocation heartbeat = %v, %v; want lost", res, err)
+				}
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, clk := newTestServer(Config{})
+			id := mustPush(t, s, "q", opts)
+			env := mustFetchOne(t, s, "q", "w-1")
+			if env.ID != id || env.State != StateActive || env.Attempt != 1 {
+				t.Fatalf("lease envelope = %+v", env)
+			}
+			tc.run(t, s, clk, id)
+		})
+	}
+}
+
+// TestAckVsExpiryExactlyOnce races a worker ACK against the expiry
+// sweep at the deadline, many rounds: exactly one side must win every
+// time — either the job completes with no expiry record, or the ACK
+// reports ErrLeaseLost and the job redelivers.
+func TestAckVsExpiryExactlyOnce(t *testing.T) {
+	const vis = 50 * time.Millisecond
+	var acked, expired int
+	for i := 0; i < 200; i++ {
+		s, clk := newTestServer(Config{})
+		id := mustPush(t, s, "q", PushOptions{Visibility: vis, MaxAttempts: 2, Retry: &RetryPolicy{Base: time.Millisecond, Factor: 1}})
+		mustFetchOne(t, s, "q", "w")
+
+		now := clk.Advance(vis + time.Millisecond) // deadline passed; sweep not yet run
+		var ackErr error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); s.Advance(now) }()
+		go func() { defer wg.Done(); _, ackErr = s.Ack(id, "w") }()
+		wg.Wait()
+
+		env, _ := s.Info(id)
+		c := s.Counters()
+		switch {
+		case ackErr == nil:
+			acked++
+			if env.State != StateCompleted {
+				t.Fatalf("round %d: ack won but state = %s", i, env.State)
+			}
+			if c["jobs_lease_expired_total"] != 0 {
+				t.Fatalf("round %d: ack won yet expiry also counted", i)
+			}
+		case errors.Is(ackErr, ErrLeaseLost):
+			expired++
+			if env.State != StateAvailable {
+				t.Fatalf("round %d: expiry won but state = %s", i, env.State)
+			}
+			if c["jobs_lease_expired_total"] != 1 {
+				t.Fatalf("round %d: expiry won but counted %d", i, c["jobs_lease_expired_total"])
+			}
+		default:
+			t.Fatalf("round %d: unexpected ack error %v", i, ackErr)
+		}
+		if c["jobs_acked_total"]+c["jobs_lease_expired_total"] != 1 {
+			t.Fatalf("round %d: attempt resolved %d times", i, c["jobs_acked_total"]+c["jobs_lease_expired_total"])
+		}
+	}
+	t.Logf("200 rounds: %d acks won, %d expiries won", acked, expired)
+}
+
+// TestHeartbeatVsExpiryExactlyOnce races a lease extension against the
+// expiry sweep: the lease is either extended (still active past the old
+// deadline) or revoked (heartbeat says lost, job redelivers) — never
+// both, never neither.
+func TestHeartbeatVsExpiryExactlyOnce(t *testing.T) {
+	const vis = 50 * time.Millisecond
+	var extended, revoked int
+	for i := 0; i < 200; i++ {
+		s, clk := newTestServer(Config{})
+		id := mustPush(t, s, "q", PushOptions{Visibility: vis, MaxAttempts: 2})
+		mustFetchOne(t, s, "q", "w")
+
+		// Land exactly on the deadline: the heartbeat's min(now+vis, …)
+		// is still in the future, so it is allowed to extend, while the
+		// sweep sees the deadline as due. Both race on the same gen.
+		now := clk.Advance(vis)
+		var res map[string]string
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); s.Advance(now) }()
+		go func() { defer wg.Done(); res, _ = s.Heartbeat("w", []string{id}) }()
+		wg.Wait()
+
+		env, _ := s.Info(id)
+		switch res[id] {
+		case "ok":
+			extended++
+			if env.State != StateActive {
+				t.Fatalf("round %d: heartbeat ok but state = %s", i, env.State)
+			}
+			// The extension must hold through the old deadline's slot.
+			s.Advance(clk.Advance(time.Millisecond))
+			wantState(t, s, id, StateActive)
+		case "lost":
+			revoked++
+			// Expiry won; after its sweep the job must be redeliverable.
+			s.Advance(clk.Now())
+			wantState(t, s, id, StateAvailable)
+		default:
+			t.Fatalf("round %d: heartbeat result %q", i, res[id])
+		}
+		if env.State == StateActive && res[id] == "lost" {
+			t.Fatalf("round %d: lost heartbeat yet still active", i)
+		}
+	}
+	t.Logf("200 rounds: %d extended, %d revoked", extended, revoked)
+}
+
+// TestRetryBackoffSchedule walks a job through FAIL → backoff →
+// redelivery on the fake clock, checking the exponential schedule.
+func TestRetryBackoffSchedule(t *testing.T) {
+	s, clk := newTestServer(Config{})
+	retry := &RetryPolicy{Base: 100 * time.Millisecond, Factor: 2, Max: time.Second}
+	id := mustPush(t, s, "q", PushOptions{MaxAttempts: 3, Visibility: time.Minute, Retry: retry})
+
+	for attempt, backoff := range map[int]time.Duration{1: 100 * time.Millisecond, 2: 200 * time.Millisecond} {
+		env := mustFetchOne(t, s, "q", "w")
+		if env.Attempt != attempt {
+			t.Fatalf("delivery attempt = %d, want %d", env.Attempt, attempt)
+		}
+		if _, err := s.Fail(id, "w", fmt.Sprintf("boom %d", attempt)); err != nil {
+			t.Fatalf("fail: %v", err)
+		}
+		wantState(t, s, id, StateRetryable)
+		// One tick shy of the backoff: must not release yet (the wheel
+		// may fire up to a tick early, so stay a full tick short).
+		tick(s, clk, backoff-s.tick-time.Millisecond)
+		if got, _ := s.Fetch([]string{"q"}, "w", 1, 0); len(got) != 0 {
+			t.Fatalf("attempt %d released %v early", attempt, backoff)
+		}
+		tick(s, clk, 2*s.tick)
+		wantState(t, s, id, StateAvailable)
+	}
+
+	env := mustFetchOne(t, s, "q", "w")
+	if env.Attempt != 3 {
+		t.Fatalf("final attempt = %d, want 3", env.Attempt)
+	}
+	if _, err := s.Ack(id, "w"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Info(id)
+	if got.State != StateCompleted || len(got.Errors) != 2 {
+		t.Fatalf("final envelope: state=%s errors=%d", got.State, len(got.Errors))
+	}
+}
+
+// TestExecutionTimeoutBeatsHeartbeat: heartbeats keep the visibility
+// window fresh but cannot push the lease past fetchedAt+timeout.
+func TestExecutionTimeoutBeatsHeartbeat(t *testing.T) {
+	s, clk := newTestServer(Config{})
+	id := mustPush(t, s, "q", PushOptions{
+		MaxAttempts: 2,
+		Visibility:  100 * time.Millisecond,
+		Timeout:     250 * time.Millisecond,
+		Retry:       &RetryPolicy{Base: time.Millisecond, Factor: 1},
+	})
+	mustFetchOne(t, s, "q", "w")
+
+	// Heartbeat every 50ms: inside the ceiling they extend...
+	for i := 0; i < 4; i++ {
+		tick(s, clk, 50*time.Millisecond)
+		res, _ := s.Heartbeat("w", []string{id})
+		want := "ok"
+		if i >= 2 { // 150ms+: min(now+vis, fetched+250ms) is in the past at 250ms
+			continue
+		}
+		if res[id] != want {
+			t.Fatalf("heartbeat at %dms = %q, want %q", (i+1)*50, res[id], want)
+		}
+	}
+	// ...but the ceiling wins: past 250ms the lease is revoked with the
+	// execution-timeout reason, the attempt goes retryable, and the
+	// backoff timer releases it on the next sweep.
+	tick(s, clk, 50*time.Millisecond)
+	wantState(t, s, id, StateRetryable)
+	tick(s, clk, s.tick)
+	wantState(t, s, id, StateAvailable)
+	got, _ := s.Info(id)
+	if len(got.Errors) != 1 || got.Errors[0].Error != "execution timeout: attempt exceeded its ceiling" {
+		t.Fatalf("timeout history = %+v", got.Errors)
+	}
+	env := mustFetchOne(t, s, "q", "w")
+	if env.Attempt != 2 {
+		t.Fatalf("redelivery attempt = %d, want 2", env.Attempt)
+	}
+}
+
+// TestExhaustionDeadLetterAndRequeue: attempts exhaust into the
+// dead-letter list; RequeueDead resets and redelivers.
+func TestExhaustionDeadLetterAndRequeue(t *testing.T) {
+	s, clk := newTestServer(Config{})
+	id := mustPush(t, s, "q", PushOptions{MaxAttempts: 1, Visibility: time.Minute})
+
+	mustFetchOne(t, s, "q", "w")
+	env, err := s.Fail(id, "w", "fatal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.State != StateDiscarded {
+		t.Fatalf("single-attempt FAIL state = %s, want discarded", env.State)
+	}
+	dead, err := s.DeadLetter("q")
+	if err != nil || len(dead) != 1 || dead[0].ID != id {
+		t.Fatalf("dead letter = %v, %v", dead, err)
+	}
+
+	req, err := s.RequeueDead(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.State != StateAvailable || req.Attempt != 0 {
+		t.Fatalf("requeued envelope state=%s attempt=%d", req.State, req.Attempt)
+	}
+	if dead, _ := s.DeadLetter("q"); len(dead) != 0 {
+		t.Fatalf("dead letter still holds %d after requeue", len(dead))
+	}
+	env2 := mustFetchOne(t, s, "q", "w")
+	if env2.Attempt != 1 {
+		t.Fatalf("post-requeue attempt = %d, want 1", env2.Attempt)
+	}
+	if _, err := s.Ack(id, "w"); err != nil {
+		t.Fatal(err)
+	}
+	_ = clk
+}
+
+// TestCancelQueuedJob: cancel flips a queued job to cancelled; the
+// ready queue's stale entry is dropped at dequeue, not delivered.
+func TestCancelQueuedJob(t *testing.T) {
+	s, _ := newTestServer(Config{})
+	id := mustPush(t, s, "q", PushOptions{})
+	id2 := mustPush(t, s, "q", PushOptions{})
+
+	env, err := s.Cancel(id)
+	if err != nil || env.State != StateCancelled {
+		t.Fatalf("cancel = %+v, %v", env, err)
+	}
+	// The cancelled job is skipped; the next job comes out instead.
+	got := mustFetchOne(t, s, "q", "w")
+	if got.ID != id2 {
+		t.Fatalf("fetched %s, want %s (cancelled job delivered)", got.ID, id2)
+	}
+	if _, err := s.Cancel(id2); !errors.Is(err, ErrConflict) {
+		t.Fatalf("cancel active job: err = %v, want ErrConflict", err)
+	}
+	if _, err := s.Cancel(id); !errors.Is(err, ErrConflict) {
+		t.Fatalf("double cancel: err = %v, want ErrConflict", err)
+	}
+}
+
+// TestPushBackpressureSheds: a tiny memory bound makes the ready queue
+// refuse admission; Push surfaces a retryable 429-class error and the
+// job is forgotten (client retry is a fresh PUSH).
+func TestPushBackpressureSheds(t *testing.T) {
+	s, _ := newTestServer(Config{
+		QueueOptions: []nbqueue.Option{
+			nbqueue.WithSegmentSize(4),
+			nbqueue.WithMemoryBound(1),
+		},
+	})
+	var shed int
+	for i := 0; i < 64; i++ {
+		_, err := s.Push("q", nil, PushOptions{})
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("push %d: unexpected error %v", i, err)
+		}
+		shed++
+	}
+	if shed == 0 {
+		t.Fatal("memory-bounded queue never shed a push")
+	}
+	c := s.Counters()
+	if c["jobs_push_shed_total"] != uint64(shed) {
+		t.Fatalf("jobs_push_shed_total = %d, want %d", c["jobs_push_shed_total"], shed)
+	}
+	if int(c["jobs_pushed_total"])+shed != 64 {
+		t.Fatalf("pushed %d + shed %d != 64", c["jobs_pushed_total"], shed)
+	}
+}

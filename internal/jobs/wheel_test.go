@@ -1,0 +1,96 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWheelFiresDeadlineLaterInSweptSlot is the regression for the
+// classic hashed-wheel off-by-one: slot s is swept while now is inside
+// s, so an entry whose deadline falls later within the same slot must
+// fire on that visit — a wall-clock comparison would keep it and the
+// monotonic cursor would not return for a full rotation.
+func TestWheelFiresDeadlineLaterInSweptSlot(t *testing.T) {
+	w := newWheel(5*time.Millisecond, 8)
+	base := time.Unix(1000, 0) // slot-aligned
+	w.schedule(timerEntry{gen: 1, at: base.Add(3 * time.Millisecond).UnixNano()})
+	fired := 0
+	w.advanceTo(base, func(timerEntry) { fired++ })
+	if fired != 1 {
+		t.Fatalf("same-slot entry fired %d times on the sweep, want 1", fired)
+	}
+	if w.pending() != 0 {
+		t.Fatalf("pending = %d after fire", w.pending())
+	}
+}
+
+func TestWheelFutureEntriesWait(t *testing.T) {
+	w := newWheel(5*time.Millisecond, 8)
+	base := time.Unix(1000, 0)
+	w.schedule(timerEntry{gen: 1, at: base.Add(12 * time.Millisecond).UnixNano()})
+	var fired []timerEntry
+	w.advanceTo(base, func(e timerEntry) { fired = append(fired, e) })
+	if len(fired) != 0 {
+		t.Fatalf("future entry fired early")
+	}
+	w.advanceTo(base.Add(5*time.Millisecond), func(e timerEntry) { fired = append(fired, e) })
+	if len(fired) != 0 {
+		t.Fatalf("entry fired a full slot early")
+	}
+	// Firing is ≤1 tick early by contract: the base+12ms deadline lands
+	// in the base+10ms slot and fires on that sweep.
+	w.advanceTo(base.Add(10*time.Millisecond), func(e timerEntry) { fired = append(fired, e) })
+	if len(fired) != 1 {
+		t.Fatalf("entry did not fire on its slot's sweep; fired %d", len(fired))
+	}
+}
+
+// TestWheelLaterRoundsSurviveSweep: an entry more than one rotation out
+// shares a bucket with nearer slots but must not fire until its own
+// round.
+func TestWheelLaterRoundsSurviveSweep(t *testing.T) {
+	const tick = 5 * time.Millisecond
+	w := newWheel(tick, 8) // rotation = 40ms
+	base := time.Unix(1000, 0)
+	w.schedule(timerEntry{gen: 1, at: base.Add(2 * tick).UnixNano()})
+	w.schedule(timerEntry{gen: 2, at: base.Add(10 * tick).UnixNano()}) // same bucket, next round
+	var fired []uint64
+	for i := 0; i <= 12; i++ {
+		w.advanceTo(base.Add(time.Duration(i)*tick), func(e timerEntry) { fired = append(fired, e.gen) })
+		if i < 10 && len(fired) > 1 {
+			t.Fatalf("round-2 entry fired at tick %d", i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired order %v, want [1 2]", fired)
+	}
+}
+
+// TestWheelBigJumpSweepsEveryBucket: a fake-clock jump far past the
+// wheel's horizon must still visit every bucket exactly once.
+func TestWheelBigJumpSweepsEveryBucket(t *testing.T) {
+	w := newWheel(5*time.Millisecond, 8)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 8; i++ {
+		w.schedule(timerEntry{gen: uint64(i), at: base.Add(time.Duration(i*5) * time.Millisecond).UnixNano()})
+	}
+	fired := 0
+	w.advanceTo(base.Add(time.Hour), func(timerEntry) { fired++ })
+	if fired != 8 {
+		t.Fatalf("big jump fired %d, want all 8", fired)
+	}
+}
+
+// TestWheelPastEntryFiresNextSweep: scheduling behind the cursor clamps
+// to the next sweep instead of waiting a rotation.
+func TestWheelPastEntryFiresNextSweep(t *testing.T) {
+	w := newWheel(5*time.Millisecond, 8)
+	base := time.Unix(1000, 0)
+	w.advanceTo(base, func(timerEntry) {})
+	w.schedule(timerEntry{gen: 1, at: base.Add(-time.Second).UnixNano()})
+	fired := 0
+	w.advanceTo(base.Add(5*time.Millisecond), func(timerEntry) { fired++ })
+	if fired != 1 {
+		t.Fatalf("past entry fired %d times on the following sweep, want 1", fired)
+	}
+}

@@ -110,6 +110,15 @@ func ReadFile(path string) (Result, error) {
 // e.g. the overload CSV twin or legacy artifacts — are skipped;
 // malformed envelopes and duplicate experiments are errors.
 func LoadDir(dir string) (map[string]Result, error) {
+	return LoadDirLog(dir, nil)
+}
+
+// LoadDirLog is LoadDir with a skip log: every BENCH_*.json that fails
+// the envelope probe is reported through logf instead of vanishing
+// silently, so a result file a new emitter writes with a typo'd or
+// missing schema cannot be quietly ignored by the gate. A nil logf
+// restores the silent behavior.
+func LoadDirLog(dir string, logf func(format string, args ...any)) (map[string]Result, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return nil, err
@@ -129,6 +138,9 @@ func LoadDir(dir string) (map[string]Result, error) {
 			return nil, err
 		}
 		if json.Unmarshal(data, &probe) != nil || probe.Schema == 0 {
+			if logf != nil {
+				logf("slo: %s: not a schema-%d result envelope, skipped", p, SchemaVersion)
+			}
 			continue
 		}
 		r, err := ReadFile(p)

@@ -1,6 +1,7 @@
 package slo
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,6 +74,34 @@ func TestLoadDirSkipsLegacyShapes(t *testing.T) {
 	}
 	if len(m) != 1 {
 		t.Fatalf("want exactly the envelope, got %v", m)
+	}
+}
+
+func TestLoadDirLogReportsSkips(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "BENCH_legacy.json"), []byte(`[{"key": "evq-cas"}]`), 0o644)
+	os.WriteFile(filepath.Join(dir, "BENCH_noschema.json"), []byte(`{"experiment": "typo"}`), 0o644)
+	fh, _ := os.Create(filepath.Join(dir, "BENCH_smoke.json"))
+	Write(fh, testResult(1e6))
+	fh.Close()
+
+	var logged []string
+	m, err := LoadDirLog(dir, func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 {
+		t.Fatalf("want exactly the envelope, got %v", m)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("want 2 skip logs, got %v", logged)
+	}
+	for _, line := range logged {
+		if !strings.Contains(line, "skipped") || !strings.Contains(line, "BENCH_") {
+			t.Fatalf("skip log missing context: %q", line)
+		}
 	}
 }
 

@@ -35,6 +35,13 @@ func NewExporter(m *Metrics, labels map[string]string) *Exporter {
 	}}
 }
 
+// Collector returns the exporter's underlying collector so the
+// module's own commands (fifojobd) can merge application-level series
+// — extra counters, gauges, build info — into the same exposition.
+// The pointer aliases the exporter's state; callers extend it once at
+// startup, not per scrape.
+func (e *Exporter) Collector() *expose.Collector { return &e.col }
+
 // AddGauge registers an instantaneous value sampled at scrape time.
 // value must be safe for concurrent use.
 func (e *Exporter) AddGauge(name, help string, value func() float64) {
