@@ -38,6 +38,9 @@ bench-smoke:
 	$(GO) run ./cmd/fifobench -experiment overload \
 		-format json > results/BENCH_overload.json
 	cat results/BENCH_overload.json
+	$(GO) run ./cmd/fifobench -experiment shard \
+		-format json > results/BENCH_shard.json
+	cat results/BENCH_shard.json
 
 # Check the current results/ against the checked-in SLO budgets and
 # append the verdict to the perf trajectory. Run `make bench-smoke`

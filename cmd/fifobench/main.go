@@ -198,6 +198,8 @@ func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, sy
 		return bench.WriteBatchTable(out, rows)
 	case bench.ExpOverload:
 		return runOverload(out, format, p)
+	case bench.ExpShard:
+		return runShard(out, format, p)
 	case bench.ExpRelated:
 		series, err := bench.RunRelated([]int{16, 128, 1024, 8192}, p)
 		if err != nil {

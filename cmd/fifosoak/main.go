@@ -265,30 +265,27 @@ loop:
 				maxDepth = n
 			}
 			if segMode {
+				st, _ := q.SegmentStats()
 				// The memory bound is hard: reserved atomically before
 				// any allocation, so even a mid-burst sample must never
 				// see the governed population above it.
-				if ms, ok := q.MemorySegments(); ok {
-					if ms > peakMem {
-						peakMem = ms
-					}
-					if ms > memBound {
-						return fail(fmt.Errorf("%s: %d live+preparing+spare segments escaped the memory bound %d", key, ms, memBound))
-					}
+				if st.Memory > peakMem {
+					peakMem = st.Memory
+				}
+				if st.Memory > memBound {
+					return fail(fmt.Errorf("%s: %d live+preparing+spare segments escaped the memory bound %d", key, st.Memory, memBound))
 				}
 				// Spare-pool conservation: replenishment must never
 				// overfill the ring past its configured capacity.
-				if sp, ok := q.SpareSegments(); ok && sp > segSpare {
-					return fail(fmt.Errorf("%s: spare pool holds %d segments, capacity %d", key, sp, segSpare))
+				if st.Spare > segSpare {
+					return fail(fmt.Errorf("%s: spare pool holds %d segments, capacity %d", key, st.Spare, segSpare))
 				}
 				// Segment-count ceiling: admission refuses at segHigh,
 				// so live+preparing can overshoot only by appends already
 				// admitted — one per in-flight operation, plus replenish
 				// preps — never unboundedly.
-				live, _ := q.Segments()
-				pend, _ := q.PendingSegments()
-				if ceil := segHigh + 2*threads; live+pend > ceil {
-					return fail(fmt.Errorf("%s: %d live+preparing segments escaped admission control (high watermark %d, ceiling %d)", key, live+pend, segHigh, ceil))
+				if ceil := segHigh + 2*threads; st.Live+st.Pending > ceil {
+					return fail(fmt.Errorf("%s: %d live+preparing segments escaped admission control (high watermark %d, ceiling %d)", key, st.Live+st.Pending, segHigh, ceil))
 				}
 			} else if n, ok := q.Len(); ok && n > high+2*threads {
 				// Depth may overshoot the high watermark by the admitted
@@ -325,11 +322,9 @@ loop:
 		// Segment conservation at quiescence: every ring the pool ever
 		// handed out (allocs + recycles + the one New installs) must be
 		// retired, freed, or still standing (live, preparing, spare).
-		live, _ := q.Segments()
-		pend, _ := q.PendingSegments()
-		spares, _ := q.SpareSegments()
+		st, _ := q.SegmentStats()
 		handedOut := snap.SegmentAllocs + snap.SegmentRecycles + 1
-		accounted := snap.SegmentRetires + snap.SegmentFrees + uint64(live+pend+spares)
+		accounted := snap.SegmentRetires + snap.SegmentFrees + uint64(st.Live+st.Pending+st.Spare)
 		if handedOut != accounted {
 			return fmt.Errorf("%s: segment conservation broken: %d handed out (allocs+recycles+initial) but %d accounted (retires+frees+live+preparing+spare)",
 				key, handedOut, accounted)
@@ -373,38 +368,30 @@ func instrument(st *statsServer, key string, cfg *bench.Config) func(q queue.Que
 			segments = sq.Segments
 		}
 		var extras []expose.Gauge
-		if sp, ok := q.(interface{ SpareSegments() int }); ok {
-			f := sp.SpareSegments
-			extras = append(extras, expose.Gauge{
-				Name: "spare_segments", Help: "Pre-armed prepared segments in the spare pool.",
-				Value: func() float64 { return float64(f()) },
-			})
-		}
-		if pp, ok := q.(interface{ PendingSegments() int }); ok {
-			f := pp.PendingSegments
-			extras = append(extras, expose.Gauge{
-				Name: "pending_segments", Help: "Segments in the preparing state (append races, replenish in flight).",
-				Value: func() float64 { return float64(f()) },
-			})
-		}
-		if mp, ok := q.(interface{ MemorySegments() int }); ok {
-			f := mp.MemorySegments
-			extras = append(extras, expose.Gauge{
-				Name: "memory_segments", Help: "Live + preparing + pooled segments (the WithMemoryBound-governed population).",
-				Value: func() float64 { return float64(f()) },
-			})
-		}
-		if ov, ok := q.(interface{ SegmentsOverloaded() bool }); ok {
-			f := ov.SegmentsOverloaded
-			extras = append(extras, expose.Gauge{
-				Name: "segment_overloaded", Help: "1 while segment-count admission control is refusing enqueues, else 0.",
-				Value: func() float64 {
-					if f() {
-						return 1
-					}
-					return 0
+		if ss, ok := q.(queue.SegmentStatser); ok {
+			stats := ss.SegmentStats
+			extras = append(extras,
+				expose.Gauge{
+					Name: "spare_segments", Help: "Pre-armed prepared segments in the spare pool.",
+					Value: func() float64 { return float64(stats().Spare) },
 				},
-			})
+				expose.Gauge{
+					Name: "pending_segments", Help: "Segments in the preparing state (append races, replenish in flight).",
+					Value: func() float64 { return float64(stats().Pending) },
+				},
+				expose.Gauge{
+					Name: "memory_segments", Help: "Live + preparing + pooled segments (the WithMemoryBound-governed population).",
+					Value: func() float64 { return float64(stats().Memory) },
+				},
+				expose.Gauge{
+					Name: "segment_overloaded", Help: "1 while segment-count admission control is refusing enqueues, else 0.",
+					Value: func() float64 {
+						if stats().Overloaded {
+							return 1
+						}
+						return 0
+					},
+				})
 		}
 		st.setAlgorithm(key, cfg.Counters, cfg.Hists, cfg.Trace, depth, segments, extras...)
 	}

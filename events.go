@@ -77,6 +77,10 @@ type Event struct {
 	// N is the event magnitude where one exists (records scavenged,
 	// live segments after a grow).
 	N int
+	// Shard is the index of the shard that emitted the event when the
+	// queue is one shard of a Fabric (the fabric's event fan-in stamps
+	// it); always 0 for a standalone queue.
+	Shard int
 }
 
 // WithEventHook installs fn as the queue's event observer. The hook is

@@ -23,7 +23,7 @@ func TestCatalogComplete(t *testing.T) {
 	want := []string{
 		KeyEvqLLSC, KeyEvqLLSCWeak, KeyEvqCAS, KeyEvqSeg, KeyMSHP, KeyMSHPSorted,
 		KeyMSDoherty, KeyShann, KeyTsigasZhang, KeyTwoLock, KeyChan, KeySeq,
-		KeyHerlihyWing, KeyHerlihyWingScan, KeyTreiber, KeyValois,
+		KeyHerlihyWing, KeyHerlihyWingScan, KeyTreiber, KeyValois, KeySPSC,
 	}
 	for _, k := range want {
 		a, err := Lookup(k)

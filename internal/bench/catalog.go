@@ -17,6 +17,7 @@ import (
 	"nbqueue/internal/queues/msqueue"
 	"nbqueue/internal/queues/seq"
 	"nbqueue/internal/queues/shann"
+	"nbqueue/internal/queues/spsc"
 	"nbqueue/internal/queues/treiber"
 	"nbqueue/internal/queues/tsigaszhang"
 	"nbqueue/internal/queues/twolock"
@@ -125,6 +126,13 @@ const (
 	// unbounded MPMC queue chaining Algorithm 2 rings Michael–Scott-style
 	// with hazard-pointer segment reclamation.
 	KeyEvqSeg      = "evq-seg"
+	// KeySPSC is the Torquati-style single-producer/single-consumer ring
+	// (slot-only synchronization, private cursors). Concurrent is false
+	// because its discipline — at most one enqueuer and one dequeuer —
+	// is narrower than what the MPMC harness assumes; nbqueue.Fabric is
+	// the layer that proves the census before routing operations to it,
+	// and the shard experiment drives it strictly 1p1c.
+	KeySPSC        = "spsc"
 	KeyMSHP        = "ms-hp"
 	KeyMSHPSorted  = "ms-hp-sorted"
 	KeyMSDoherty   = "ms-doherty"
@@ -225,6 +233,15 @@ var catalog = map[string]Algo{
 				opts = append(opts, evqseg.WithSegmentWatermarks(c.SegLow, c.SegHigh))
 			}
 			return evqseg.New(seg, opts...)
+		},
+	},
+	KeySPSC: {
+		Key: KeySPSC, Label: "FIFO Array SPSC", Concurrent: false,
+		New: func(c Config) queue.Queue {
+			c = c.normalize()
+			return spsc.New(c.Capacity,
+				spsc.WithCounters(c.Counters), spsc.WithHistograms(c.Hists),
+				spsc.WithTrace(c.Trace))
 		},
 	},
 	KeyMSHP: {

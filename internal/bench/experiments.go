@@ -76,6 +76,12 @@ const (
 	// It exercises the public layer (watermarks live above the word-level
 	// queues), so its runner lives in cmd/fifobench rather than here.
 	ExpOverload Experiment = "overload"
+	// ExpShard is the fabric scaling experiment: sharded fabric vs one
+	// flat evq-cas ring across producer/consumer pair counts, plus the
+	// SPSC-specialization speedup on a 1p1c shard. Like ExpOverload it
+	// exercises the public layer (the fabric lives above the word-level
+	// queues), so its runner lives in cmd/fifobench.
+	ExpShard Experiment = "shard"
 )
 
 // Experiments lists all runnable experiment names.
@@ -83,7 +89,7 @@ func Experiments() []Experiment {
 	return []Experiment{
 		Fig6a, Fig6b, Fig6c, Fig6d,
 		ExpOverhead, ExpSyncOps, ExpExtended, ExpSpace, ExpRelated, ExpBurst, ExpBatch,
-		ExpOverload,
+		ExpOverload, ExpShard,
 	}
 }
 

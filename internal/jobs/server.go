@@ -265,15 +265,19 @@ func (s *Server) getOrCreateQueue(typ string) (*typeQueue, error) {
 	if len(s.queues) >= s.cfg.MaxQueues {
 		return nil, fmt.Errorf("%w: queue limit (%d) reached", ErrInvalid, s.cfg.MaxQueues)
 	}
-	opts := []nbqueue.Option{
+	// One vetted forwarding path: the base configuration, the optional
+	// metrics sink (nil is skipped by Options), and the caller's
+	// QueueOptions layered last so they can override the base.
+	var withMetrics nbqueue.Option
+	if s.cfg.Metrics != nil {
+		withMetrics = nbqueue.WithMetrics(s.cfg.Metrics)
+	}
+	q, err := nbqueue.New[*Job](nbqueue.Options(
 		nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented),
 		nbqueue.WithUnbounded(),
-	}
-	if s.cfg.Metrics != nil {
-		opts = append(opts, nbqueue.WithMetrics(s.cfg.Metrics))
-	}
-	opts = append(opts, s.cfg.QueueOptions...)
-	q, err := nbqueue.New[*Job](opts...)
+		withMetrics,
+		nbqueue.Options(s.cfg.QueueOptions...),
+	))
 	if err != nil {
 		return nil, fmt.Errorf("jobs: building ready queue for %q: %w", typ, err)
 	}
@@ -896,7 +900,44 @@ func (s *Server) Gauges() []expose.Gauge {
 			}},
 		{Name: "jobs_timers_pending", Help: "Timer-wheel entries scheduled.",
 			Value: func() float64 { return float64(s.wheel.pending()) }},
+		{Name: "jobs_segments_live", Help: "Live ring segments summed across ready queues.",
+			Value: func() float64 { return float64(s.segmentStats().Live) }},
+		{Name: "jobs_segments_memory", Help: "Governed segment population (live+preparing+spare) summed across ready queues.",
+			Value: func() float64 { return float64(s.segmentStats().Memory) }},
+		{Name: "jobs_segments_overloaded", Help: "Ready queues currently shedding on segment watermarks.",
+			Value: func() float64 {
+				n := 0
+				s.mu.RLock()
+				defer s.mu.RUnlock()
+				for _, tq := range s.queues {
+					if st, ok := tq.q.SegmentStats(); ok && st.Overloaded {
+						n++
+					}
+				}
+				return float64(n)
+			}},
 	}
+}
+
+// segmentStats sums the ready queues' segment accounting — the struct
+// form makes the aggregation a field-wise add instead of five accessor
+// loops.
+func (s *Server) segmentStats() nbqueue.SegmentStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum nbqueue.SegmentStats
+	for _, tq := range s.queues {
+		st, ok := tq.q.SegmentStats()
+		if !ok {
+			continue
+		}
+		sum.Live += st.Live
+		sum.Spare += st.Spare
+		sum.Pending += st.Pending
+		sum.Memory += st.Memory
+		sum.Overloaded = sum.Overloaded || st.Overloaded
+	}
+	return sum
 }
 
 // TraceSnapshot merges the ready queues' flight-recorder snapshots

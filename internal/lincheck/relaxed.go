@@ -1,0 +1,135 @@
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckRelaxedFIFO checks a history against the k-bounded-relaxation
+// FIFO specification (Henzinger et al.'s out-of-order relaxation, the
+// ordering contract a sharded queue fabric provides): every dequeue may
+// overtake at most k older values. A value w is "older" than a dequeued
+// value v when w's enqueue completed before v's enqueue was invoked —
+// the definitively-ordered pairs of the real-time order — and w counts
+// as overtaken by v's dequeue when it is provably still queued at that
+// dequeue's return: its own dequeue was invoked later, or it was never
+// dequeued at all. CheckRelaxedFIFO(h, 0) accepts exactly the histories
+// whose definite orderings are FIFO (CheckFast's pass 3).
+//
+// The conservation preconditions are CheckFast's: values unique across
+// successful enqueues, nothing dequeued twice or out of thin air —
+// violations of those are reported here too, so the relaxed check is
+// self-contained. Histories should be drained (every enqueued value
+// dequeued) before checking: values the consumers never reached count
+// as overtaken by every later dequeue, which is correct for a finished
+// run but inflates counts when a consumer simply stopped early.
+//
+// Complexity is O(n log n): one sweep over dequeue events in time order
+// with a Fenwick tree indexed by enqueue-completion rank.
+func CheckRelaxedFIFO(hist []Op, k int) error {
+	if k < 0 {
+		return fmt.Errorf("lincheck: negative relaxation bound %d", k)
+	}
+	type life struct {
+		eInv, eRet int64
+		dInv, dRet int64 // zero when never dequeued
+		value      uint64
+	}
+	lives := make(map[uint64]*life, len(hist)/2)
+	for i := range hist {
+		op := &hist[i]
+		if op.Kind != Enq || !op.OK {
+			continue
+		}
+		if _, dup := lives[op.Value]; dup {
+			return &Violation{Reason: fmt.Sprintf("value %#x enqueued more than once (unique-value precondition violated)", op.Value)}
+		}
+		lives[op.Value] = &life{eInv: op.Inv, eRet: op.Ret, value: op.Value}
+	}
+	for i := range hist {
+		op := &hist[i]
+		if op.Kind != Deq || !op.OK {
+			continue
+		}
+		lf, found := lives[op.Value]
+		if !found {
+			return &Violation{Reason: fmt.Sprintf("value %#x dequeued but never enqueued", op.Value)}
+		}
+		if lf.dInv != 0 {
+			return &Violation{Reason: fmt.Sprintf("value %#x dequeued twice", op.Value)}
+		}
+		lf.dInv, lf.dRet = op.Inv, op.Ret
+		if op.Ret < lf.eInv {
+			return &Violation{Reason: fmt.Sprintf("value %#x dequeued (ret=%d) before its enqueue was invoked (inv=%d)", op.Value, op.Ret, lf.eInv)}
+		}
+	}
+	// Rank every value by enqueue-completion time; the Fenwick tree
+	// counts, per prefix of that rank order, how many values are
+	// already dequeued as the sweep advances.
+	all := make([]*life, 0, len(lives))
+	for _, lf := range lives {
+		all = append(all, lf)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].eRet < all[j].eRet })
+	rank := make(map[*life]int, len(all))
+	for i, lf := range all {
+		rank[lf] = i + 1 // Fenwick is 1-based
+	}
+	eRets := make([]int64, len(all))
+	for i, lf := range all {
+		eRets[i] = lf.eRet
+	}
+	// olderThan(v) = how many values completed their enqueue before
+	// v's enqueue began (the candidates v's dequeue can overtake).
+	olderThan := func(lf *life) int {
+		return sort.Search(len(eRets), func(i int) bool { return eRets[i] >= lf.eInv })
+	}
+	// Event sweep in dequeue time order. An insert event at dInv(w)
+	// marks w dequeued-by-then; a query event at dRet(v) asks how many
+	// of v's older candidates are NOT yet dequeued. Clock stamps are
+	// unique, so insert-vs-query ties cannot occur; processing the
+	// insert for w before the query for v only when dInv(w) < dRet(v)
+	// makes the count conservative: w is charged as overtaken only
+	// when its dequeue began strictly after v's dequeue returned.
+	type event struct {
+		t     int64
+		query bool
+		lf    *life
+	}
+	var events []event
+	for _, lf := range all {
+		if lf.dInv == 0 {
+			continue // never dequeued: no events; stays "pending" forever
+		}
+		events = append(events, event{t: lf.dInv, lf: lf})
+		events = append(events, event{t: lf.dRet, query: true, lf: lf})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+	fen := make([]int, len(all)+1)
+	add := func(i int) {
+		for ; i <= len(all); i += i & -i {
+			fen[i]++
+		}
+	}
+	prefix := func(i int) int {
+		n := 0
+		for ; i > 0; i -= i & -i {
+			n += fen[i]
+		}
+		return n
+	}
+	for _, ev := range events {
+		if !ev.query {
+			add(rank[ev.lf])
+			continue
+		}
+		older := olderThan(ev.lf)
+		dequeued := prefix(older) // older candidates whose dequeue began before this one returned
+		if over := older - dequeued; over > k {
+			return &Violation{Reason: fmt.Sprintf(
+				"relaxation bound exceeded: dequeue of value %#x (ret=%d) overtook %d older still-queued values, bound k=%d",
+				ev.lf.value, ev.lf.dRet, over, k)}
+		}
+	}
+	return nil
+}

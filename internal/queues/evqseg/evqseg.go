@@ -500,6 +500,19 @@ func (q *Queue) MemoryBound() int { return q.memBound }
 // the drain back to the low watermark).
 func (q *Queue) SegmentsOverloaded() bool { return q.segOver.Load() }
 
+// SegmentStats returns the five segment gauges as one snapshot (see
+// queue.SegmentStats). Each field is its own racy gauge read; the struct
+// does not freeze the queue, it just saves the caller four calls.
+func (q *Queue) SegmentStats() queue.SegmentStats {
+	return queue.SegmentStats{
+		Live:       q.Segments(),
+		Spare:      q.SpareSegments(),
+		Pending:    q.PendingSegments(),
+		Memory:     q.MemorySegments(),
+		Overloaded: q.SegmentsOverloaded(),
+	}
+}
+
 // seg resolves a pool handle to its ring storage.
 func (q *Queue) seg(h uint64) *segment { return q.segs[h>>1].Load() }
 

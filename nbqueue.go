@@ -106,6 +106,12 @@ const (
 	AlgorithmTwoLock Algorithm = bench.KeyTwoLock
 	// AlgorithmChannel adapts a buffered Go channel.
 	AlgorithmChannel Algorithm = bench.KeyChan
+	// AlgorithmSPSC is the Torquati-style single-producer/single-consumer
+	// ring (slot-only synchronization, cache-line batching). Its safety
+	// depends on a census — at most one enqueuing and one dequeuing
+	// goroutine — that only Fabric proves at attach time, so New and
+	// NewRaw reject it; Fabric specializes shards to it automatically.
+	AlgorithmSPSC Algorithm = bench.KeySPSC
 )
 
 // Errors returned by queue operations.
@@ -179,6 +185,31 @@ type config struct {
 
 // Option configures New.
 type Option func(*config)
+
+// Options folds several options into one, making option sets first-class
+// values: a base configuration can be built once, passed around, layered
+// (later options override earlier ones, exactly as if passed flat), and
+// forwarded through one vetted path instead of re-spliced ad hoc at each
+// call site. New, NewRaw, NewFabric's per-shard construction, and the
+// jobs server all accept the combined value like any other Option:
+//
+//	base := nbqueue.Options(
+//		nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented),
+//		nbqueue.WithUnbounded(),
+//	)
+//	q, err := nbqueue.New[string](base, nbqueue.WithMetrics(m))
+//
+// Options(nil...) elements are ignored, so conditional construction can
+// leave gaps instead of branching.
+func Options(opts ...Option) Option {
+	return func(c *config) {
+		for _, o := range opts {
+			if o != nil {
+				o(c)
+			}
+		}
+	}
+}
 
 // WithAlgorithm selects the queue implementation; default AlgorithmCAS.
 func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
@@ -491,6 +522,9 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 		if c.metrics == nil {
 			return nil, c, fmt.Errorf("nbqueue: WithTracing requires WithMetrics (the recorder rides the metrics sampling beat)")
 		}
+	}
+	if c.algorithm == AlgorithmSPSC {
+		return nil, c, fmt.Errorf("nbqueue: AlgorithmSPSC is fabric-managed — its 1-producer/1-consumer discipline needs Fabric's attach-time census; use NewFabric (shards specialize automatically)")
 	}
 	algo, err := bench.Lookup(string(c.algorithm))
 	if err != nil {
@@ -988,64 +1022,81 @@ func (q *Queue[T]) Len() (n int, ok bool) {
 	return l.Len(), true
 }
 
-// Segments reports the number of live ring segments for
-// AlgorithmSegmented; ok is false for the single-array and link-based
-// algorithms. A bounded queue holds a steady 1; growth under burst and
-// shrinkage as drained segments retire are visible here and through the
-// EventSegmentGrow hook.
-func (q *Queue[T]) Segments() (n int, ok bool) {
-	sg, ok := q.inner.(interface{ Segments() int })
+// SegmentStats is one coherent snapshot of AlgorithmSegmented's segment
+// accounting: live chain length, spare-pool depth, preparing-state
+// segments, the memory-bound-governed population, and whether
+// segment-watermark admission is currently shedding. It replaces the
+// five per-field accessors (Segments, SpareSegments, PendingSegments,
+// MemorySegments, SegmentsOverloaded), which survive as deprecated
+// wrappers; new code reads the struct once instead of sequencing five
+// calls, and Fabric sums it across shards.
+type SegmentStats = queue.SegmentStats
+
+// SegmentStats reports the segment accounting of AlgorithmSegmented in
+// one call; ok is false for the single-array and link-based algorithms.
+// Every field is a racy gauge read (exact at quiescence, approximate
+// under concurrency) — the struct groups the reads, it does not make
+// them a consistent cut.
+func (q *Queue[T]) SegmentStats() (s SegmentStats, ok bool) {
+	ss, ok := q.inner.(queue.SegmentStatser)
 	if !ok {
-		return 0, false
+		return SegmentStats{}, false
 	}
-	return sg.Segments(), true
+	return ss.SegmentStats(), true
+}
+
+// Segments reports the number of live ring segments for
+// AlgorithmSegmented; ok is false for the other algorithms.
+//
+// Deprecated: use SegmentStats, which returns all segment gauges in one
+// snapshot; this wrapper reads SegmentStats().Live.
+func (q *Queue[T]) Segments() (n int, ok bool) {
+	s, ok := q.SegmentStats()
+	return s.Live, ok
 }
 
 // SpareSegments reports how many prepared ring segments are parked in
 // AlgorithmSegmented's spare pool (see WithSpareSegments); ok is false
-// for the other algorithms. A healthy steady state sits at the pool's
-// capacity; sustained zero under load means bursts are consuming spares
-// faster than the off-path replenisher restores them.
+// for the other algorithms.
+//
+// Deprecated: use SegmentStats, which returns all segment gauges in one
+// snapshot; this wrapper reads SegmentStats().Spare.
 func (q *Queue[T]) SpareSegments() (n int, ok bool) {
-	sp, ok := q.inner.(interface{ SpareSegments() int })
-	if !ok {
-		return 0, false
-	}
-	return sp.SpareSegments(), true
+	s, ok := q.SegmentStats()
+	return s.Spare, ok
 }
 
 // PendingSegments reports AlgorithmSegmented's preparing-state segments
 // (allocated or popped from the spare pool, not yet linked); ok is
-// false for the other algorithms. Transiently nonzero during appends;
-// persistently nonzero only when an appending producer died (the
-// append-orphan case ScavengeOrphans reclaims).
+// false for the other algorithms.
+//
+// Deprecated: use SegmentStats, which returns all segment gauges in one
+// snapshot; this wrapper reads SegmentStats().Pending.
 func (q *Queue[T]) PendingSegments() (n int, ok bool) {
-	p, ok := q.inner.(interface{ PendingSegments() int })
-	if !ok {
-		return 0, false
-	}
-	return p.PendingSegments(), true
+	s, ok := q.SegmentStats()
+	return s.Pending, ok
 }
 
 // MemorySegments reports the segment population WithMemoryBound governs
 // — live + preparing + spare — for AlgorithmSegmented; ok is false for
-// the other algorithms. With a memory bound set this never exceeds it,
-// even transiently.
+// the other algorithms.
+//
+// Deprecated: use SegmentStats, which returns all segment gauges in one
+// snapshot; this wrapper reads SegmentStats().Memory.
 func (q *Queue[T]) MemorySegments() (n int, ok bool) {
-	m, ok := q.inner.(interface{ MemorySegments() int })
-	if !ok {
-		return 0, false
-	}
-	return m.MemorySegments(), true
+	s, ok := q.SegmentStats()
+	return s.Memory, ok
 }
 
 // SegmentsOverloaded reports whether WithSegmentWatermarks admission is
 // currently refusing enqueues. Always false without segment watermarks
-// or on other algorithms. Exposed for gauges and tests; the depth-based
-// analogue is Overloaded.
+// or on other algorithms; the depth-based analogue is Overloaded.
+//
+// Deprecated: use SegmentStats, which returns all segment gauges in one
+// snapshot; this wrapper reads SegmentStats().Overloaded.
 func (q *Queue[T]) SegmentsOverloaded() bool {
-	o, ok := q.inner.(interface{ SegmentsOverloaded() bool })
-	return ok && o.SegmentsOverloaded()
+	s, _ := q.SegmentStats()
+	return s.Overloaded
 }
 
 // TryDrain dequeues up to max values (all available when max <= 0),

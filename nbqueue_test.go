@@ -135,6 +135,18 @@ func TestInvalidConfig(t *testing.T) {
 			nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented), nbqueue.WithSegmentSize(0)}, "WithSegmentSize"},
 		{"negative segment size", []nbqueue.Option{
 			nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented), nbqueue.WithSegmentSize(-8)}, "WithSegmentSize"},
+		// The SPSC algorithm is fabric-managed: its 1p1c discipline
+		// needs the fabric's attach-time census, so the flat
+		// constructor rejects it outright.
+		{"spsc outside a fabric", []nbqueue.Option{
+			nbqueue.WithAlgorithm(nbqueue.AlgorithmSPSC)}, "fabric-managed"},
+		// Options() folds into one Option but must neither mask a bad
+		// combination nor break validation ordering.
+		{"bad combination inside Options", []nbqueue.Option{nbqueue.Options(
+			nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented),
+			nbqueue.WithUnbounded(), nbqueue.WithCapacity(64))}, "mutually exclusive"},
+		{"bad value inside nested Options", []nbqueue.Option{nbqueue.Options(
+			nbqueue.Options(nbqueue.WithCapacity(-1)))}, "capacity"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -152,6 +164,10 @@ func TestInvalidConfig(t *testing.T) {
 		{nbqueue.WithRetryBudget(0)},
 		{nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented), nbqueue.WithUnbounded(), nbqueue.WithSegmentSize(32)},
 		{nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented), nbqueue.WithCapacity(64)},
+		// Options composition: later options override earlier ones,
+		// nil elements are skipped, nesting is transparent.
+		{nbqueue.Options(nbqueue.WithCapacity(16)), nbqueue.WithCapacity(64)},
+		{nbqueue.Options(nil, nbqueue.Options(nbqueue.WithCapacity(64)), nil)},
 	}
 	for i, opts := range valid {
 		if _, err := nbqueue.New[int](opts...); err != nil {

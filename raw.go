@@ -32,19 +32,59 @@ var ErrRawValue = queue.ErrValue
 // present and a single-op loop otherwise.
 type RawBatchSession = queue.BatchSession
 
-// RawEnqueueBatch enqueues the values of vs in order through s, using
-// the native batch operation when s implements RawBatchSession and a
-// loop of single enqueues otherwise. Partial-batch semantics match
-// Session.EnqueueBatch: on error the first n values went in, the rest
-// had no effect.
-func RawEnqueueBatch(s RawSession, vs []uint64) (int, error) {
-	return queue.EnqueueBatch(s, vs)
+// RawBatch is the batch view of a RawSession — the word-level analogue
+// of Session.EnqueueBatch/DequeueBatch, fixing the old asymmetry where
+// the generic layer had batch methods but the raw layer only had free
+// functions. Build one per session with Batch; the wrapper is a value
+// (one word) and carries no state of its own, so it is free to construct
+// and copies share the underlying session. Like the session it wraps,
+// a RawBatch must be used by one goroutine only.
+type RawBatch struct {
+	s RawSession
 }
 
-// RawDequeueBatch dequeues up to len(dst) values through s into dst,
-// native when available. dst[:n] is valid even alongside ErrContended.
+// Batch returns the batch view of s. The native single-RMW batch path
+// is used when s implements RawBatchSession (the Evequoz-family
+// algorithms); otherwise the methods loop over single operations with
+// identical semantics.
+func Batch(s RawSession) RawBatch { return RawBatch{s: s} }
+
+// Session returns the wrapped session.
+func (b RawBatch) Session() RawSession { return b.s }
+
+// Enqueue inserts the values of vs, in order, at the tail, returning
+// how many took effect. A batch is not atomic: each element linearizes
+// individually, in slice order. On ErrFull or ErrContended the first n
+// values went in and the rest had no effect (retry with vs[n:]); a
+// contract violation in any element returns (0, ErrRawValue) before
+// anything is enqueued.
+func (b RawBatch) Enqueue(vs []uint64) (int, error) {
+	return queue.EnqueueBatch(b.s, vs)
+}
+
+// Dequeue removes up to len(dst) values from the head into dst,
+// returning how many it filled. n < len(dst) with a nil error means the
+// queue was observed empty after n elements; ErrContended reports a
+// retry budget running out (the queue may be nonempty). dst[:n] is
+// valid in every case.
+func (b RawBatch) Dequeue(dst []uint64) (int, error) {
+	return queue.DequeueBatch(b.s, dst)
+}
+
+// RawEnqueueBatch enqueues the values of vs in order through s.
+//
+// Deprecated: use Batch(s).Enqueue(vs) — the RawBatch methods are the
+// documented batch surface; this alias delegates to it.
+func RawEnqueueBatch(s RawSession, vs []uint64) (int, error) {
+	return Batch(s).Enqueue(vs)
+}
+
+// RawDequeueBatch dequeues up to len(dst) values through s into dst.
+//
+// Deprecated: use Batch(s).Dequeue(dst) — the RawBatch methods are the
+// documented batch surface; this alias delegates to it.
 func RawDequeueBatch(s RawSession, dst []uint64) (int, error) {
-	return queue.DequeueBatch(s, dst)
+	return Batch(s).Dequeue(dst)
 }
 
 // NewRaw builds a word-level queue with the same options as New. The
