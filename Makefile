@@ -41,6 +41,9 @@ bench-smoke:
 	$(GO) run ./cmd/fifobench -experiment shard \
 		-format json > results/BENCH_shard.json
 	cat results/BENCH_shard.json
+	$(GO) run ./cmd/fifobench -experiment pipeline -format json \
+		-artifacts results > results/BENCH_pipeline.json
+	cat results/BENCH_pipeline.json
 
 # Check the current results/ against the checked-in SLO budgets and
 # append the verdict to the perf trajectory. Run `make bench-smoke`
@@ -74,9 +77,12 @@ jobd:
 
 # Run the vendored OJS conformance suites against an in-process
 # fifojobd. LEVEL narrows to one spec level (0 or 1); default is all.
+# SKIPLIST quarantines named cases (with reasons) — keep it empty.
 LEVEL ?= -1
+SKIPLIST ?= conformance/skiplist.json
 conformance:
-	$(GO) run ./conformance/runner -suites conformance/suites -level $(LEVEL)
+	$(GO) run ./conformance/runner -suites conformance/suites \
+		-level $(LEVEL) -skiplist $(SKIPLIST)
 
 # Selfdrive load run: loopback HTTP PUSH/FETCH/ACK against fifojobd,
 # emitting the schema:1 jobd envelope the SLO gate budgets.

@@ -38,7 +38,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fifobench", flag.ContinueOnError)
 	fs.SetOutput(out) // keep usage/errors off stderr in tests
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: fig6a|fig6b|fig6c|fig6d|overhead|syncops|extended|space|related|burst|batch|overload|all")
+		experiment = fs.String("experiment", "all", "experiment to run: fig6a|fig6b|fig6c|fig6d|overhead|syncops|extended|space|related|burst|batch|overload|shard|pipeline|all")
 		threads    = fs.String("threads", "", "comma-separated thread counts overriding the experiment default")
 		iters      = fs.Int("iters", 0, "iterations per thread per run (0 = default)")
 		runs       = fs.Int("runs", 0, "measurement runs per point (0 = default)")
@@ -51,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		syncopsN   = fs.Int("syncops-threads", 4, "thread count for the syncops experiment")
 		latency    = fs.Bool("latency", false, "measure per-operation latency quantiles instead of experiments")
 		latencyN   = fs.Int("latency-threads", 4, "thread count for the -latency measurement")
+		artifacts  = fs.String("artifacts", "", "directory for the pipeline experiment's matrix report and fencing ledger (empty = none)")
+		seed       = fs.Int64("seed", 1, "seed for the pipeline experiment's load and fault randomness")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,7 +102,7 @@ func run(args []string, out io.Writer) error {
 		exps = []bench.Experiment{bench.Experiment(*experiment)}
 	}
 	for _, e := range exps {
-		if err := runOne(out, e, p, *format, *syncopsN); err != nil {
+		if err := runOne(out, e, p, *format, *syncopsN, *artifacts, *seed); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
@@ -117,7 +119,7 @@ var titles = map[bench.Experiment]string{
 	bench.ExpExtended: "Extended sweep: all algorithms incl. related-work and Go-native baselines",
 }
 
-func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, syncopsThreads int) error {
+func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, syncopsThreads int, artifacts string, seed int64) error {
 	switch e {
 	case bench.Fig6a, bench.Fig6b, bench.Fig6c, bench.Fig6d:
 		// The CAS-profile panels sweep to 64 threads in the paper.
@@ -200,6 +202,8 @@ func runOne(out io.Writer, e bench.Experiment, p bench.Params, format string, sy
 		return runOverload(out, format, p)
 	case bench.ExpShard:
 		return runShard(out, format, p)
+	case bench.ExpPipeline:
+		return runPipeline(out, format, p, artifacts, seed)
 	case bench.ExpRelated:
 		series, err := bench.RunRelated([]int{16, 128, 1024, 8192}, p)
 		if err != nil {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nbqueue/internal/pipeline"
+	"nbqueue/internal/slo"
+)
+
+// tinyPipelineReports runs a millisecond-scale steady phase and a
+// one-cell matrix so the report/artifact writers exercise real data
+// without the full default matrix's wall clock.
+func tinyPipelineReports(t *testing.T) (*pipeline.SteadyReport, *pipeline.MatrixReport) {
+	t.Helper()
+	steady, err := pipeline.RunSteady(pipeline.SteadyOptions{
+		Duration: 100 * time.Millisecond,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := pipeline.RunMatrix(pipeline.MatrixOptions{
+		Seed:          3,
+		FaultDelay:    20 * time.Millisecond,
+		FaultDuration: 60 * time.Millisecond,
+		Cells: []pipeline.Cell{
+			{Fault: pipeline.FaultWorkerKill, Stage: 1, Recovery: pipeline.RecoverRespawn},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return steady, matrix
+}
+
+func TestPipelineJSONReport(t *testing.T) {
+	steady, matrix := tinyPipelineReports(t)
+	var sb strings.Builder
+	if err := writePipelineReport(&sb, "json", steady, matrix); err != nil {
+		t.Fatal(err)
+	}
+	var r slo.Result
+	if err := json.Unmarshal([]byte(sb.String()), &r); err != nil {
+		t.Fatalf("report is not a slo.Result: %v\n%s", err, sb.String())
+	}
+	if r.Experiment != "pipeline" || r.Schema != slo.SchemaVersion {
+		t.Fatalf("bad envelope: experiment=%q schema=%d", r.Experiment, r.Schema)
+	}
+	cases := map[string]map[string]float64{}
+	for _, row := range r.Rows {
+		cases[row.Case] = row.Metrics
+	}
+	e2e, ok := cases["e2e"]
+	if !ok || e2e["items_per_sec"] <= 0 || e2e["fencing_violations"] != 0 {
+		t.Fatalf("e2e row missing or violated: %v", e2e)
+	}
+	mx, ok := cases["matrix"]
+	if !ok || mx["failed_cells"] != 0 || mx["cells"] != 1 || mx["worker_deaths"] == 0 {
+		t.Fatalf("matrix row missing or violated: %v", mx)
+	}
+	for _, stage := range []string{"ingest", "work", "egress"} {
+		if _, ok := cases["stage="+stage]; !ok {
+			t.Errorf("missing per-stage row for %s", stage)
+		}
+	}
+
+	// Table format renders the same data human-readably.
+	sb.Reset()
+	if err := writePipelineReport(&sb, "table", steady, matrix); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fault/failover matrix", "worker-kill@1/scavenge-respawn", "pass"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestPipelineArtifacts(t *testing.T) {
+	steady, matrix := tinyPipelineReports(t)
+	dir := t.TempDir()
+	if err := writePipelineArtifacts(dir, steady, matrix); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "MATRIX_pipeline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr pipeline.MatrixReport
+	if err := json.Unmarshal(b, &mr); err != nil || len(mr.Cells) != 1 {
+		t.Fatalf("matrix artifact malformed: %v (%d cells)", err, len(mr.Cells))
+	}
+	b, err = os.ReadFile(filepath.Join(dir, "FENCE_ledger.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fl fenceLedger
+	if err := json.Unmarshal(b, &fl); err != nil {
+		t.Fatal(err)
+	}
+	if fl.FencingViolations != 0 || len(fl.MatrixCellAudits) != 1 {
+		t.Fatalf("fencing ledger malformed: %+v", fl)
+	}
+	if fl.SteadyAudit.Fenced > 0 && len(fl.SteadyFencedIDs) == 0 {
+		t.Error("steady run fenced items but the ledger carries no ID sample")
+	}
+}

@@ -64,6 +64,8 @@ func run(args []string, out io.Writer) error {
 		batch     = fs.Int("batch", 1, "values per worker operation (>1 moves values through EnqueueBatch/DequeueBatch; 1 = single ops)")
 		crash     = fs.Bool("crash", false, "abandon sessions continuously (crash-recovery drill)")
 		overload  = fs.Bool("overload", false, "watermark admission-control drill: producers outrun one slow consumer; the queue must shed with ErrOverloaded, cycle the hysteresis band, bound its depth, and conserve values")
+		pipe      = fs.Bool("pipeline", false, "streaming-pipeline drill: 3-stage lane pipeline under continuous worker kills and cancellations, fencing audited every tick, strict conservation at quiescence")
+		seed      = fs.Int64("seed", 1, "seed for the crash and pipeline drills' randomness; printed on every failure")
 		statsaddr = fs.String("statsaddr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080)")
 		statstick = fs.Duration("statsevery", time.Second, "interval between one-line stats digests on stderr")
 	)
@@ -78,8 +80,13 @@ func run(args []string, out io.Writer) error {
 		}
 		defer st.close()
 	}
-	if *crash && *overload {
-		return fmt.Errorf("-crash and -overload are separate drills; pick one")
+	if boolCount(*crash, *overload, *pipe) > 1 {
+		return fmt.Errorf("-crash, -overload and -pipeline are separate drills; pick one")
+	}
+	if *pipe {
+		// The pipeline drill runs above the algorithm catalog (its lanes
+		// are public-layer queues), so -algo does not apply.
+		return soakPipeline(out, st, *duration, *audit, *seed)
 	}
 	keys := []string{*algo}
 	if *algo == "all" {
@@ -103,7 +110,7 @@ func run(args []string, out io.Writer) error {
 		case *overload:
 			err = soakOverload(out, key, *duration, *threads, *capacity, *audit)
 		case *crash:
-			err = soakCrash(out, st, key, *duration, *threads, *capacity, *audit, *batch)
+			err = soakCrash(out, st, key, *duration, *threads, *capacity, *audit, *batch, *seed)
 		default:
 			err = soak(out, st, key, *duration, *threads, *capacity, *audit, *rotate, *batch)
 		}
@@ -349,6 +356,17 @@ loop:
 // tests can capture them.
 var statsTickWriter io.Writer = os.Stderr
 
+// boolCount counts set flags, for mutual-exclusion checks.
+func boolCount(bs ...bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
 // instrument builds counter/histogram banks and registers the queue
 // with the stats server once constructed. No-op (nil banks) without
 // -statsaddr, so the uninstrumented soak path stays untouched.
@@ -552,10 +570,15 @@ loop:
 // scavenging runs on every audit tick where supported. Conservation and
 // space audits are the relaxed crash versions: drift and leaks must stay
 // within the abandonment budget.
-func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration, batch int) error {
+func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, threads, capacity int, auditEvery time.Duration, batch int, seed int64) error {
 	entry, err := bench.Lookup(key)
 	if err != nil {
 		return err
+	}
+	// Every failure names the seed so the interleaving that produced it
+	// can be replayed with -seed.
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%s (seed=%d): %s", key, seed, fmt.Sprintf(format, args...))
 	}
 	var in chaos.Injector
 	cfg := bench.Config{Capacity: capacity, MaxThreads: threads + 64, Yield: in.Hook}
@@ -584,7 +607,7 @@ func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, thre
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w)*7919 + 3))
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919 + 3))
 			for {
 				select {
 				case <-stop:
@@ -678,7 +701,7 @@ func soakCrash(out io.Writer, st *statsServer, key string, d time.Duration, thre
 	killDone := make(chan struct{})
 	go func() {
 		defer close(killDone)
-		rng := rand.New(rand.NewSource(99))
+		rng := rand.New(rand.NewSource(seed*131 + 99))
 		for {
 			select {
 			case <-stop:
@@ -709,7 +732,7 @@ loop:
 				close(stop)
 				wg.Wait()
 				<-killDone
-				return fmt.Errorf("%s: crash audit failed: %w", key, err)
+				return fail("crash audit failed: %v", err)
 			}
 			audits++
 		}
@@ -745,10 +768,10 @@ loop:
 	ab := abandoned.Load()
 	abCap := ab * int64(batch)
 	if leaked := int64(a.Live()); leaked > abCap {
-		return fmt.Errorf("%s: %d arena nodes leaked after drain but the %d abandoned sessions can pin at most %d", key, leaked, ab, abCap)
+		return fail("%d arena nodes leaked after drain but the %d abandoned sessions can pin at most %d", leaked, ab, abCap)
 	}
 	if drift := produced.Load() - consumed.Load() - int64(drained); drift < -abCap || drift > abCap {
-		return fmt.Errorf("%s: conservation drift %d exceeds abandonment budget %d", key, drift, abCap)
+		return fail("conservation drift %d exceeds abandonment budget %d", drift, abCap)
 	}
 	fmt.Fprintf(out, "%-18s ok (crash): ops=%d produced=%d consumed=%d drained=%d abandoned=%d scavenged=%d audits=%d\n",
 		key, ops.Load(), produced.Load(), consumed.Load(), drained, ab, scavenged.Load(), audits)

@@ -81,6 +81,53 @@ func TestSoakCrashAll(t *testing.T) {
 	}
 }
 
+// TestSoakPipelineDrill runs the streaming-pipeline drill: continuous
+// worker kills and cancellations with per-tick fencing audits, strict
+// conservation at quiescence.
+func TestSoakPipelineDrill(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-pipeline", "-duration", "400ms", "-audit", "100ms", "-seed", "5"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ok (pipeline):") {
+		t.Fatalf("pipeline report malformed:\n%s", out)
+	}
+	for _, bad := range []string{"deaths=0 ", "fenced=0 ", "audits=0\n"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("drill too quiet (%s):\n%s", strings.TrimSpace(bad), out)
+		}
+	}
+}
+
+// TestSoakPipelineGaugeFlush checks the shutdown path flushes the
+// final per-lane depth gauges to the digest stream alongside the trace
+// digest — the listener is gone by then, so the digest line is the
+// only place the last observed depths can land.
+func TestSoakPipelineGaugeFlush(t *testing.T) {
+	var out, ticks syncBuffer
+	oldTick := statsTickWriter
+	statsTickWriter = &ticks
+	defer func() { statsTickWriter = oldTick }()
+	err := run([]string{
+		"-pipeline", "-duration", "300ms", "-audit", "100ms",
+		"-statsaddr", "127.0.0.1:0", "-statsevery", "50ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	digest := ticks.String()
+	if !strings.Contains(digest, "gauges: pipeline final") {
+		t.Fatalf("no final gauge flush on shutdown:\n%s", digest)
+	}
+	for _, want := range []string{"pipeline_ingest_lane0_depth=", "pipeline_work_lane1_depth=", "pipeline_egress_lane0_depth="} {
+		if !strings.Contains(digest, want) {
+			t.Errorf("final gauge flush missing %q:\n%s", want, digest)
+		}
+	}
+}
+
 func TestSoakUnknownAlgo(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-algo", "nope", "-duration", "10ms"}, &sb); err == nil {
@@ -275,6 +322,11 @@ func TestSoakStatsEndpoint(t *testing.T) {
 	// bounded server teardown.
 	if !strings.Contains(ticks.String(), "trace: evq-cas final dump") {
 		t.Errorf("no final trace flush on shutdown:\n%s", ticks.String())
+	}
+	// ... and the final gauge values alongside it: a shutdown arriving
+	// mid-tick must not lose the last observed depth.
+	if !strings.Contains(ticks.String(), "gauges: evq-cas final depth=") {
+		t.Errorf("no final gauge flush on shutdown:\n%s", ticks.String())
 	}
 	if !strings.Contains(out.String(), "ok:") {
 		t.Errorf("final report missing:\n%s", out.String())

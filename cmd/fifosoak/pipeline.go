@@ -1,0 +1,218 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbqueue"
+	"nbqueue/internal/chaos"
+	"nbqueue/internal/expose"
+	"nbqueue/internal/pipeline"
+)
+
+// soakPipeline is the streaming-pipeline endurance drill: the canonical
+// ingest→work→egress pipeline under continuous producer load and
+// continuous chaos — workers killed mid-service on a seeded schedule,
+// items cancelled mid-flight — with per-tick audits that the fencing
+// invariant holds (no cancelled item's trace ID in the emitted set) and
+// that the pipeline keeps making progress through the kills. The final
+// audit at quiescence is the strict one: exact conservation, zero
+// fencing violations, zero orphaned sessions after scavenge.
+//
+// Per-lane depth gauges register with the stats server when -statsaddr
+// is set, so the drill exercises the shutdown gauge flush too.
+func soakPipeline(out io.Writer, st *statsServer, d, auditEvery time.Duration, seed int64) error {
+	const (
+		stages      = 3
+		workers     = 2
+		lanes       = 2
+		laneCap     = 256
+		cancelEvery = 48
+		killEvery   = 15 * time.Millisecond
+	)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("pipeline (seed=%d): %s", seed, fmt.Sprintf(format, args...))
+	}
+	cfg := pipeline.Config{
+		Respawn:        true,
+		Heartbeat:      250 * time.Millisecond,
+		DeadlineBudget: 30 * time.Second,
+	}
+	names := []string{"ingest", "work", "egress"}
+	for s := 0; s < stages; s++ {
+		spec := pipeline.StageSpec{
+			Name:    names[s],
+			Workers: workers,
+			Lanes:   lanes,
+		}
+		if s == 0 {
+			spec.OnPressure = pipeline.RecoverShed
+			spec.LaneOptions = []nbqueue.Option{
+				nbqueue.WithCapacity(laneCap),
+				nbqueue.WithWatermarks(laneCap/4, laneCap/2),
+			}
+		} else {
+			spec.OnPressure = pipeline.RecoverSpill
+			spec.LaneOptions = []nbqueue.Option{nbqueue.WithCapacity(laneCap)}
+		}
+		cfg.Stages = append(cfg.Stages, spec)
+	}
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Seeded kill schedule: every killEvery of pipeline time, the next
+	// item serviced at the scheduled stage takes its worker down.
+	var killStage atomic.Int64
+	killStage.Store(-1)
+	p.SetHook(func(stage, _ int, _ *pipeline.Item) {
+		if int64(stage) == killStage.Load() && killStage.CompareAndSwap(int64(stage), -1) {
+			panic(chaos.Abandon{})
+		}
+	})
+	p.Start()
+
+	if st != nil {
+		gauges := make([]expose.Gauge, 0, stages*lanes)
+		for s := 0; s < stages; s++ {
+			for l := 0; l < lanes; l++ {
+				s, l := s, l
+				gauges = append(gauges, expose.Gauge{
+					Name: fmt.Sprintf("pipeline_%s_lane%d_depth", names[s], l),
+					Help: "Current depth of one pipeline stage lane.",
+					Value: func() float64 {
+						depths := p.LaneDepths()
+						if s < len(depths) && l < len(depths[s]) {
+							return float64(depths[s][l])
+						}
+						return 0
+					},
+				})
+			}
+		}
+		st.setAlgorithm("pipeline", nil, nil, nil,
+			func() int { return int(p.Ledger().Inflight()) }, nil, gauges...)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const producers = 2
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+		go func() {
+			defer wg.Done()
+			pr := p.Producer()
+			defer pr.Close()
+			const ringSize = 32
+			var ring [ringSize]*pipeline.Item
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it, _ := pr.Submit(rng.Intn(lanes))
+				if it != nil {
+					ring[i%ringSize] = it
+				}
+				if i%cancelEvery == cancelEvery-1 {
+					for back := uint64(0); back < ringSize; back++ {
+						slot := (i + ringSize - back) % ringSize
+						v := ring[slot]
+						if v == nil || v.State() != pipeline.StatePending {
+							continue
+						}
+						p.Cancel(v)
+						ring[slot] = nil
+						break
+					}
+				}
+				if i%4 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	killRng := rand.New(rand.NewSource(seed*31 + 17))
+	killTicker := time.NewTicker(killEvery)
+	defer killTicker.Stop()
+	deadline := time.After(d)
+	ticker := time.NewTicker(auditEvery)
+	defer ticker.Stop()
+	audits := 0
+	lastEmitted := uint64(0)
+	bail := func(err error) error {
+		close(stop)
+		wg.Wait()
+		p.Stop()
+		return err
+	}
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-killTicker.C:
+			killStage.Store(int64(killRng.Intn(stages)))
+		case <-ticker.C:
+			// Mid-flight audits: fencing must hold at every instant
+			// (conservation only closes at quiescence), and the kill
+			// storm must not stall the pipeline.
+			a := p.Ledger().Audit()
+			if a.FencingViolations != 0 {
+				return bail(fail("fencing violated mid-flight: %d cancelled items emitted (ids %v)",
+					a.FencingViolations, a.ViolatingIDs))
+			}
+			if a.Emitted == lastEmitted {
+				return bail(fail("no progress since the last audit tick: emitted stuck at %d", a.Emitted))
+			}
+			lastEmitted = a.Emitted
+			audits++
+		}
+	}
+	killStage.Store(-1)
+	close(stop)
+	wg.Wait()
+
+	if !p.Drain(20 * time.Second) {
+		p.Stop()
+		return fail("drain timeout: %d items in flight", p.Ledger().Inflight())
+	}
+	p.Stop()
+	p.Scavenge()
+	a := p.Ledger().Audit()
+	if orphans := p.Orphans(); orphans != 0 {
+		return fail("%d orphaned sessions after scavenge", orphans)
+	}
+	if a.ConservationViolations != 0 {
+		return fail("conservation broken by %d: %+v", a.ConservationViolations, a)
+	}
+	if a.FencingViolations != 0 {
+		return fail("fencing violated: %d cancelled items emitted (ids %v)", a.FencingViolations, a.ViolatingIDs)
+	}
+	if a.Fenced == 0 {
+		return fail("drill cancelled items continuously but none was fenced")
+	}
+	var deaths, respawns uint64
+	for s := 0; s < p.Stages(); s++ {
+		deaths += p.Stats(s).WorkerDeaths.Load()
+		respawns += p.Stats(s).Respawns.Load()
+	}
+	if deaths == 0 {
+		return fail("kill storm armed but no worker died")
+	}
+	if respawns != deaths {
+		return fail("deaths=%d but respawns=%d", deaths, respawns)
+	}
+	fmt.Fprintf(out, "%-18s ok (pipeline): injected=%d emitted=%d fenced=%d shed=%d requeued=%d deaths=%d respawns=%d audits=%d\n",
+		"pipeline", a.Injected, a.Emitted, a.Fenced, a.Shed, a.Requeued, deaths, respawns, audits)
+	return nil
+}

@@ -198,9 +198,10 @@ func (st *statsServer) tick(every time.Duration) {
 	fmt.Fprintln(st.errW, line)
 }
 
-// close stops the ticker, flushes a final flight-recorder digest to
-// the digest stream (scrapers lose /debug/fifotrace with the listener,
-// so the last dump's tallies must land somewhere durable), and shuts
+// close stops the ticker, flushes a final flight-recorder digest AND
+// the final gauge values to the digest stream (scrapers lose /metrics
+// and /debug/fifotrace with the listener, so a shutdown arriving
+// mid-tick would otherwise lose the last observed depths), and shuts
 // the server down. Bounded: a scrape in flight gets a short grace
 // period, then the listener is torn down hard, so soak shutdown never
 // hangs on the stats plumbing.
@@ -208,11 +209,31 @@ func (st *statsServer) close() {
 	close(st.stop)
 	<-st.done
 	st.flushTrace()
+	st.flushGauges()
 	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
 	defer cancel()
 	if err := st.srv.Shutdown(ctx); err != nil {
 		_ = st.srv.Close()
 	}
+}
+
+// flushGauges writes the final value of every registered gauge (queue
+// depth, per-lane pipeline depths, segment populations, ...) as one
+// digest line. The periodic tick only prints the depth/segments pair,
+// so without this the extra gauges' last values die with the listener.
+func (st *statsServer) flushGauges() {
+	st.mu.Lock()
+	key := st.key
+	st.mu.Unlock()
+	c := st.collector()
+	if len(c.Gauges) == 0 {
+		return
+	}
+	line := fmt.Sprintf("gauges: %s final", key)
+	for _, g := range c.Gauges {
+		line += fmt.Sprintf(" %s=%g", g.Name, g.Value())
+	}
+	fmt.Fprintln(st.errW, line)
 }
 
 // flushTrace writes the final flight-recorder summary line: written and

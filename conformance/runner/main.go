@@ -23,8 +23,17 @@ func run(args []string) error {
 	suites := fs.String("suites", "conformance/suites", "directory of suite JSON files")
 	base := fs.String("base", "", "base URL of a running server (empty = spin up in-process)")
 	level := fs.Int("level", -1, "run only this OJS level (-1 = all)")
+	skiplist := fs.String("skiplist", "", "JSON quarantine file of case names to skip, each with a reason (empty = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var skip map[string]string
+	if *skiplist != "" {
+		var err error
+		if skip, err = LoadSkiplist(*skiplist); err != nil {
+			return err
+		}
 	}
 
 	target := *base
@@ -44,6 +53,7 @@ func run(args []string) error {
 	r := &Runner{
 		Base:   target,
 		Client: &http.Client{Timeout: 15 * time.Second},
+		Skip:   skip,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stdout, format+"\n", a...)
 		},
@@ -52,7 +62,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("conformance: %d passed, %d failed\n", passed, failed)
+	fmt.Printf("conformance: %d passed, %d failed, %d skipped\n", passed, failed, r.Skipped)
 	if failed > 0 {
 		return fmt.Errorf("%d case(s) failed", failed)
 	}

@@ -83,6 +83,48 @@ type Runner struct {
 	Base   string
 	Client *http.Client
 	Logf   func(format string, args ...any)
+	// Skip maps case names to quarantine reasons (see LoadSkiplist).
+	// Skipped cases are reported but count in neither passed nor failed;
+	// Skipped tallies them after RunDir.
+	Skip    map[string]string
+	Skipped int
+}
+
+// Skiplist is the quarantine file format: cases excluded from a run,
+// each with a mandatory reason so a quarantined case is always
+// traceable to the flake or gap that parked it. An empty "skip" array
+// is the steady state — the file exists so promoting a level to
+// blocking never requires new plumbing when one case needs parking.
+type Skiplist struct {
+	Skip []SkipEntry `json:"skip"`
+}
+
+// SkipEntry quarantines one case by name.
+type SkipEntry struct {
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+}
+
+// LoadSkiplist reads a quarantine file into a name→reason map. Entries
+// without a reason are rejected: an undocumented skip is how a
+// conformance gap quietly becomes permanent.
+func LoadSkiplist(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sl Skiplist
+	if err := json.Unmarshal(data, &sl); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	skip := make(map[string]string, len(sl.Skip))
+	for _, e := range sl.Skip {
+		if e.Name == "" || e.Reason == "" {
+			return nil, fmt.Errorf("%s: every skip entry needs a name and a reason (got name=%q reason=%q)", path, e.Name, e.Reason)
+		}
+		skip[e.Name] = e.Reason
+	}
+	return skip, nil
 }
 
 // RunDir executes every *.json case under dir (recursively, sorted)
@@ -111,6 +153,11 @@ func (r *Runner) RunDir(dir string, levels map[int]bool) (passed, failed int, er
 			return passed, failed, err
 		}
 		if levels != nil && !levels[c.Level] {
+			continue
+		}
+		if reason, quarantined := r.Skip[c.Name]; quarantined {
+			r.Skipped++
+			r.Logf("SKIP  %-28s (level %d): %s", c.Name, c.Level, reason)
 			continue
 		}
 		if err := r.RunCase(c); err != nil {

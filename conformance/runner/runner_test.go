@@ -1,7 +1,9 @@
 package main
 
 import (
+	"fmt"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -66,6 +68,72 @@ func TestRunDirLevelFilter(t *testing.T) {
 		t.Errorf("level-0 run: %d passed, want 4", passed)
 	}
 	_ = lines
+}
+
+// TestRunDirSkiplist: a quarantined case is reported as SKIP and counts
+// in neither passed nor failed.
+func TestRunDirSkiplist(t *testing.T) {
+	srv := jobs.New(jobs.Config{Tick: 5 * time.Millisecond})
+	srv.Start()
+	defer srv.Stop()
+	ts := httptest.NewServer(jobs.NewHandler(srv))
+	defer ts.Close()
+
+	var lines []string
+	r := &Runner{
+		Base:   ts.URL,
+		Client: ts.Client(),
+		Skip:   map[string]string{"cancel": "parked for the test"},
+		Logf: func(f string, a ...any) {
+			lines = append(lines, fmt.Sprintf(f, a...))
+		},
+	}
+	passed, failed, err := r.RunDir("../suites", map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("level-0 run with skiplist: %d failed", failed)
+	}
+	if passed != 3 {
+		t.Errorf("level-0 run with skiplist: %d passed, want 3", passed)
+	}
+	if r.Skipped != 1 {
+		t.Errorf("Skipped = %d, want 1", r.Skipped)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "SKIP") && strings.Contains(l, "cancel") && strings.Contains(l, "parked for the test") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no SKIP line naming the case and reason; got %q", lines)
+	}
+}
+
+// TestLoadSkiplistRejectsBareEntries: a skip without a reason is an
+// error, not a silent quarantine.
+func TestLoadSkiplistRejectsBareEntries(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "skiplist.json")
+	if err := os.WriteFile(bad, []byte(`{"skip":[{"name":"cancel"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSkiplist(bad); err == nil {
+		t.Fatal("LoadSkiplist accepted an entry without a reason")
+	}
+	good := filepath.Join(dir, "ok.json")
+	if err := os.WriteFile(good, []byte(`{"skip":[{"name":"cancel","reason":"flaky on shared runners"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadSkiplist(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["cancel"] != "flaky on shared runners" {
+		t.Fatalf("skip map = %v", m)
+	}
 }
 
 // TestLookup covers the dotted-path resolver the assertions ride on.

@@ -86,6 +86,10 @@ type Config struct {
 	// (live + preparing + spare); 0 leaves memory unbounded. Ignored
 	// elsewhere.
 	MemoryBound int
+	// ReplenishFault is a chaos hook consulted on each spare-pool
+	// replenish attempt of the segmented queue; a true return fails
+	// that attempt silently. Nil disables. Ignored elsewhere.
+	ReplenishFault func() bool
 	// SegLow/SegHigh arm segment-count watermark admission on the
 	// segmented queue (hysteresis between them); SegHigh 0 disables.
 	// Ignored elsewhere.
@@ -125,7 +129,7 @@ const (
 	// KeyEvqSeg is the segmented composition of the evq-cas ring: an
 	// unbounded MPMC queue chaining Algorithm 2 rings Michael–Scott-style
 	// with hazard-pointer segment reclamation.
-	KeyEvqSeg      = "evq-seg"
+	KeyEvqSeg = "evq-seg"
 	// KeySPSC is the Torquati-style single-producer/single-consumer ring
 	// (slot-only synchronization, private cursors). Concurrent is false
 	// because its discipline — at most one enqueuer and one dequeuer —
@@ -228,6 +232,9 @@ var catalog = map[string]Algo{
 			}
 			if c.MemoryBound > 0 {
 				opts = append(opts, evqseg.WithMemoryBound(c.MemoryBound))
+			}
+			if c.ReplenishFault != nil {
+				opts = append(opts, evqseg.WithReplenishFault(c.ReplenishFault))
 			}
 			if c.SegHigh > 0 {
 				opts = append(opts, evqseg.WithSegmentWatermarks(c.SegLow, c.SegHigh))

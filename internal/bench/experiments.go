@@ -82,6 +82,11 @@ const (
 	// exercises the public layer (the fabric lives above the word-level
 	// queues), so its runner lives in cmd/fifobench.
 	ExpShard Experiment = "shard"
+	// ExpPipeline is the streaming-pipeline scenario: the multi-stage
+	// lane runner under steady cancellation load, then the full
+	// fault/failover matrix (internal/pipeline). Public-layer like
+	// ExpOverload/ExpShard, so its runner lives in cmd/fifobench.
+	ExpPipeline Experiment = "pipeline"
 )
 
 // Experiments lists all runnable experiment names.
@@ -89,7 +94,7 @@ func Experiments() []Experiment {
 	return []Experiment{
 		Fig6a, Fig6b, Fig6c, Fig6d,
 		ExpOverhead, ExpSyncOps, ExpExtended, ExpSpace, ExpRelated, ExpBurst, ExpBatch,
-		ExpOverload, ExpShard,
+		ExpOverload, ExpShard, ExpPipeline,
 	}
 }
 

@@ -316,17 +316,19 @@ func Run(o Options) (*Report, error) {
 	}
 	rep.Hist = hist
 
+	// Every failure names the seed: rerun with Options.Seed set to it
+	// and the kill schedule and workloads replay exactly.
 	if err := lincheck.CheckFast(hist); err != nil {
-		return rep, fmt.Errorf("chaos: %w", err)
+		return rep, fmt.Errorf("chaos (seed=%d): %w", o.Seed, err)
 	}
 	rep.Lost = rep.Produced - rep.Consumed - rep.Drained
 	if rep.Lost < 0 {
-		return rep, fmt.Errorf("chaos: %d more values came out than went in", -rep.Lost)
+		return rep, fmt.Errorf("chaos (seed=%d): %d more values came out than went in", o.Seed, -rep.Lost)
 	}
 	if rep.Lost > rep.AbandonedDeqCap {
 		return rep, fmt.Errorf(
-			"chaos: %d values lost but the %d sessions killed mid-dequeue can account for at most %d (conservation violated)",
-			rep.Lost, rep.AbandonedDeq, rep.AbandonedDeqCap)
+			"chaos (seed=%d): %d values lost but the %d sessions killed mid-dequeue can account for at most %d (conservation violated)",
+			o.Seed, rep.Lost, rep.AbandonedDeq, rep.AbandonedDeqCap)
 	}
 	return rep, nil
 }

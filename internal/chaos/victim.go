@@ -3,6 +3,7 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,10 @@ type VictimOptions struct {
 	// This is the helping-off contrast configuration: the victim then
 	// aborts with ErrDeadline instead of stalling unboundedly.
 	OpDeadline time.Duration
+	// Seed drives the victim's enqueue/dequeue mix so a failing storm
+	// reproduces deterministically (0 means 1). Echoed in the report for
+	// failure messages.
+	Seed int64
 }
 
 // VictimReport is what a victim storm observed.
@@ -76,6 +81,9 @@ type VictimReport struct {
 	// AggressorOps counts completed aggressor operations — nonzero proves
 	// the victim was starved by live competition, not by a quiet queue.
 	AggressorOps uint64
+	// Seed echoes the seed the storm ran under, so callers can stamp it
+	// into their failure messages.
+	Seed int64
 }
 
 // RunVictimStorm runs the storm and reports. Unlike Run, no faults are
@@ -96,6 +104,9 @@ func RunVictimStorm(o VictimOptions) (*VictimReport, error) {
 	}
 	if o.OpBound <= 0 {
 		o.OpBound = 100 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
 	}
 
 	var rescueBase uint64
@@ -147,7 +158,7 @@ func RunVictimStorm(o VictimOptions) (*VictimReport, error) {
 		}(a)
 	}
 
-	rep := &VictimReport{}
+	rep := &VictimReport{Seed: o.Seed}
 	vs := o.Queue.Attach()
 	ys, ok := vs.(yieldSession)
 	if !ok {
@@ -173,6 +184,9 @@ func RunVictimStorm(o VictimOptions) (*VictimReport, error) {
 	})
 	bs, _ := vs.(queue.BudgetSession)
 
+	// The op mix is seeded rather than strictly alternating: a failing
+	// storm replays exactly under the same VictimOptions.Seed.
+	rng := rand.New(rand.NewSource(o.Seed))
 	end := time.Now().Add(o.Duration)
 	for i := 0; time.Now().Before(end); i++ {
 		if o.OpDeadline > 0 {
@@ -180,7 +194,7 @@ func RunVictimStorm(o VictimOptions) (*VictimReport, error) {
 		}
 		start := time.Now()
 		var err error
-		if i%2 == 0 {
+		if rng.Intn(2) == 0 {
 			err = vs.Enqueue(2)
 		} else if bs != nil {
 			_, _, err = bs.DequeueErr()

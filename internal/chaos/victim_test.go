@@ -29,22 +29,23 @@ func TestVictimStormHelpingBoundsLatency(t *testing.T) {
 		Threads:  8,
 		Duration: 300 * time.Millisecond,
 		OpBound:  100 * time.Millisecond,
+		Seed:     11,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.AggressorOps == 0 {
-		t.Fatal("aggressors completed nothing; the victim was not competing")
+		t.Fatalf("aggressors completed nothing; the victim was not competing (seed=%d)", rep.Seed)
 	}
 	if rep.VictimOps == 0 {
-		t.Fatal("victim completed no operations")
+		t.Fatalf("victim completed no operations (seed=%d)", rep.Seed)
 	}
 	if rep.Violations != 0 {
-		t.Fatalf("%d victim operations exceeded the %v bound (max %v) despite helping",
-			rep.Violations, 100*time.Millisecond, rep.MaxOp)
+		t.Fatalf("%d victim operations exceeded the %v bound (max %v) despite helping (seed=%d)",
+			rep.Violations, 100*time.Millisecond, rep.MaxOp, rep.Seed)
 	}
 	if rep.Rescues == 0 {
-		t.Fatalf("no rescues recorded over %d victim ops; helping never engaged", rep.VictimOps)
+		t.Fatalf("no rescues recorded over %d victim ops; helping never engaged (seed=%d)", rep.VictimOps, rep.Seed)
 	}
 }
 
@@ -61,15 +62,16 @@ func TestVictimStormLLSCHelping(t *testing.T) {
 		Threads:  8,
 		Duration: 300 * time.Millisecond,
 		OpBound:  100 * time.Millisecond,
+		Seed:     13,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Violations != 0 {
-		t.Fatalf("%d victim operations exceeded the bound (max %v)", rep.Violations, rep.MaxOp)
+		t.Fatalf("%d victim operations exceeded the bound (max %v) (seed=%d)", rep.Violations, rep.MaxOp, rep.Seed)
 	}
 	if rep.Rescues == 0 {
-		t.Fatalf("no rescues over %d victim ops", rep.VictimOps)
+		t.Fatalf("no rescues over %d victim ops (seed=%d)", rep.VictimOps, rep.Seed)
 	}
 }
 
@@ -87,18 +89,19 @@ func TestVictimStormDeadlineContrast(t *testing.T) {
 		Duration:   300 * time.Millisecond,
 		OpBound:    100 * time.Millisecond,
 		OpDeadline: 5 * time.Millisecond,
+		Seed:       17,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.DeadlineAborts == 0 {
-		t.Fatalf("victim never hit its deadline (%d ops completed); the storm is not starving it", rep.VictimOps)
+		t.Fatalf("victim never hit its deadline (%d ops completed); the storm is not starving it (seed=%d)", rep.VictimOps, rep.Seed)
 	}
 	if rep.Violations != 0 {
-		t.Fatalf("%d operations exceeded the bound (max %v) despite per-op deadlines", rep.Violations, rep.MaxOp)
+		t.Fatalf("%d operations exceeded the bound (max %v) despite per-op deadlines (seed=%d)", rep.Violations, rep.MaxOp, rep.Seed)
 	}
 	if rep.Rescues != 0 {
-		t.Fatalf("%d rescues recorded with helping disabled", rep.Rescues)
+		t.Fatalf("%d rescues recorded with helping disabled (seed=%d)", rep.Rescues, rep.Seed)
 	}
 }
 

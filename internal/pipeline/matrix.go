@@ -1,0 +1,605 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"nbqueue"
+	"nbqueue/internal/chaos"
+)
+
+// Fault names an injected failure mode of the matrix.
+type Fault string
+
+// The fault axis of the matrix.
+const (
+	// FaultWorkerKill abandons every victim-stage worker mid-service
+	// (chaos.Abandon), orphaning its lane sessions.
+	FaultWorkerKill Fault = "worker-kill"
+	// FaultStallStorm stalls victim-stage workers per item while the
+	// storm lasts, backing the stage's lanes up.
+	FaultStallStorm Fault = "stall-storm"
+	// FaultReplenishOutage fails the victim lanes' spare-segment
+	// replenishment (segmented lanes), draining the pre-armed pool so
+	// boundary crossings fall back to inline allocation.
+	FaultReplenishOutage Fault = "replenish-outage"
+	// FaultLaneOverload stalls the victim stage hard enough that its
+	// watermarked lanes cross the high water and shed upstream
+	// forwards with ErrOverloaded.
+	FaultLaneOverload Fault = "lane-overload"
+	// FaultHeartbeatLoss hangs one victim-stage worker without
+	// heartbeats until the supervisor condemns it; the hook then
+	// converts the condemnation into a kill.
+	FaultHeartbeatLoss Fault = "heartbeat-loss"
+)
+
+// Cell is one declared matrix experiment: a fault at a stage with a
+// recovery action.
+type Cell struct {
+	Fault    Fault    `json:"fault"`
+	Stage    int      `json:"stage"`
+	Recovery Recovery `json:"recovery"`
+}
+
+// Name is the compact cell label used in reports and failures.
+func (c Cell) Name() string { return fmt.Sprintf("%s@%d/%s", c.Fault, c.Stage, c.Recovery) }
+
+// MatrixOptions tunes RunMatrix. The defaults are 1-CPU-smoke sized.
+type MatrixOptions struct {
+	// Stages is the pipeline depth per cell (default 3).
+	Stages int
+	// Workers per stage (default 2).
+	Workers int
+	// LaneCapacity bounds each lane (default 256).
+	LaneCapacity int
+	// ServiceSpin is the per-item synthetic work (default 64 rounds).
+	ServiceSpin int
+	// CancelEvery cancels one in-flight item per this many submissions
+	// (default 25) to keep the fencing proof live in every cell.
+	CancelEvery int
+	// FaultDelay is the warmup before injection (default 50ms).
+	FaultDelay time.Duration
+	// FaultDuration is how long the fault stays armed (default 150ms;
+	// heartbeat cells stretch it to 5x the heartbeat).
+	FaultDuration time.Duration
+	// StallDuration is the per-item stall of stall-storm cells
+	// (default 1ms; lane-overload cells use 4x).
+	StallDuration time.Duration
+	// Heartbeat is the supervisor staleness threshold of
+	// heartbeat-loss cells (default 60ms).
+	Heartbeat time.Duration
+	// RecoveryBudget bounds the post-fault probe per cell (default 15s
+	// — generous for shared 1-CPU runners; real recovery is ~ms).
+	RecoveryBudget time.Duration
+	// DrainBudget bounds the end-of-cell quiescence wait (default 20s).
+	DrainBudget time.Duration
+	// Seed makes cell randomness (priorities, cancel picks)
+	// reproducible; 0 means 1. Every failure string carries it.
+	Seed int64
+	// Cells overrides the declarative table; nil uses
+	// DefaultCells(Stages).
+	Cells []Cell
+	// Log, when non-nil, receives one progress line per cell.
+	Log func(format string, args ...any)
+}
+
+func (o MatrixOptions) withDefaults() MatrixOptions {
+	if o.Stages <= 0 {
+		o.Stages = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.LaneCapacity <= 0 {
+		o.LaneCapacity = 256
+	}
+	if o.ServiceSpin <= 0 {
+		o.ServiceSpin = 64
+	}
+	if o.CancelEvery <= 0 {
+		o.CancelEvery = 25
+	}
+	if o.FaultDelay <= 0 {
+		o.FaultDelay = 50 * time.Millisecond
+	}
+	if o.FaultDuration <= 0 {
+		o.FaultDuration = 150 * time.Millisecond
+	}
+	if o.StallDuration <= 0 {
+		o.StallDuration = time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 60 * time.Millisecond
+	}
+	if o.RecoveryBudget <= 0 {
+		o.RecoveryBudget = 15 * time.Second
+	}
+	if o.DrainBudget <= 0 {
+		o.DrainBudget = 20 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Cells == nil {
+		o.Cells = DefaultCells(o.Stages)
+	}
+	return o
+}
+
+// DefaultCells is the declared fault × stage × recovery table: every
+// fault appears, kills sweep every stage, and the pressure faults
+// exercise each pressure recovery action.
+func DefaultCells(stages int) []Cell {
+	var cells []Cell
+	for s := 0; s < stages; s++ {
+		cells = append(cells, Cell{FaultWorkerKill, s, RecoverRespawn})
+	}
+	mid := stages / 2
+	last := stages - 1
+	cells = append(cells,
+		Cell{FaultHeartbeatLoss, mid, RecoverRespawn},
+		Cell{FaultStallStorm, mid, RecoverSpill},
+		Cell{FaultStallStorm, last, RecoverShed},
+		Cell{FaultLaneOverload, mid, RecoverShed},
+		Cell{FaultLaneOverload, mid, RecoverSpill},
+		Cell{FaultLaneOverload, mid, RecoverDeadLetter},
+		Cell{FaultReplenishOutage, mid, RecoverShed},
+	)
+	return cells
+}
+
+// CellReport is one cell's outcome and audits.
+type CellReport struct {
+	Cell      Cell   `json:"cell"`
+	StageName string `json:"stage_name"`
+
+	Audit AuditReport `json:"audit"`
+
+	WorkerDeaths   uint64 `json:"worker_deaths"`
+	Respawns       uint64 `json:"respawns"`
+	Scavenged      uint64 `json:"scavenged"`
+	Condemned      uint64 `json:"condemned"`
+	OrphansLeft    int    `json:"orphans_left"`
+	SpareMisses    uint64 `json:"spare_misses"`
+	OverloadEnters uint64 `json:"overload_enters"`
+	OverloadExits  uint64 `json:"overload_exits"`
+	Spills         uint64 `json:"spills"`
+	PressureSheds  uint64 `json:"pressure_sheds"`
+	DeadLetters    uint64 `json:"dead_letters"`
+
+	Recovered  bool  `json:"recovered"`
+	RecoveryNS int64 `json:"recovery_ns"`
+	DurationNS int64 `json:"duration_ns"`
+
+	// Failures lists every violated cell assertion (empty = pass).
+	Failures []string `json:"failures,omitempty"`
+}
+
+// MatrixReport aggregates the matrix run.
+type MatrixReport struct {
+	Seed          int64        `json:"seed"`
+	Cells         []CellReport `json:"cells"`
+	FailedCells   int          `json:"failed_cells"`
+	Conservation  uint64       `json:"conservation_violations"`
+	Fencing       uint64       `json:"fencing_violations"`
+	MaxRecoveryNS int64        `json:"max_recovery_ns"`
+	Emitted       uint64       `json:"emitted"`
+	Fenced        uint64       `json:"fenced"`
+	Shed          uint64       `json:"shed"`
+	DeadLettered  uint64       `json:"dead_lettered"`
+	WorkerDeaths  uint64       `json:"worker_deaths"`
+	Respawns      uint64       `json:"respawns"`
+	OrphansLeft   int          `json:"orphans_left"`
+	DurationNS    int64        `json:"duration_ns"`
+}
+
+// RunMatrix executes every declared cell on a fresh pipeline and
+// audits each for conservation, fencing, bounded recovery, and orphan
+// leakage. The returned error (non-nil iff any cell failed) names the
+// failing cells and carries the seed for reproduction.
+func RunMatrix(o MatrixOptions) (*MatrixReport, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	rep := &MatrixReport{Seed: o.Seed}
+	for i, cell := range o.Cells {
+		cr := runCell(o, cell, int64(i))
+		rep.Cells = append(rep.Cells, cr)
+		rep.Conservation += cr.Audit.ConservationViolations
+		rep.Fencing += cr.Audit.FencingViolations
+		rep.Emitted += cr.Audit.Emitted
+		rep.Fenced += cr.Audit.Fenced
+		rep.Shed += cr.Audit.Shed
+		rep.DeadLettered += cr.Audit.DeadLettered
+		rep.WorkerDeaths += cr.WorkerDeaths
+		rep.Respawns += cr.Respawns
+		rep.OrphansLeft += cr.OrphansLeft
+		if cr.RecoveryNS > rep.MaxRecoveryNS {
+			rep.MaxRecoveryNS = cr.RecoveryNS
+		}
+		if len(cr.Failures) > 0 {
+			rep.FailedCells++
+		}
+		if o.Log != nil {
+			status := "ok"
+			if len(cr.Failures) > 0 {
+				status = "FAIL " + cr.Failures[0]
+			}
+			o.Log("cell %-38s emitted=%d fenced=%d shed=%d deaths=%d recovery=%s %s",
+				cell.Name(), cr.Audit.Emitted, cr.Audit.Fenced, cr.Audit.Shed,
+				cr.WorkerDeaths, time.Duration(cr.RecoveryNS), status)
+		}
+	}
+	rep.DurationNS = time.Since(start).Nanoseconds()
+	if rep.FailedCells > 0 {
+		var first string
+		for _, cr := range rep.Cells {
+			if len(cr.Failures) > 0 {
+				first = fmt.Sprintf("cell %s: %s", cr.Cell.Name(), cr.Failures[0])
+				break
+			}
+		}
+		return rep, fmt.Errorf("pipeline matrix (seed=%d): %d/%d cells failed; first: %s",
+			o.Seed, rep.FailedCells, len(rep.Cells), first)
+	}
+	return rep, nil
+}
+
+// faultCtl is the per-cell fault controller wired into the pipeline's
+// service hook and (for replenish outages) the victim lanes.
+type faultCtl struct {
+	cell   Cell
+	active atomic.Bool
+	outage atomic.Bool
+	kills  atomic.Int64
+	victim atomic.Int32
+	stall  time.Duration
+	p      *Pipeline
+}
+
+func (c *faultCtl) hook(stage, wk int, it *Item) {
+	if !c.active.Load() || stage != c.cell.Stage {
+		return
+	}
+	switch c.cell.Fault {
+	case FaultWorkerKill:
+		if c.kills.Add(-1) >= 0 {
+			panic(chaos.Abandon{})
+		}
+	case FaultStallStorm, FaultLaneOverload, FaultReplenishOutage:
+		// The outage cell stalls too: backpressure deepens the
+		// segmented lanes past segment boundaries, so growth actually
+		// consults the (starved) spare pool.
+		deadline := time.Now().Add(c.stall)
+		for c.active.Load() && time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+	case FaultHeartbeatLoss:
+		// One worker hangs (no heartbeat stamps) until the supervisor
+		// condemns it; condemnation becomes a kill.
+		if !c.victim.CompareAndSwap(-1, int32(wk)) && c.victim.Load() != int32(wk) {
+			return
+		}
+		for c.active.Load() && !c.p.Condemned(stage, wk) {
+			runtime.Gosched()
+		}
+		if c.p.Condemned(stage, wk) {
+			panic(chaos.Abandon{})
+		}
+	}
+}
+
+// spinSink keeps the synthetic service work observable.
+var spinSink atomic.Uint64
+
+func spinService(rounds int) func(*Item) {
+	return func(*Item) {
+		x := uint64(1)
+		for i := 0; i < rounds; i++ {
+			x = x*2862933555777941757 + 3037000493
+		}
+		spinSink.Store(x)
+	}
+}
+
+// loadCounters is written by the single load goroutine, read after it
+// exits.
+type loadCounters struct {
+	submitted      uint64
+	admitRefused   uint64
+	cancelAttempts uint64
+	cancelWins     uint64
+}
+
+// runLoad drives one cell: flat-out submissions on the low-priority
+// lane (lane 0 stays clear for the recovery probe), cancelling one
+// recent in-flight item every cancelEvery submissions.
+func runLoad(p *Pipeline, stop <-chan struct{}, cancelEvery int, rng *rand.Rand, lc *loadCounters) {
+	pr := p.Producer()
+	defer pr.Close()
+	const ringSize = 32
+	var ring [ringSize]*Item
+	for i := uint64(0); ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		it, err := pr.Submit(1)
+		if err != nil {
+			lc.admitRefused++
+		}
+		if it != nil {
+			ring[i%ringSize] = it
+			lc.submitted++
+		}
+		if cancelEvery > 0 && i%uint64(cancelEvery) == uint64(cancelEvery)-1 {
+			// Fence the newest still-pending recent item: it is
+			// somewhere mid-pipe, racing the workers end to end.
+			for back := uint64(0); back < ringSize; back++ {
+				slot := (i + ringSize - back) % ringSize
+				v := ring[slot]
+				if v == nil || v.State() != StatePending {
+					continue
+				}
+				lc.cancelAttempts++
+				if p.Cancel(v) {
+					lc.cancelWins++
+				}
+				ring[slot] = nil
+				break
+			}
+		}
+		if i%4 == 0 || rng.Intn(16) == 0 {
+			runtime.Gosched() // 1-CPU: give the stage workers air
+		}
+	}
+}
+
+// probeRecovery submits fresh probe items at the highest priority
+// until one traverses the whole pipeline, measuring fault-clear →
+// first post-fault emit.
+func probeRecovery(p *Pipeline, budget time.Duration) (bool, int64) {
+	pr := p.Producer()
+	defer pr.Close()
+	t0 := time.Now()
+	for time.Since(t0) < budget {
+		it, err := pr.Submit(0)
+		if err != nil {
+			// Admission still shedding: the backlog is the recovery.
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		for time.Since(t0) < budget {
+			switch it.State() {
+			case StateEmitted:
+				return true, time.Since(t0).Nanoseconds()
+			case StatePending:
+				time.Sleep(500 * time.Microsecond)
+			default:
+				// Probe shed mid-pipe; try another.
+				goto next
+			}
+		}
+	next:
+	}
+	return false, budget.Nanoseconds()
+}
+
+// runCell builds a fresh pipeline for the cell, injects the fault,
+// applies the recovery, and audits everything.
+func runCell(o MatrixOptions, cell Cell, cellIdx int64) CellReport {
+	ctl := &faultCtl{cell: cell, stall: o.StallDuration}
+	ctl.victim.Store(-1)
+	if cell.Fault == FaultLaneOverload {
+		ctl.stall = 4 * o.StallDuration
+	}
+
+	var overEnters, overExits atomic.Uint64
+	var laneMetrics []*nbqueue.Metrics
+
+	cfg := Config{
+		DeadlineBudget: 10 * time.Second,
+		Respawn:        true,
+	}
+	if cell.Fault == FaultHeartbeatLoss {
+		cfg.Heartbeat = o.Heartbeat
+	}
+	names := []string{"ingest", "work", "egress"}
+	for s := 0; s < o.Stages; s++ {
+		name := fmt.Sprintf("stage%d", s)
+		if o.Stages == 3 {
+			name = names[s]
+		}
+		spec := StageSpec{
+			Name:       name,
+			Workers:    o.Workers,
+			Lanes:      2,
+			Service:    spinService(o.ServiceSpin),
+			OnPressure: RecoverShed,
+		}
+		victim := s == cell.Stage
+		if victim {
+			switch cell.Recovery {
+			case RecoverSpill, RecoverShed, RecoverDeadLetter:
+				spec.OnPressure = cell.Recovery
+			}
+		}
+		switch {
+		case victim && cell.Fault == FaultReplenishOutage:
+			// Segmented lanes with a pre-armed spare pool whose
+			// replenishment the fault fails.
+			spec.NewLane = func(l int) (Lane, error) {
+				m := nbqueue.NewMetrics()
+				laneMetrics = append(laneMetrics, m)
+				q, err := nbqueue.New[*Item](
+					nbqueue.WithAlgorithm(nbqueue.AlgorithmSegmented),
+					nbqueue.WithUnbounded(),
+					nbqueue.WithSegmentSize(32),
+					nbqueue.WithSpareSegments(2),
+					nbqueue.WithMemoryBound(64),
+					nbqueue.WithMetrics(m),
+					nbqueue.WithReplenishFault(func() bool { return ctl.outage.Load() }),
+				)
+				if err != nil {
+					return nil, err
+				}
+				return QueueLane(q), nil
+			}
+		case victim && (cell.Fault == FaultLaneOverload || cell.Fault == FaultStallStorm):
+			// Watermarked lanes so the backed-up stage sheds upstream
+			// forwards with ErrOverloaded instead of blocking.
+			cap := o.LaneCapacity
+			spec.LaneOptions = []nbqueue.Option{
+				nbqueue.WithCapacity(cap),
+				nbqueue.WithWatermarks(cap/8, cap/2),
+				nbqueue.WithEventHook(func(e nbqueue.Event) {
+					switch e.Kind {
+					case nbqueue.EventOverloadEnter:
+						overEnters.Add(1)
+					case nbqueue.EventOverloadExit:
+						overExits.Add(1)
+					}
+				}),
+			}
+		default:
+			spec.LaneOptions = []nbqueue.Option{nbqueue.WithCapacity(o.LaneCapacity)}
+		}
+		cfg.Stages = append(cfg.Stages, spec)
+	}
+
+	cr := CellReport{Cell: cell}
+	start := time.Now()
+	p, err := New(cfg)
+	if err != nil {
+		cr.Failures = append(cr.Failures, fmt.Sprintf("build (seed=%d): %v", o.Seed, err))
+		return cr
+	}
+	cr.StageName = cfg.Stages[cell.Stage].Name
+	ctl.p = p
+	p.SetHook(ctl.hook)
+	p.Start()
+
+	var lc loadCounters
+	stopLoad := make(chan struct{})
+	loadDone := make(chan struct{})
+	rng := rand.New(rand.NewSource(o.Seed*7919 + cellIdx))
+	go func() {
+		defer close(loadDone)
+		runLoad(p, stopLoad, o.CancelEvery, rng, &lc)
+	}()
+
+	time.Sleep(o.FaultDelay)
+	dur := o.FaultDuration
+	switch cell.Fault {
+	case FaultWorkerKill:
+		ctl.kills.Store(int64(o.Workers))
+	case FaultReplenishOutage:
+		ctl.outage.Store(true)
+	case FaultHeartbeatLoss:
+		if hb := 5 * o.Heartbeat; dur < hb {
+			dur = hb
+		}
+	}
+	ctl.active.Store(true)
+	time.Sleep(dur)
+	ctl.active.Store(false)
+	ctl.outage.Store(false)
+
+	cr.Recovered, cr.RecoveryNS = probeRecovery(p, o.RecoveryBudget)
+
+	close(stopLoad)
+	<-loadDone
+	drained := p.Drain(o.DrainBudget)
+	p.Stop()
+	cr.Scavenged = uint64(p.Scavenge())
+	cr.OrphansLeft = p.Orphans()
+	cr.Audit = p.Ledger().Audit()
+	cr.Condemned = p.CondemnedTotal()
+	cr.OverloadEnters = overEnters.Load()
+	cr.OverloadExits = overExits.Load()
+	for s := 0; s < p.Stages(); s++ {
+		st := p.Stats(s)
+		cr.WorkerDeaths += st.WorkerDeaths.Load()
+		cr.Respawns += st.Respawns.Load()
+	}
+	vst := p.Stats(cell.Stage)
+	cr.Spills = vst.Spills.Load()
+	cr.PressureSheds = vst.PressureSheds.Load()
+	cr.DeadLetters = vst.DeadLetters.Load()
+	for _, m := range laneMetrics {
+		cr.SpareMisses += m.Snapshot().SpareSegmentMisses
+	}
+	cr.DurationNS = time.Since(start).Nanoseconds()
+
+	// Audits. Every failure string carries the seed so any red cell
+	// reproduces with MatrixOptions{Seed: ...}.
+	fail := func(format string, args ...any) {
+		cr.Failures = append(cr.Failures,
+			fmt.Sprintf("(seed=%d) ", o.Seed)+fmt.Sprintf(format, args...))
+	}
+	if !drained {
+		fail("drain timeout: %d items still in flight after %s", p.Ledger().Inflight(), o.DrainBudget)
+	}
+	if v := cr.Audit.ConservationViolations; v != 0 {
+		fail("conservation violated by %d items (injected=%d emitted=%d fenced=%d shed=%d dead=%d drained=%d)",
+			v, cr.Audit.Injected, cr.Audit.Emitted, cr.Audit.Fenced, cr.Audit.Shed,
+			cr.Audit.DeadLettered, cr.Audit.Drained)
+	}
+	if v := cr.Audit.FencingViolations; v != 0 {
+		fail("fencing violated: %d cancelled items emitted output (ids %v)", v, cr.Audit.ViolatingIDs)
+	}
+	if !cr.Recovered {
+		fail("no post-fault emit within the %s recovery budget", o.RecoveryBudget)
+	}
+	if cr.OrphansLeft != 0 {
+		fail("orphan leakage: %d session records left after scavenge", cr.OrphansLeft)
+	}
+	if cr.Audit.Emitted == 0 {
+		fail("pipeline emitted nothing")
+	}
+	if lc.cancelAttempts > 0 && cr.Audit.Fenced == 0 {
+		fail("no cancel won its fence (%d attempts): fencing path never exercised", lc.cancelAttempts)
+	}
+	switch cell.Fault {
+	case FaultWorkerKill, FaultHeartbeatLoss:
+		if cr.WorkerDeaths == 0 {
+			fail("fault injected but no worker died")
+		}
+		if cr.Respawns != cr.WorkerDeaths {
+			fail("scavenge-respawn incomplete: %d deaths, %d respawns", cr.WorkerDeaths, cr.Respawns)
+		}
+		if cell.Fault == FaultHeartbeatLoss && cr.Condemned == 0 {
+			fail("supervisor never condemned the hung worker")
+		}
+	case FaultLaneOverload:
+		if cr.OverloadEnters == 0 {
+			fail("victim lanes never crossed the high watermark")
+		}
+		switch cell.Recovery {
+		case RecoverSpill:
+			if cr.Spills == 0 {
+				fail("spill recovery never spilled to a sibling lane")
+			}
+		case RecoverShed:
+			if cr.PressureSheds == 0 {
+				fail("shed recovery never shed with ErrOverloaded")
+			}
+		case RecoverDeadLetter:
+			if cr.DeadLetters == 0 {
+				fail("dead-letter recovery parked nothing")
+			}
+		}
+	case FaultStallStorm:
+		if cell.Recovery == RecoverSpill && cr.Spills == 0 {
+			fail("spill recovery never spilled to a sibling lane")
+		}
+	case FaultReplenishOutage:
+		if cr.SpareMisses == 0 {
+			fail("outage never drained the spare pool (0 spare misses)")
+		}
+	}
+	return cr
+}

@@ -1,0 +1,222 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nbqueue"
+	"nbqueue/internal/chaos"
+)
+
+// drainAndAudit is the common epilogue: quiesce, stop, scavenge, audit.
+func drainAndAudit(t *testing.T, p *Pipeline) AuditReport {
+	t.Helper()
+	if !p.Drain(20 * time.Second) {
+		t.Fatalf("drain timeout: %d items in flight", p.Ledger().Inflight())
+	}
+	p.Stop()
+	p.Scavenge()
+	if n := p.Orphans(); n != 0 {
+		t.Errorf("orphan leakage: %d session records after scavenge", n)
+	}
+	a := p.Ledger().Audit()
+	if a.ConservationViolations != 0 {
+		t.Errorf("conservation violated by %d: %+v", a.ConservationViolations, a)
+	}
+	if a.FencingViolations != 0 {
+		t.Errorf("fencing violated: %d cancelled items emitted (ids %v)", a.FencingViolations, a.ViolatingIDs)
+	}
+	return a
+}
+
+// TestPipelineFlow pushes items through three stages and checks they
+// all emit in conservation.
+func TestPipelineFlow(t *testing.T) {
+	p, err := New(Config{
+		Stages: []StageSpec{
+			{Name: "ingest", Workers: 1},
+			{Name: "work", Workers: 2, Lanes: 2},
+			{Name: "egress", Workers: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	pr := p.Producer()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := pr.Submit(i % 2); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	pr.Close()
+	a := drainAndAudit(t, p)
+	if a.Injected != n || a.Emitted != n {
+		t.Fatalf("want %d injected and emitted, got %+v", n, a)
+	}
+	if p.E2EQuantile(0.99) <= 0 {
+		t.Error("no end-to-end latency samples recorded")
+	}
+	if p.Stats(1).queueWait.count() == 0 {
+		t.Error("no queue-wait samples at the work stage")
+	}
+}
+
+// TestCancelNeverEmits holds an item mid-service at the egress stage,
+// fences it, and proves the emit CAS loses: the cancelled item's
+// output is never observed.
+func TestCancelNeverEmits(t *testing.T) {
+	inService := make(chan *Item, 1)
+	release := make(chan struct{})
+	var emitted atomic.Uint64
+	p, err := New(Config{
+		Stages: []StageSpec{
+			{Name: "ingest", Workers: 1},
+			{Name: "egress", Workers: 1},
+		},
+		OnEmit: func(it *Item) { emitted.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetHook(func(stage, _ int, it *Item) {
+		if stage == 1 {
+			select {
+			case inService <- it:
+			default:
+			}
+			<-release
+		}
+	})
+	p.Start()
+	pr := p.Producer()
+	it, err := pr.Submit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := <-inService
+	if held != it {
+		t.Fatalf("unexpected item in service: %v", held)
+	}
+	if !p.Cancel(it) {
+		t.Fatal("fence lost: item already settled")
+	}
+	close(release)
+	pr.Close()
+	a := drainAndAudit(t, p)
+	if got := it.State(); got != StateFenced {
+		t.Fatalf("item state = %v, want fenced", it)
+	}
+	if emitted.Load() != 0 || a.Emitted != 0 {
+		t.Fatalf("cancelled item emitted output: OnEmit=%d audit=%+v", emitted.Load(), a)
+	}
+	if a.FenceDrops == 0 {
+		t.Error("the fence was never observed stopping the in-flight item")
+	}
+}
+
+// TestWorkerKillRequeue kills workers mid-service and checks the
+// scavenge-respawn recovery: no item lost, sessions reclaimed.
+func TestWorkerKillRequeue(t *testing.T) {
+	var kills atomic.Int64
+	kills.Store(3)
+	p, err := New(Config{
+		Stages: []StageSpec{
+			{Name: "ingest", Workers: 1},
+			{Name: "work", Workers: 2},
+			{Name: "egress", Workers: 1},
+		},
+		Respawn: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetHook(func(stage, _ int, it *Item) {
+		if stage == 1 && kills.Add(-1) >= 0 {
+			panic(chaos.Abandon{})
+		}
+	})
+	p.Start()
+	pr := p.Producer()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if _, err := pr.Submit(0); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	pr.Close()
+	a := drainAndAudit(t, p)
+	st := p.Stats(1)
+	if st.WorkerDeaths.Load() == 0 {
+		t.Fatal("hook armed but no worker died")
+	}
+	if st.Respawns.Load() != st.WorkerDeaths.Load() {
+		t.Errorf("deaths=%d respawns=%d", st.WorkerDeaths.Load(), st.Respawns.Load())
+	}
+	if a.Requeued == 0 {
+		t.Error("kills fired mid-service but nothing was requeued")
+	}
+	if a.Injected != n || a.Emitted != n {
+		t.Fatalf("kill recovery lost items: %+v", a)
+	}
+}
+
+// TestFabricLane runs the middle stage on a sharded fabric lane.
+func TestFabricLane(t *testing.T) {
+	p, err := New(Config{
+		Stages: []StageSpec{
+			{Name: "ingest", Workers: 1},
+			{Name: "work", Workers: 2, NewLane: func(int) (Lane, error) {
+				f, err := nbqueue.NewFabric[*Item](nbqueue.WithShards(2))
+				if err != nil {
+					return nil, err
+				}
+				return FabricLane(f), nil
+			}},
+			{Name: "egress", Workers: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	pr := p.Producer()
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if _, err := pr.Submit(0); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	pr.Close()
+	a := drainAndAudit(t, p)
+	if a.Emitted != n {
+		t.Fatalf("fabric lane lost items: %+v", a)
+	}
+}
+
+// TestSteady runs the canonical steady-state load and checks the
+// report shape and audits.
+func TestSteady(t *testing.T) {
+	dur := 300 * time.Millisecond
+	if testing.Short() {
+		dur = 100 * time.Millisecond
+	}
+	rep, err := RunSteady(SteadyOptions{Duration: dur, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Audit.Emitted == 0 || rep.ItemsPerSec <= 0 {
+		t.Fatalf("steady run emitted nothing: %+v", rep.Audit)
+	}
+	if rep.Audit.Fenced == 0 {
+		t.Error("steady cancellation never fenced an item")
+	}
+	if len(rep.Stages) != 3 {
+		t.Fatalf("want 3 stage reports, got %d", len(rep.Stages))
+	}
+	if rep.E2EP99NS <= 0 {
+		t.Error("no e2e p99 measured")
+	}
+}

@@ -1,0 +1,240 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"nbqueue"
+)
+
+// SteadyOptions tunes RunSteady, the steady-state measurement run
+// behind `fifobench -experiment pipeline`.
+type SteadyOptions struct {
+	// Stages is the pipeline depth (default 3: ingest → work → egress).
+	Stages int
+	// Workers per stage (default 2).
+	Workers int
+	// LaneCapacity bounds each lane (default 512).
+	LaneCapacity int
+	// Lanes is the priority-lane count per stage (default 2).
+	Lanes int
+	// Duration is the measurement window (default 500ms).
+	Duration time.Duration
+	// Producers is the submitting goroutine count (default 2).
+	Producers int
+	// CancelEvery cancels one recent item per this many submissions
+	// per producer (default 64); 0 disables cancellation.
+	CancelEvery int
+	// DeadlineBudget arms every item's end-to-end deadline
+	// (default 2s; <0 disables).
+	DeadlineBudget time.Duration
+	// ServiceSpin is the per-item synthetic work (default 64 rounds).
+	ServiceSpin int
+	// Seed drives producer randomness (0 means 1).
+	Seed int64
+	// DrainBudget bounds the end-of-run quiescence wait (default 20s).
+	DrainBudget time.Duration
+}
+
+func (o SteadyOptions) withDefaults() SteadyOptions {
+	if o.Stages <= 0 {
+		o.Stages = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.LaneCapacity <= 0 {
+		o.LaneCapacity = 512
+	}
+	if o.Lanes <= 0 {
+		o.Lanes = 2
+	}
+	if o.Duration <= 0 {
+		o.Duration = 500 * time.Millisecond
+	}
+	if o.Producers <= 0 {
+		o.Producers = 2
+	}
+	if o.CancelEvery == 0 {
+		o.CancelEvery = 64
+	}
+	if o.DeadlineBudget == 0 {
+		o.DeadlineBudget = 2 * time.Second
+	}
+	if o.ServiceSpin <= 0 {
+		o.ServiceSpin = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.DrainBudget <= 0 {
+		o.DrainBudget = 20 * time.Second
+	}
+	return o
+}
+
+// StageReport is one stage's slice of the steady-state report.
+type StageReport struct {
+	Name          string  `json:"name"`
+	QueueP50NS    float64 `json:"queue_p50_ns"`
+	QueueP99NS    float64 `json:"queue_p99_ns"`
+	Serviced      uint64  `json:"serviced"`
+	FenceDrops    uint64  `json:"fence_drops"`
+	DeadlineSheds uint64  `json:"deadline_sheds"`
+	PressureSheds uint64  `json:"pressure_sheds"`
+	Spills        uint64  `json:"spills"`
+	DeadLetters   uint64  `json:"dead_letters"`
+}
+
+// SteadyReport is the steady-state run's measurement envelope.
+type SteadyReport struct {
+	Seed        int64         `json:"seed"`
+	DurationNS  int64         `json:"duration_ns"`
+	Audit       AuditReport   `json:"audit"`
+	ItemsPerSec float64       `json:"items_per_sec"`
+	E2EP50NS    float64       `json:"e2e_p50_ns"`
+	E2EP99NS    float64       `json:"e2e_p99_ns"`
+	Stages      []StageReport `json:"stages"`
+	// FencedIDSample is a sorted, capped sample of fenced trace IDs,
+	// exported so the fencing-ledger artifact can cross-check that none
+	// of them ever emitted.
+	FencedIDSample []uint64 `json:"fenced_id_sample,omitempty"`
+}
+
+// RunSteady runs the canonical ingest→work→egress pipeline under
+// flat-out multi-producer load with periodic cancellation, then drains
+// to quiescence and audits. The ingest stage is watermarked so
+// overload sheds instead of blocking; the work stage spills to its
+// sibling lane under pressure.
+func RunSteady(o SteadyOptions) (*SteadyReport, error) {
+	o = o.withDefaults()
+	cfg := Config{Respawn: true}
+	if o.DeadlineBudget > 0 {
+		cfg.DeadlineBudget = o.DeadlineBudget
+	}
+	names := []string{"ingest", "work", "egress"}
+	for s := 0; s < o.Stages; s++ {
+		name := fmt.Sprintf("stage%d", s)
+		if s < len(names) && o.Stages <= len(names) {
+			name = names[s]
+		}
+		spec := StageSpec{
+			Name:    name,
+			Workers: o.Workers,
+			Lanes:   o.Lanes,
+			Service: spinService(o.ServiceSpin),
+		}
+		cap := o.LaneCapacity
+		switch s {
+		case 0:
+			// Ingest sheds at the door under producer overrun.
+			spec.OnPressure = RecoverShed
+			spec.LaneOptions = []nbqueue.Option{
+				nbqueue.WithCapacity(cap),
+				nbqueue.WithWatermarks(cap/4, cap/2),
+			}
+		default:
+			spec.OnPressure = RecoverSpill
+			spec.LaneOptions = []nbqueue.Option{nbqueue.WithCapacity(cap)}
+		}
+		cfg.Stages = append(cfg.Stages, spec)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+
+	stop := make(chan struct{})
+	done := make(chan struct{}, o.Producers)
+	for w := 0; w < o.Producers; w++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
+		go func() {
+			defer func() { done <- struct{}{} }()
+			pr := p.Producer()
+			defer pr.Close()
+			const ringSize = 32
+			var ring [ringSize]*Item
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it, _ := pr.Submit(rng.Intn(o.Lanes))
+				if it != nil {
+					ring[i%ringSize] = it
+				}
+				if o.CancelEvery > 0 && i%uint64(o.CancelEvery) == uint64(o.CancelEvery)-1 {
+					// Fence the newest still-pending recent item.
+					for back := uint64(0); back < ringSize; back++ {
+						slot := (i + ringSize - back) % ringSize
+						v := ring[slot]
+						if v == nil || v.State() != StatePending {
+							continue
+						}
+						p.Cancel(v)
+						ring[slot] = nil
+						break
+					}
+				}
+				if i%4 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	time.Sleep(o.Duration)
+	close(stop)
+	for w := 0; w < o.Producers; w++ {
+		<-done
+	}
+	if !p.Drain(o.DrainBudget) {
+		p.Stop()
+		return nil, fmt.Errorf("pipeline steady (seed=%d): drain timeout, %d in flight",
+			o.Seed, p.Ledger().Inflight())
+	}
+	elapsed := time.Since(start)
+	p.Stop()
+	p.Scavenge()
+
+	rep := &SteadyReport{
+		Seed:        o.Seed,
+		DurationNS:  elapsed.Nanoseconds(),
+		Audit:       p.Ledger().Audit(),
+		ItemsPerSec: float64(p.Ledger().emittedN.Load()) / elapsed.Seconds(),
+		E2EP50NS:    p.E2EQuantile(0.50),
+		E2EP99NS:    p.E2EQuantile(0.99),
+
+		FencedIDSample: p.Ledger().FencedIDs(256),
+	}
+	for s := 0; s < p.Stages(); s++ {
+		st := p.Stats(s)
+		rep.Stages = append(rep.Stages, StageReport{
+			Name:          st.Name,
+			QueueP50NS:    st.QueueWaitQuantile(0.50),
+			QueueP99NS:    st.QueueWaitQuantile(0.99),
+			Serviced:      st.Serviced.Load(),
+			FenceDrops:    st.FenceDrops.Load(),
+			DeadlineSheds: st.DeadlineSheds.Load(),
+			PressureSheds: st.PressureSheds.Load(),
+			Spills:        st.Spills.Load(),
+			DeadLetters:   st.DeadLetters.Load(),
+		})
+	}
+	if orphans := p.Orphans(); orphans != 0 {
+		return rep, fmt.Errorf("pipeline steady (seed=%d): %d orphaned sessions after scavenge", o.Seed, orphans)
+	}
+	if rep.Audit.ConservationViolations != 0 {
+		return rep, fmt.Errorf("pipeline steady (seed=%d): conservation violated by %d", o.Seed, rep.Audit.ConservationViolations)
+	}
+	if rep.Audit.FencingViolations != 0 {
+		return rep, fmt.Errorf("pipeline steady (seed=%d): %d fencing violations (ids %v)",
+			o.Seed, rep.Audit.FencingViolations, rep.Audit.ViolatingIDs)
+	}
+	return rep, nil
+}

@@ -152,32 +152,34 @@ func NewBackoffPolicy() *BackoffPolicy { return xsync.NewBackoffPolicy() }
 
 // config collects option state.
 type config struct {
-	algorithm    Algorithm
-	capacity     int
-	capSet       bool
-	maxThreads   int
-	padded       bool
-	backoff      bool
-	retryBudget  int
-	unbounded    bool
-	segSet       bool
-	segSize      int
-	metrics      *Metrics
-	hook         func(Event)
-	yield        func()
-	policy       *BackoffPolicy
-	starve       int
-	lowWater     int
-	highWater    int
-	wmSet        bool
-	spareSegs    int
-	spareSet     bool
-	memBound     int
-	segLow       int
-	segHigh      int
-	segWmSet     bool
-	tracePerRing int
-	traceSet     bool
+	algorithm      Algorithm
+	capacity       int
+	capSet         bool
+	maxThreads     int
+	padded         bool
+	backoff        bool
+	retryBudget    int
+	unbounded      bool
+	segSet         bool
+	segSize        int
+	metrics        *Metrics
+	hook           func(Event)
+	yield          func()
+	policy         *BackoffPolicy
+	starve         int
+	lowWater       int
+	highWater      int
+	wmSet          bool
+	spareSegs      int
+	spareSet       bool
+	memBound       int
+	replenishFault func() bool
+	replenishSet   bool
+	segLow         int
+	segHigh        int
+	segWmSet       bool
+	tracePerRing   int
+	traceSet       bool
 	// rec is the flight recorder newInner builds when traceSet; New
 	// stores it on the Queue for TraceSnapshot.
 	rec *trace.Recorder
@@ -331,6 +333,24 @@ func WithSpareSegments(n int) Option {
 	return func(c *config) {
 		c.spareSegs = n
 		c.spareSet = true
+	}
+}
+
+// WithReplenishFault installs a chaos hook on AlgorithmSegmented's
+// spare-pool replenishment: each off-path replenish attempt consults f
+// and a true return makes that attempt fail silently, as if the
+// allocator were exhausted, leaving the spare pool shallower than its
+// capacity. Replenish failure is never an operation error — appends
+// fall back to inline allocation on a spare miss (counted in
+// Snapshot.SpareSegmentMisses) — so the hook models an allocation
+// outage degrading the queue to exactly its pre-pool latency profile.
+// The pipeline fault matrix uses it for the replenish-outage cell; nil
+// (the default) disables the hook. New rejects any use with another
+// algorithm.
+func WithReplenishFault(f func() bool) Option {
+	return func(c *config) {
+		c.replenishFault = f
+		c.replenishSet = true
 	}
 }
 
@@ -507,6 +527,9 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 			return nil, c, fmt.Errorf("nbqueue: WithMemoryBound(%d) must be positive", c.memBound)
 		}
 	}
+	if c.replenishSet && c.algorithm != AlgorithmSegmented {
+		return nil, c, fmt.Errorf("nbqueue: WithReplenishFault requires AlgorithmSegmented, not %q", c.algorithm)
+	}
 	if c.segWmSet {
 		if c.algorithm != AlgorithmSegmented {
 			return nil, c, fmt.Errorf("nbqueue: WithSegmentWatermarks requires AlgorithmSegmented, not %q", c.algorithm)
@@ -573,6 +596,7 @@ func newInner(opts []Option) (queue.Queue, config, error) {
 		StarvationBound: c.starve,
 		SpareSegments:   spare,
 		MemoryBound:     c.memBound,
+		ReplenishFault:  c.replenishFault,
 		SegLow:          c.segLow,
 		SegHigh:         c.segHigh,
 	})
